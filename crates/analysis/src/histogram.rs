@@ -1,0 +1,140 @@
+//! Fixed-bucket histograms — Figure 3's x-axis is the four miss-rate
+//! buckets 0–5%, 5–10%, 10–20%, >20%.
+
+/// A histogram over explicit bucket edges: bucket `i` covers
+/// `[edges[i], edges[i+1])`, with a final overflow bucket `>= last edge`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketedHistogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl BucketedHistogram {
+    /// Creates a histogram; `edges` must be strictly increasing and start
+    /// the first bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 2 edges or non-increasing edges.
+    pub fn new(edges: &[f64]) -> BucketedHistogram {
+        assert!(edges.len() >= 2, "need at least one bucket");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must increase strictly"
+        );
+        BucketedHistogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len()], // len-1 interior + overflow
+            total: 0,
+        }
+    }
+
+    /// The paper's Figure 3 buckets over miss *rates* in `[0, 1]`:
+    /// 0–5%, 5–10%, 10–20%, >20%.
+    pub fn figure3() -> BucketedHistogram {
+        BucketedHistogram::new(&[0.0, 0.05, 0.10, 0.20])
+    }
+
+    /// Adds one observation. Values below the first edge clamp into the
+    /// first bucket.
+    pub fn add(&mut self, value: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .rposition(|&e| value >= e)
+            .unwrap_or_default();
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw counts per bucket (last = overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Percentage of observations per bucket — Figure 3's y-axis.
+    pub fn percentages(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| 100.0 * c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Human-readable bucket labels ("0%-5%", …, ">20%").
+    pub fn labels(&self) -> Vec<String> {
+        let fmt = |x: f64| {
+            let pct = x * 100.0;
+            if (pct - pct.round()).abs() < 1e-9 {
+                format!("{}%", pct.round() as i64)
+            } else {
+                format!("{pct:.1}%")
+            }
+        };
+        let mut labels: Vec<String> = self
+            .edges
+            .windows(2)
+            .map(|w| format!("{}-{}", fmt(w[0]), fmt(w[1])))
+            .collect();
+        labels.push(format!(">{}", fmt(*self.edges.last().expect("non-empty edges"))));
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_buckets() {
+        let mut h = BucketedHistogram::figure3();
+        h.extend([0.0, 0.03, 0.049, 0.05, 0.07, 0.15, 0.25, 0.9]);
+        assert_eq!(h.counts(), &[3, 2, 1, 2]);
+        assert_eq!(h.total(), 8);
+        let p = h.percentages();
+        assert!((p[0] - 37.5).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_read_like_the_paper() {
+        let h = BucketedHistogram::figure3();
+        assert_eq!(h.labels(), vec!["0%-5%", "5%-10%", "10%-20%", ">20%"]);
+    }
+
+    #[test]
+    fn below_range_clamps_to_first_bucket() {
+        let mut h = BucketedHistogram::new(&[10.0, 20.0]);
+        h.add(5.0);
+        h.add(15.0);
+        h.add(25.0);
+        assert_eq!(h.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        let h = BucketedHistogram::figure3();
+        assert_eq!(h.percentages(), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges must increase")]
+    fn bad_edges_panic() {
+        BucketedHistogram::new(&[1.0, 1.0]);
+    }
+}

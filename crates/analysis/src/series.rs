@@ -1,0 +1,72 @@
+//! Gnuplot-style `.dat` series files: the figure binaries drop their raw
+//! series next to the console output so plots can be regenerated.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes columns as whitespace-separated rows with a `#`-prefixed
+/// header, the format gnuplot (and the paper's figures) consume.
+///
+/// Every series must have the same length.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+///
+/// # Panics
+///
+/// Panics if series lengths differ or no series is provided.
+pub fn write_dat(
+    path: &Path,
+    header: &[&str],
+    series: &[&[f64]],
+) -> std::io::Result<()> {
+    assert!(!series.is_empty(), "need at least one series");
+    assert_eq!(header.len(), series.len(), "one header per series");
+    let n = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == n),
+        "all series must have equal length"
+    );
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "# {}", header.join("\t"))?;
+    for i in 0..n {
+        let row: Vec<String> = series.iter().map(|s| format!("{:.6}", s[i])).collect();
+        writeln!(f, "{}", row.join("\t"))?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_readable_dat() {
+        let dir = std::env::temp_dir().join("flowzip-series-test");
+        let path = dir.join("sub").join("fig.dat");
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [10.0, 20.0, 30.0];
+        write_dat(&path, &["x", "y"], &[&xs, &ys]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "# x\ty");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.000000"));
+        assert!(lines[3].contains("30.000000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_series_panic() {
+        let _ = write_dat(
+            Path::new("/tmp/never.dat"),
+            &["a", "b"],
+            &[&[1.0], &[1.0, 2.0]],
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Aligned text tables for the figure binaries' console output.
+
+use std::fmt;
+
+/// A simple column-aligned table: header row + data rows.
+///
+/// # Example
+///
+/// ```
+/// let mut t = flowzip_analysis::TextTable::new(&["method", "ratio"]);
+/// t.row(&["gzip", "50%"]);
+/// t.row(&["proposed", "3%"]);
+/// let s = t.to_string();
+/// assert!(s.contains("proposed"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut TextTable {
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|s| s.to_string())
+            .collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of already-owned strings (for formatted numbers).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut TextTable {
+        let mut row = cells;
+        row.truncate(self.headers.len());
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_contents() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 1], "2");
+    }
+
+    #[test]
+    fn row_padding_and_truncation() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only"]);
+        t.row(&["x", "y", "z"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn row_owned() {
+        let mut t = TextTable::new(&["n", "sq"]);
+        for i in 1..=3 {
+            t.row_owned(vec![i.to_string(), (i * i).to_string()]);
+        }
+        let s = t.to_string();
+        assert!(s.contains('9'));
+        assert!(!t.is_empty());
+    }
+}

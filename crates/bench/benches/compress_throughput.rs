@@ -1,0 +1,51 @@
+//! Criterion: end-to-end throughput of the flow-clustering compressor
+//! and decompressor across trace sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowzip_bench::original_trace;
+use flowzip_core::{Compressor, Decompressor, Params};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowclust_compress");
+    group.sample_size(10);
+    for flows in [200usize, 1_000, 4_000] {
+        let trace = original_trace(flows, 30.0, 1);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &trace, |b, t| {
+            let compressor = Compressor::new(Params::paper());
+            b.iter(|| compressor.compress(t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowclust_decompress");
+    group.sample_size(10);
+    for flows in [200usize, 1_000, 4_000] {
+        let trace = original_trace(flows, 30.0, 2);
+        let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &archive, |b, a| {
+            let d = Decompressor::default();
+            b.iter(|| d.decompress(a));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let trace = original_trace(2_000, 30.0, 3);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let bytes = archive.to_bytes();
+    let mut group = c.benchmark_group("archive_codec");
+    group.sample_size(20);
+    group.bench_function("encode", |b| b.iter(|| archive.to_bytes()));
+    group.bench_function("decode", |b| {
+        b.iter(|| flowzip_core::CompressedTrace::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_serialize);
+criterion_main!(benches);

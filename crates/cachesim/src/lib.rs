@@ -1,0 +1,32 @@
+//! Set-associative cache simulator with per-packet cost accounting.
+//!
+//! §6 of the paper measures, per packet, the number of memory accesses and
+//! the cache miss rate of radix-tree benchmarks instrumented with ATOM.
+//! This crate supplies the cache model those measurements need:
+//!
+//! * [`cache::Cache`] — a single level: configurable size, line size,
+//!   associativity and replacement policy, with hit/miss statistics;
+//! * [`hierarchy::Hierarchy`] — an optional L1→L2 stack;
+//! * [`meter::PacketCostMeter`] — the "checkpoints placed at the beginning
+//!   and at the end of the packet processing" (§6): it accumulates
+//!   accesses and misses between checkpoints into one
+//!   [`meter::PacketCost`] per packet.
+//!
+//! # Example
+//!
+//! ```
+//! use flowzip_cachesim::cache::{Cache, CacheConfig};
+//!
+//! let mut l1 = Cache::new(CacheConfig::netbench_l1());
+//! let miss_first = !l1.access(0x1000).hit;
+//! let hit_second = l1.access(0x1000).hit;
+//! assert!(miss_first && hit_second);
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod meter;
+
+pub use cache::{AccessResult, Cache, CacheConfig, CacheStats, Replacement};
+pub use hierarchy::Hierarchy;
+pub use meter::{PacketCost, PacketCostMeter};

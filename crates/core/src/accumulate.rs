@@ -1,0 +1,327 @@
+//! Online flow accumulation — the linked-list structure of §3.
+//!
+//! "When a packet carrying a new flow is found, a new node is inserted at
+//! the end of a linked list ... Each node has associated another linked
+//! list, where are inserted the packets from the same flow. When a Fin or
+//! Rst TCP flag is found, the algorithm ... looks for the number of
+//! inserted nodes associated to this flow."
+//!
+//! This implementation keys active flows by the canonical 5-tuple hash
+//! and finalizes a flow when:
+//!
+//! * an RST is seen (abortive close — immediate), or
+//! * both directions have sent FIN and the closing ACK arrives, or
+//! * the trace ends ([`FlowAccumulator::finish`]).
+
+use crate::characterize::{size_class, Dependence};
+use crate::Params;
+use flowzip_trace::prelude::*;
+use flowzip_trace::FlowKey;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A fully characterized, completed flow ready for clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedFlow {
+    /// Timestamp of the first packet (the `time-seq` field).
+    pub first_ts: Timestamp,
+    /// Destination the initiator talked to (the `address` dataset entry).
+    pub dst_ip: Ipv4Addr,
+    /// Estimated round-trip time: gap from the first packet to the first
+    /// responder packet; zero when the responder never spoke.
+    pub rtt: Duration,
+    /// The flow's `M` vector (`KM_f` in §2).
+    pub vector: Vec<u16>,
+    /// Inter-packet gaps (`vector.len()` entries; the first is zero) —
+    /// stored verbatim for long flows only.
+    pub ipts: Vec<Duration>,
+}
+
+impl FinishedFlow {
+    /// Packet count.
+    pub fn len(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// `true` for flows without packets (never produced by the
+    /// accumulator; kept for container symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.vector.is_empty()
+    }
+
+    /// Whether the flow is short under the given threshold.
+    pub fn is_short(&self, short_max: usize) -> bool {
+        self.len() <= short_max
+    }
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    initiator: FiveTuple,
+    first_ts: Timestamp,
+    last_ts: Timestamp,
+    last_dir: Option<FlowDirection>,
+    rtt: Option<Duration>,
+    fin_from_initiator: bool,
+    fin_from_responder: bool,
+    vector: Vec<u16>,
+    ipts: Vec<Duration>,
+}
+
+impl ActiveFlow {
+    fn finish(self, _params: &Params) -> FinishedFlow {
+        FinishedFlow {
+            first_ts: self.first_ts,
+            dst_ip: self.initiator.dst_ip,
+            rtt: self.rtt.unwrap_or(Duration::ZERO),
+            vector: self.vector,
+            ipts: self.ipts,
+        }
+    }
+}
+
+/// Streaming flow assembler: push packets in trace order, collect
+/// finished flows as they complete, then [`FlowAccumulator::finish`] to
+/// flush still-open flows.
+#[derive(Debug)]
+pub struct FlowAccumulator {
+    params: Params,
+    active: HashMap<FlowKey, ActiveFlow>,
+    /// Keys in first-seen order, so `finish()` drains deterministically.
+    order: Vec<FlowKey>,
+    finished: Vec<FinishedFlow>,
+}
+
+impl FlowAccumulator {
+    /// Creates an accumulator with the given parameters.
+    pub fn new(params: Params) -> FlowAccumulator {
+        FlowAccumulator {
+            params,
+            active: HashMap::new(),
+            order: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Number of flows currently open.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Routes one packet into its flow, finalizing the flow when the
+    /// packet completes it.
+    pub fn push(&mut self, p: &PacketRecord) {
+        let key = FlowKey::canonical(p.tuple());
+        let flow = self.active.entry(key).or_insert_with(|| {
+            self.order.push(key);
+            ActiveFlow {
+                initiator: p.tuple(),
+                first_ts: p.timestamp(),
+                last_ts: p.timestamp(),
+                last_dir: None,
+                rtt: None,
+                fin_from_initiator: false,
+                fin_from_responder: false,
+                vector: Vec::new(),
+                ipts: Vec::new(),
+            }
+        });
+
+        let dir = if p.tuple() == flow.initiator {
+            FlowDirection::FromInitiator
+        } else {
+            FlowDirection::FromResponder
+        };
+        if flow.rtt.is_none() && dir == FlowDirection::FromResponder {
+            flow.rtt = Some(p.timestamp().saturating_since(flow.first_ts));
+        }
+        let dep = Dependence::infer(flow.last_dir, dir);
+        let f1 = self.params.classifier.classify(p.flags());
+        let f3 = size_class(p.payload_len(), self.params.size_edge);
+        let m = self.params.weights.m_value(f1, dep, f3);
+        flow.vector.push(m.min(u16::MAX as u32) as u16);
+        flow.ipts.push(if flow.vector.len() == 1 {
+            Duration::ZERO
+        } else {
+            p.timestamp().saturating_since(flow.last_ts)
+        });
+        flow.last_ts = p.timestamp();
+        flow.last_dir = Some(dir);
+
+        if p.flags().is_fin() {
+            match dir {
+                FlowDirection::FromInitiator => flow.fin_from_initiator = true,
+                FlowDirection::FromResponder => flow.fin_from_responder = true,
+            }
+        }
+
+        let complete = p.flags().is_rst()
+            || (flow.fin_from_initiator
+                && flow.fin_from_responder
+                && !p.flags().is_fin()); // the closing ACK after both FINs
+        if complete {
+            let flow = self.active.remove(&key).expect("flow present - just updated");
+            self.order.retain(|k| *k != key);
+            self.finished.push(flow.finish(&self.params));
+        }
+    }
+
+    /// Flows completed so far (FIN/RST-terminated), in completion order.
+    pub fn completed(&self) -> &[FinishedFlow] {
+        &self.finished
+    }
+
+    /// Flushes still-open flows (end of trace) and returns every finished
+    /// flow. Open flows are flushed in first-seen order, after the
+    /// FIN/RST-completed ones.
+    pub fn finish(mut self) -> Vec<FinishedFlow> {
+        for key in std::mem::take(&mut self.order) {
+            if let Some(flow) = self.active.remove(&key) {
+                self.finished.push(flow.finish(&self.params));
+            }
+        }
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowzip_trace::TcpFlags;
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            port,
+            Ipv4Addr::new(192, 168, 1, 2),
+            80,
+        )
+    }
+
+    fn pkt(t: FiveTuple, us: u64, flags: TcpFlags, len: u16) -> PacketRecord {
+        PacketRecord::builder()
+            .tuple(t)
+            .timestamp(Timestamp::from_micros(us))
+            .flags(flags)
+            .payload_len(len)
+            .build()
+    }
+
+    /// A complete 8-packet conversation on `t`.
+    fn push_conversation(acc: &mut FlowAccumulator, t: FiveTuple, base_us: u64) {
+        let s = t.reversed();
+        acc.push(&pkt(t, base_us, TcpFlags::SYN, 0));
+        acc.push(&pkt(s, base_us + 100, TcpFlags::SYN | TcpFlags::ACK, 0));
+        acc.push(&pkt(t, base_us + 200, TcpFlags::ACK, 0));
+        acc.push(&pkt(t, base_us + 210, TcpFlags::PSH | TcpFlags::ACK, 300, ));
+        acc.push(&pkt(s, base_us + 310, TcpFlags::ACK, 1460));
+        acc.push(&pkt(s, base_us + 320, TcpFlags::FIN | TcpFlags::ACK, 0));
+        acc.push(&pkt(t, base_us + 420, TcpFlags::FIN | TcpFlags::ACK, 0));
+        acc.push(&pkt(s, base_us + 520, TcpFlags::ACK, 0));
+    }
+
+    #[test]
+    fn fin_teardown_completes_flow() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        push_conversation(&mut acc, tuple(4000), 1_000);
+        assert_eq!(acc.completed().len(), 1);
+        assert_eq!(acc.active_flows(), 0);
+        let f = &acc.completed()[0];
+        assert_eq!(f.len(), 8);
+        assert_eq!(f.first_ts.as_micros(), 1_000);
+        assert_eq!(f.dst_ip, Ipv4Addr::new(192, 168, 1, 2));
+        assert_eq!(f.rtt, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn m_vector_matches_hand_computation() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        push_conversation(&mut acc, tuple(4001), 0);
+        let f = &acc.completed()[0];
+        // SYN first packet: f1=0 dep=0(first) size=0      -> 0
+        // SYN+ACK: flip -> dep, f1=1, size 0              -> 16
+        // ACK: flip -> dep, f1=2                           -> 32
+        // PSH+ACK 300B: same dir -> not dep, size 1        -> 32+4+1 = 37
+        // server 1460B ACK: flip -> dep, size 2            -> 32+2 = 34
+        // server FIN+ACK: same dir -> not dep              -> 48+4 = 52
+        // client FIN+ACK: flip -> dep                      -> 48
+        // server ACK: flip -> dep                          -> 32
+        assert_eq!(f.vector, vec![0, 16, 32, 37, 34, 52, 48, 32]);
+    }
+
+    #[test]
+    fn rst_completes_immediately() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let t = tuple(4002);
+        acc.push(&pkt(t, 0, TcpFlags::SYN, 0));
+        acc.push(&pkt(t, 10, TcpFlags::RST, 0));
+        assert_eq!(acc.completed().len(), 1);
+        assert_eq!(acc.completed()[0].len(), 2);
+    }
+
+    #[test]
+    fn unterminated_flows_flush_at_finish() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let t = tuple(4003);
+        acc.push(&pkt(t, 0, TcpFlags::SYN, 0));
+        acc.push(&pkt(t.reversed(), 50, TcpFlags::SYN | TcpFlags::ACK, 0));
+        assert_eq!(acc.completed().len(), 0);
+        assert_eq!(acc.active_flows(), 1);
+        let flows = acc.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].len(), 2);
+    }
+
+    #[test]
+    fn interleaved_flows_stay_separate() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let a = tuple(5000);
+        let b = tuple(5001);
+        acc.push(&pkt(a, 0, TcpFlags::SYN, 0));
+        acc.push(&pkt(b, 5, TcpFlags::SYN, 0));
+        acc.push(&pkt(a.reversed(), 10, TcpFlags::SYN | TcpFlags::ACK, 0));
+        acc.push(&pkt(b.reversed(), 15, TcpFlags::SYN | TcpFlags::ACK, 0));
+        acc.push(&pkt(a, 20, TcpFlags::RST, 0));
+        acc.push(&pkt(b, 25, TcpFlags::RST, 0));
+        let flows = acc.finish();
+        assert_eq!(flows.len(), 2);
+        assert!(flows.iter().all(|f| f.len() == 3));
+    }
+
+    #[test]
+    fn identical_conversations_produce_identical_vectors() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        push_conversation(&mut acc, tuple(6000), 0);
+        push_conversation(&mut acc, tuple(6001), 1_000_000);
+        let flows = acc.completed();
+        assert_eq!(flows[0].vector, flows[1].vector);
+        assert_eq!(flows[0].ipts, flows[1].ipts);
+    }
+
+    #[test]
+    fn ipts_record_gaps() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let t = tuple(7000);
+        acc.push(&pkt(t, 100, TcpFlags::SYN, 0));
+        acc.push(&pkt(t.reversed(), 350, TcpFlags::SYN | TcpFlags::ACK, 0));
+        acc.push(&pkt(t, 360, TcpFlags::RST, 0));
+        let flows = acc.finish();
+        assert_eq!(
+            flows[0].ipts,
+            vec![
+                Duration::ZERO,
+                Duration::from_micros(250),
+                Duration::from_micros(10)
+            ]
+        );
+    }
+
+    #[test]
+    fn rtt_zero_when_responder_silent() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let t = tuple(8000);
+        acc.push(&pkt(t, 0, TcpFlags::SYN, 0));
+        let flows = acc.finish();
+        assert_eq!(flows[0].rtt, Duration::ZERO);
+    }
+}

@@ -1,0 +1,322 @@
+//! Short-flow template clustering — §3's "search for identical or similar
+//! KM vectors in the short-flows-template dataset".
+//!
+//! Flows are only comparable when they have the same packet count `n`
+//! ("for the same i, the maximum distance between two M values of
+//! different flows is 50"), so templates live in per-`n` buckets. Within
+//! a bucket, a new flow joins the first template within `d_sim` (Eq. 4)
+//! or becomes a new cluster center.
+
+use crate::characterize::DistanceMetric;
+use crate::Params;
+use std::collections::{BTreeMap, HashMap};
+
+/// How candidate templates are searched inside a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchIndex {
+    /// Compare against every template in the bucket.
+    Linear,
+    /// Prune by vector sum first (default). For L1,
+    /// `|Σa − Σb| ≤ d_L1(a, b)`, so only templates whose sums fall within
+    /// `d_sim` can match; for L2 the window widens to `√n · d_sim`
+    /// (Cauchy–Schwarz bound `|Σa − Σb| ≤ √n · d_L2`).
+    #[default]
+    SumPruned,
+}
+
+/// One stored cluster center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    /// The center's `M` vector.
+    pub vector: Vec<u16>,
+    /// How many flows joined this cluster (center included).
+    pub members: u64,
+}
+
+/// Outcome of offering a flow vector to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// Joined an existing cluster (index into the template list).
+    Matched(u32),
+    /// Became a new cluster center at this index.
+    Inserted(u32),
+}
+
+impl MatchOutcome {
+    /// The template index either way.
+    pub fn index(self) -> u32 {
+        match self {
+            MatchOutcome::Matched(i) | MatchOutcome::Inserted(i) => i,
+        }
+    }
+
+    /// `true` when the flow joined an existing cluster.
+    pub fn is_match(self) -> bool {
+        matches!(self, MatchOutcome::Matched(_))
+    }
+}
+
+/// The `short-flows-template` dataset under construction: an append-only
+/// template list plus per-`n` search buckets.
+#[derive(Debug)]
+pub struct TemplateStore {
+    params: Params,
+    templates: Vec<Template>,
+    /// `n` → indices of templates with that length.
+    buckets: HashMap<usize, Bucket>,
+    matched: u64,
+    inserted: u64,
+}
+
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Template indices in insertion order (linear search order).
+    order: Vec<u32>,
+    /// Vector-sum index for pruned search.
+    by_sum: BTreeMap<u64, Vec<u32>>,
+}
+
+impl TemplateStore {
+    /// Creates an empty store.
+    pub fn new(params: Params) -> TemplateStore {
+        TemplateStore {
+            params,
+            templates: Vec::new(),
+            buckets: HashMap::new(),
+            matched: 0,
+            inserted: 0,
+        }
+    }
+
+    /// Number of cluster centers stored.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// `true` when no templates exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Flows that joined an existing cluster.
+    pub fn matched_count(&self) -> u64 {
+        self.matched
+    }
+
+    /// Flows that became new cluster centers.
+    pub fn inserted_count(&self) -> u64 {
+        self.inserted
+    }
+
+    /// The stored templates, index-addressable.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Offers a flow vector: returns whether it matched an existing
+    /// template (within `d_sim`) or was inserted as a new center.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty vector; zero-packet flows do not exist.
+    pub fn offer(&mut self, vector: &[u16]) -> MatchOutcome {
+        assert!(!vector.is_empty(), "flows have at least one packet");
+        let n = vector.len();
+        let d_sim = self.params.d_sim(n);
+        let sum: u64 = vector.iter().map(|&m| m as u64).sum();
+
+        let bucket = self.buckets.entry(n).or_default();
+        let found = match self.params.index {
+            SearchIndex::Linear => bucket.order.iter().copied().find(|&idx| {
+                within(
+                    self.params.metric,
+                    &self.templates[idx as usize].vector,
+                    vector,
+                    d_sim,
+                )
+            }),
+            SearchIndex::SumPruned => {
+                let window = match self.params.metric {
+                    DistanceMetric::L1 => d_sim,
+                    DistanceMetric::L2 => d_sim * (n as f64).sqrt(),
+                }
+                .ceil() as u64;
+                let lo = sum.saturating_sub(window);
+                let hi = sum + window;
+                let mut best: Option<u32> = None;
+                'outer: for (_, idxs) in bucket.by_sum.range(lo..=hi) {
+                    for &idx in idxs {
+                        if within(
+                            self.params.metric,
+                            &self.templates[idx as usize].vector,
+                            vector,
+                            d_sim,
+                        ) {
+                            best = Some(idx);
+                            break 'outer;
+                        }
+                    }
+                }
+                best
+            }
+        };
+
+        match found {
+            Some(idx) => {
+                self.templates[idx as usize].members += 1;
+                self.matched += 1;
+                MatchOutcome::Matched(idx)
+            }
+            None => {
+                let idx = self.templates.len() as u32;
+                self.templates.push(Template {
+                    vector: vector.to_vec(),
+                    members: 1,
+                });
+                bucket.order.push(idx);
+                bucket.by_sum.entry(sum).or_default().push(idx);
+                self.inserted += 1;
+                MatchOutcome::Inserted(idx)
+            }
+        }
+    }
+
+    /// Consumes the store, returning the template list (the dataset that
+    /// gets serialized).
+    pub fn into_templates(self) -> Vec<Template> {
+        self.templates
+    }
+}
+
+fn within(metric: DistanceMetric, a: &[u16], b: &[u16], limit: f64) -> bool {
+    match metric {
+        DistanceMetric::L1 => DistanceMetric::l1_within(a, b, limit),
+        DistanceMetric::L2 => metric.distance(a, b) <= limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TemplateStore {
+        TemplateStore::new(Params::paper())
+    }
+
+    #[test]
+    fn identical_vectors_cluster() {
+        let mut s = store();
+        let v = vec![0u16, 16, 32, 37, 34, 52, 48, 32];
+        assert_eq!(s.offer(&v), MatchOutcome::Inserted(0));
+        assert_eq!(s.offer(&v), MatchOutcome::Matched(0));
+        assert_eq!(s.offer(&v), MatchOutcome::Matched(0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.templates()[0].members, 3);
+    }
+
+    #[test]
+    fn similar_vectors_cluster_within_d_sim() {
+        // n=8 => d_sim = 8 with paper constants.
+        let mut s = store();
+        let a = vec![0u16, 16, 32, 37, 34, 52, 48, 32];
+        let mut b = a.clone();
+        b[3] = 33; // L1 distance 4 <= 8
+        b[4] = 38;
+        assert!(s.offer(&a).index() == 0);
+        assert!(s.offer(&b).is_match());
+    }
+
+    #[test]
+    fn distant_vectors_do_not_cluster() {
+        let mut s = store();
+        let a = vec![0u16, 16, 32, 37, 34, 52, 48, 32];
+        let mut b = a.clone();
+        b[0] = 48; // L1 distance 48 > 8
+        assert_eq!(s.offer(&a), MatchOutcome::Inserted(0));
+        assert_eq!(s.offer(&b), MatchOutcome::Inserted(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn different_lengths_never_share_clusters() {
+        let mut s = store();
+        let a = vec![0u16, 16, 32];
+        let b = vec![0u16, 16, 32, 32];
+        assert_eq!(s.offer(&a), MatchOutcome::Inserted(0));
+        assert_eq!(s.offer(&b), MatchOutcome::Inserted(1));
+    }
+
+    #[test]
+    fn linear_and_pruned_agree() {
+        let vectors: Vec<Vec<u16>> = (0..200)
+            .map(|i| {
+                (0..10)
+                    .map(|j| ((i * 7 + j * 13) % 55) as u16)
+                    .collect()
+            })
+            .collect();
+        let mut lin = TemplateStore::new(Params {
+            index: SearchIndex::Linear,
+            ..Params::paper()
+        });
+        let mut pruned = TemplateStore::new(Params {
+            index: SearchIndex::SumPruned,
+            ..Params::paper()
+        });
+        for v in &vectors {
+            let a = lin.offer(v);
+            let b = pruned.offer(v);
+            assert_eq!(a.is_match(), b.is_match(), "vector {v:?}");
+        }
+        assert_eq!(lin.len(), pruned.len());
+    }
+
+    #[test]
+    fn zero_similarity_only_matches_identical() {
+        let mut s = TemplateStore::new(Params {
+            similarity: 0.0,
+            ..Params::paper()
+        });
+        let a = vec![10u16, 20, 30];
+        let mut b = a.clone();
+        b[0] = 11;
+        assert_eq!(s.offer(&a), MatchOutcome::Inserted(0));
+        assert_eq!(s.offer(&b), MatchOutcome::Inserted(1));
+        assert!(s.offer(&a).is_match());
+    }
+
+    #[test]
+    fn l2_metric_clusters_more_tightly() {
+        // L2 distance of a spread-out difference is much smaller than L1,
+        // but the threshold is the same, so L2 merges more.
+        let params_l2 = Params {
+            metric: DistanceMetric::L2,
+            ..Params::paper()
+        };
+        let mut l1 = store();
+        let mut l2 = TemplateStore::new(params_l2);
+        let a: Vec<u16> = vec![20; 16]; // n=16 -> d_sim = 16
+        let b: Vec<u16> = a.iter().map(|&x| x + 1).collect(); // L1=16, L2=4
+        l1.offer(&a);
+        l2.offer(&a);
+        assert!(l1.offer(&b).is_match()); // 16 <= 16
+        assert!(l2.offer(&b).is_match()); // 4 <= 16
+        let c: Vec<u16> = a.iter().map(|&x| x + 2).collect(); // L1=32, L2=8
+        assert!(!l1.offer(&c).is_match());
+        assert!(l2.offer(&c).is_match());
+    }
+
+    #[test]
+    fn counters_track_outcomes() {
+        let mut s = store();
+        let v = vec![1u16, 2, 3];
+        s.offer(&v);
+        s.offer(&v);
+        s.offer(&[40, 40, 40]);
+        assert_eq!(s.matched_count(), 1);
+        assert_eq!(s.inserted_count(), 2);
+        let templates = s.into_templates();
+        assert_eq!(templates.len(), 2);
+        assert_eq!(templates[0].members, 2);
+    }
+}

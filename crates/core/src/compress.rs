@@ -1,0 +1,313 @@
+//! The compressor pipeline: accumulate → cluster → assemble datasets.
+
+use crate::accumulate::{FinishedFlow, FlowAccumulator};
+use crate::cluster::TemplateStore;
+use crate::datasets::{CompressedTrace, DatasetSizes, FlowRecord, LongTemplate};
+use crate::Params;
+use flowzip_trace::Trace;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// What the compressor did, in the terms §3 and §5 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionReport {
+    /// Packets consumed.
+    pub packets: u64,
+    /// Flows found (short + long).
+    pub flows: u64,
+    /// Flows with at most `short_max` packets.
+    pub short_flows: u64,
+    /// Flows stored verbatim in `long-flows-template`.
+    pub long_flows: u64,
+    /// Short flows that joined an existing cluster.
+    pub matched_flows: u64,
+    /// Cluster centers created (size of `short-flows-template`).
+    pub clusters: u64,
+    /// Unique destination addresses.
+    pub addresses: u64,
+    /// Serialized size per dataset.
+    pub sizes: DatasetSizes,
+    /// Original size as a 44-byte-record TSH file.
+    pub tsh_bytes: u64,
+    /// `sizes.total() / tsh_bytes` — the §5 compression ratio.
+    pub ratio_vs_tsh: f64,
+    /// `sizes.total() / (packets · 40)` — ratio against bare headers.
+    pub ratio_vs_headers: f64,
+}
+
+impl fmt::Display for CompressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} packets in {} flows ({} short / {} long); {} clusters hold {} matched flows; \
+             {} B compressed = {:.2}% of TSH",
+            self.packets,
+            self.flows,
+            self.short_flows,
+            self.long_flows,
+            self.clusters,
+            self.matched_flows,
+            self.sizes.total(),
+            100.0 * self.ratio_vs_tsh
+        )
+    }
+}
+
+/// The TCP-flow-clustering trace compressor (§3).
+#[derive(Debug, Clone)]
+pub struct Compressor {
+    params: Params,
+}
+
+impl Compressor {
+    /// Creates a compressor with the given parameters
+    /// ([`Params::paper`] for the paper's configuration).
+    pub fn new(params: Params) -> Compressor {
+        Compressor { params }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Compresses a trace into the four datasets plus a report.
+    pub fn compress(&self, trace: &Trace) -> (CompressedTrace, CompressionReport) {
+        // Phase 1: flow accumulation (§3's linked-list pass).
+        let mut acc = FlowAccumulator::new(self.params.clone());
+        for p in trace {
+            acc.push(p);
+        }
+        let flows = acc.finish();
+        self.assemble(trace, flows)
+    }
+
+    /// Builds the datasets from finished flows (exposed for tests and
+    /// ablations that pre-cook flows).
+    pub fn assemble(
+        &self,
+        trace: &Trace,
+        flows: Vec<FinishedFlow>,
+    ) -> (CompressedTrace, CompressionReport) {
+        let mut store = TemplateStore::new(self.params.clone());
+        let mut long_templates: Vec<LongTemplate> = Vec::new();
+        let mut addresses: Vec<Ipv4Addr> = Vec::new();
+        let mut addr_index: HashMap<Ipv4Addr, u32> = HashMap::new();
+        let mut time_seq: Vec<FlowRecord> = Vec::with_capacity(flows.len());
+
+        let mut short_flows = 0u64;
+        let mut long_flows = 0u64;
+        let mut packets = 0u64;
+
+        for flow in &flows {
+            packets += flow.len() as u64;
+            let addr_idx = *addr_index.entry(flow.dst_ip).or_insert_with(|| {
+                addresses.push(flow.dst_ip);
+                (addresses.len() - 1) as u32
+            });
+            if flow.is_short(self.params.short_max) {
+                short_flows += 1;
+                let outcome = store.offer(&flow.vector);
+                time_seq.push(FlowRecord {
+                    first_ts: flow.first_ts,
+                    is_long: false,
+                    template_idx: outcome.index(),
+                    addr_idx,
+                    rtt: flow.rtt,
+                });
+            } else {
+                long_flows += 1;
+                // "For long flows, we do not perform any search."
+                let idx = long_templates.len() as u32;
+                long_templates.push(LongTemplate {
+                    entries: flow
+                        .vector
+                        .iter()
+                        .copied()
+                        .zip(flow.ipts.iter().copied())
+                        .collect(),
+                });
+                time_seq.push(FlowRecord {
+                    first_ts: flow.first_ts,
+                    is_long: true,
+                    template_idx: idx,
+                    addr_idx,
+                    rtt: flowzip_trace::Duration::ZERO,
+                });
+            }
+        }
+
+        // The time-seq dataset "is sorted by the time-stamp data field".
+        time_seq.sort_by_key(|r| r.first_ts);
+
+        let matched_flows = store.matched_count();
+        let clusters = store.len() as u64;
+        let compressed = CompressedTrace {
+            short_templates: store.into_templates().into_iter().map(|t| t.vector).collect(),
+            long_templates,
+            addresses,
+            time_seq,
+        };
+        debug_assert!(compressed.validate().is_ok());
+
+        let (_, sizes) = compressed.encode();
+        let tsh_bytes = flowzip_trace::tsh::file_size(trace);
+        let header_bytes = trace.header_bytes();
+        let report = CompressionReport {
+            packets,
+            flows: flows.len() as u64,
+            short_flows,
+            long_flows,
+            matched_flows,
+            clusters,
+            addresses: compressed.addresses.len() as u64,
+            sizes,
+            tsh_bytes,
+            ratio_vs_tsh: if tsh_bytes == 0 {
+                0.0
+            } else {
+                sizes.total() as f64 / tsh_bytes as f64
+            },
+            ratio_vs_headers: if header_bytes == 0 {
+                0.0
+            } else {
+                sizes.total() as f64 / header_bytes as f64
+            },
+        };
+        (compressed, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn web_trace(flows: usize, seed: u64) -> Trace {
+        WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn empty_trace_compresses_to_empty_archive() {
+        let (ct, report) = Compressor::new(Params::paper()).compress(&Trace::new());
+        assert_eq!(ct.flow_count(), 0);
+        assert_eq!(report.packets, 0);
+        assert_eq!(report.ratio_vs_tsh, 0.0);
+    }
+
+    #[test]
+    fn packet_conservation() {
+        let trace = web_trace(150, 1);
+        let (ct, report) = Compressor::new(Params::paper()).compress(&trace);
+        assert_eq!(report.packets, trace.len() as u64);
+        assert_eq!(ct.packet_count(), trace.len() as u64);
+        assert_eq!(report.flows, 150);
+        assert_eq!(report.short_flows + report.long_flows, report.flows);
+    }
+
+    #[test]
+    fn clustering_compresses_web_traffic_hard() {
+        let trace = web_trace(800, 2);
+        let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+        // The whole point: far fewer clusters than flows.
+        assert!(
+            report.clusters < report.short_flows / 3,
+            "clusters {} vs short flows {}",
+            report.clusters,
+            report.short_flows
+        );
+        assert!(
+            report.ratio_vs_tsh < 0.10,
+            "ratio {:.3} should be well under 10%",
+            report.ratio_vs_tsh
+        );
+    }
+
+    #[test]
+    fn ratio_approaches_three_percent_at_scale() {
+        let trace = web_trace(4_000, 3);
+        let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+        assert!(
+            (0.01..=0.06).contains(&report.ratio_vs_tsh),
+            "paper reports ≈3%, got {:.4}",
+            report.ratio_vs_tsh
+        );
+    }
+
+    #[test]
+    fn time_seq_is_sorted() {
+        let trace = web_trace(200, 4);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&trace);
+        assert!(ct
+            .time_seq
+            .windows(2)
+            .all(|w| w[0].first_ts <= w[1].first_ts));
+        ct.validate().unwrap();
+    }
+
+    #[test]
+    fn serialized_archive_roundtrips() {
+        let trace = web_trace(100, 5);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&trace);
+        let back = CompressedTrace::from_bytes(&ct.to_bytes()).unwrap();
+        assert_eq!(back.short_templates, ct.short_templates);
+        assert_eq!(back.flow_count(), ct.flow_count());
+        assert_eq!(back.packet_count(), ct.packet_count());
+    }
+
+    #[test]
+    fn long_flows_store_verbatim() {
+        let trace = web_trace(600, 6);
+        let (ct, report) = Compressor::new(Params::paper()).compress(&trace);
+        assert_eq!(report.long_flows as usize, ct.long_templates.len());
+        for t in &ct.long_templates {
+            assert!(t.entries.len() > Params::paper().short_max);
+        }
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let trace = web_trace(300, 7);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&trace);
+        let set: std::collections::HashSet<_> = ct.addresses.iter().collect();
+        assert_eq!(set.len(), ct.addresses.len());
+    }
+
+    #[test]
+    fn report_display_mentions_ratio() {
+        let trace = web_trace(50, 8);
+        let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+        let s = report.to_string();
+        assert!(s.contains("% of TSH"));
+        assert!(s.contains("clusters"));
+    }
+
+    #[test]
+    fn tighter_similarity_makes_more_clusters() {
+        let trace = web_trace(400, 9);
+        let strict = Compressor::new(Params {
+            similarity: 0.0,
+            ..Params::paper()
+        });
+        let loose = Compressor::new(Params {
+            similarity: 0.10,
+            ..Params::paper()
+        });
+        let (_, rs) = strict.compress(&trace);
+        let (_, rl) = loose.compress(&trace);
+        assert!(
+            rs.clusters >= rl.clusters,
+            "strict {} vs loose {}",
+            rs.clusters,
+            rl.clusters
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! The four output datasets of §3 and their binary encoding.
+//!
+//! * `short-flows-template` — for each cluster center: `n`, then the `n`
+//!   `M` values;
+//! * `long-flows-template` — for each long flow: `n`, then `n`
+//!   `(M, inter-packet time)` pairs;
+//! * `address` — the unique destination IPs, index-addressed;
+//! * `time-seq` — per flow, sorted by first-packet timestamp: dataset id
+//!   (S/L), template index, address index, timestamp, and (short flows
+//!   only) the flow RTT.
+//!
+//! The binary layout uses LEB128 varints and delta-coded timestamps so a
+//! short-flow record costs ≈8 bytes, matching §5's sizing argument. RTTs
+//! are quantized to 128 µs units — the decompressor only needs the RTT's
+//! magnitude, and the format is lossy by design.
+
+use flowzip_trace::{Duration, Timestamp};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Container magic: "FZC1".
+pub const MAGIC: [u8; 4] = *b"FZC1";
+/// Format version.
+pub const VERSION: u8 = 1;
+/// RTT quantization shift (128 µs units).
+pub const RTT_SHIFT: u32 = 7;
+
+/// One long-flow template entry list: `(M, inter-packet gap)` per packet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LongTemplate {
+    /// `(M value, gap before this packet)`; the first gap is zero.
+    pub entries: Vec<(u16, Duration)>,
+}
+
+/// One `time-seq` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// First-packet timestamp.
+    pub first_ts: Timestamp,
+    /// `true` → index into `long-flows-template`, else into
+    /// `short-flows-template` (the paper's S/L dataset identifier).
+    pub is_long: bool,
+    /// Template index in the respective dataset.
+    pub template_idx: u32,
+    /// Index into the address dataset.
+    pub addr_idx: u32,
+    /// Flow RTT (quantized on serialization; meaningful for short flows
+    /// only — long flows carry their timing in the template).
+    pub rtt: Duration,
+}
+
+/// The assembled compressed trace: all four datasets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompressedTrace {
+    /// Cluster-center vectors.
+    pub short_templates: Vec<Vec<u16>>,
+    /// Verbatim long flows.
+    pub long_templates: Vec<LongTemplate>,
+    /// Unique destination addresses.
+    pub addresses: Vec<Ipv4Addr>,
+    /// Per-flow records, sorted by `first_ts`.
+    pub time_seq: Vec<FlowRecord>,
+}
+
+/// Byte footprint per dataset, as reported next to Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DatasetSizes {
+    /// Fixed header bytes (magic, version, counts).
+    pub header: u64,
+    /// `short-flows-template` bytes.
+    pub short_templates: u64,
+    /// `long-flows-template` bytes.
+    pub long_templates: u64,
+    /// `address` bytes.
+    pub addresses: u64,
+    /// `time-seq` bytes.
+    pub time_seq: u64,
+}
+
+impl DatasetSizes {
+    /// Total container size.
+    pub fn total(&self) -> u64 {
+        self.header + self.short_templates + self.long_templates + self.addresses + self.time_seq
+    }
+}
+
+impl fmt::Display for DatasetSizes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} B (short-tmpl {} B, long-tmpl {} B, addr {} B, time-seq {} B)",
+            self.total(),
+            self.short_templates,
+            self.long_templates,
+            self.addresses,
+            self.time_seq
+        )
+    }
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Wrong magic or version byte.
+    BadHeader,
+    /// Input ended inside a structure.
+    Truncated,
+    /// A record referenced a template or address out of range.
+    IndexOutOfRange(&'static str, u64),
+    /// `time-seq` violated its sort invariant.
+    UnsortedTimeSeq,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "bad compressed-trace header"),
+            CodecError::Truncated => write!(f, "compressed trace truncated"),
+            CodecError::IndexOutOfRange(what, idx) => {
+                write!(f, "{what} index {idx} out of range")
+            }
+            CodecError::UnsortedTimeSeq => write!(f, "time-seq dataset not sorted"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl CompressedTrace {
+    /// Number of flows stored.
+    pub fn flow_count(&self) -> usize {
+        self.time_seq.len()
+    }
+
+    /// Total packets the archive expands to.
+    pub fn packet_count(&self) -> u64 {
+        self.time_seq
+            .iter()
+            .map(|r| {
+                if r.is_long {
+                    self.long_templates[r.template_idx as usize].entries.len() as u64
+                } else {
+                    self.short_templates[r.template_idx as usize].len() as u64
+                }
+            })
+            .sum()
+    }
+
+    /// Checks referential and ordering invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), CodecError> {
+        let mut last = Timestamp::ZERO;
+        for r in &self.time_seq {
+            if r.is_long {
+                if r.template_idx as usize >= self.long_templates.len() {
+                    return Err(CodecError::IndexOutOfRange(
+                        "long template",
+                        r.template_idx as u64,
+                    ));
+                }
+            } else if r.template_idx as usize >= self.short_templates.len() {
+                return Err(CodecError::IndexOutOfRange(
+                    "short template",
+                    r.template_idx as u64,
+                ));
+            }
+            if r.addr_idx as usize >= self.addresses.len() {
+                return Err(CodecError::IndexOutOfRange("address", r.addr_idx as u64));
+            }
+            if r.first_ts < last {
+                return Err(CodecError::UnsortedTimeSeq);
+            }
+            last = r.first_ts;
+        }
+        Ok(())
+    }
+
+    /// Serializes the container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode().0
+    }
+
+    /// Serializes and reports per-dataset byte footprints.
+    pub fn encode(&self) -> (Vec<u8>, DatasetSizes) {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        put_varint(self.short_templates.len() as u64, &mut out);
+        put_varint(self.long_templates.len() as u64, &mut out);
+        put_varint(self.addresses.len() as u64, &mut out);
+        put_varint(self.time_seq.len() as u64, &mut out);
+        let header = out.len() as u64;
+
+        let mark = out.len();
+        for t in &self.short_templates {
+            put_varint(t.len() as u64, &mut out);
+            for &m in t {
+                put_varint(m as u64, &mut out);
+            }
+        }
+        let short_templates = (out.len() - mark) as u64;
+
+        let mark = out.len();
+        for t in &self.long_templates {
+            put_varint(t.entries.len() as u64, &mut out);
+            for &(m, ipt) in &t.entries {
+                put_varint(m as u64, &mut out);
+                put_varint(ipt.as_micros(), &mut out);
+            }
+        }
+        let long_templates = (out.len() - mark) as u64;
+
+        let mark = out.len();
+        for a in &self.addresses {
+            out.extend_from_slice(&a.octets());
+        }
+        let addresses = (out.len() - mark) as u64;
+
+        let mark = out.len();
+        let mut last_ts = 0u64;
+        for r in &self.time_seq {
+            // Dataset id packed into the template index's low bit.
+            put_varint((r.template_idx as u64) << 1 | r.is_long as u64, &mut out);
+            put_varint(r.addr_idx as u64, &mut out);
+            let ts = r.first_ts.as_micros();
+            put_varint(ts.saturating_sub(last_ts), &mut out);
+            last_ts = ts;
+            if !r.is_long {
+                put_varint(r.rtt.as_micros() >> RTT_SHIFT, &mut out);
+            }
+        }
+        let time_seq = (out.len() - mark) as u64;
+
+        (
+            out,
+            DatasetSizes {
+                header,
+                short_templates,
+                long_templates,
+                addresses,
+                time_seq,
+            },
+        )
+    }
+
+    /// Parses a container produced by [`CompressedTrace::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for malformed input; the result additionally
+    /// passes [`CompressedTrace::validate`].
+    pub fn from_bytes(data: &[u8]) -> Result<CompressedTrace, CodecError> {
+        if data.len() < 5 || data[0..4] != MAGIC || data[4] != VERSION {
+            return Err(CodecError::BadHeader);
+        }
+        let mut pos = 5usize;
+        let n_short = get_varint(data, &mut pos)? as usize;
+        let n_long = get_varint(data, &mut pos)? as usize;
+        let n_addr = get_varint(data, &mut pos)? as usize;
+        let n_flows = get_varint(data, &mut pos)? as usize;
+
+        let mut short_templates = Vec::with_capacity(n_short);
+        for _ in 0..n_short {
+            let n = get_varint(data, &mut pos)? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(get_varint(data, &mut pos)? as u16);
+            }
+            short_templates.push(v);
+        }
+
+        let mut long_templates = Vec::with_capacity(n_long);
+        for _ in 0..n_long {
+            let n = get_varint(data, &mut pos)? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = get_varint(data, &mut pos)? as u16;
+                let ipt = Duration::from_micros(get_varint(data, &mut pos)?);
+                entries.push((m, ipt));
+            }
+            long_templates.push(LongTemplate { entries });
+        }
+
+        let mut addresses = Vec::with_capacity(n_addr);
+        for _ in 0..n_addr {
+            if pos + 4 > data.len() {
+                return Err(CodecError::Truncated);
+            }
+            addresses.push(Ipv4Addr::new(
+                data[pos],
+                data[pos + 1],
+                data[pos + 2],
+                data[pos + 3],
+            ));
+            pos += 4;
+        }
+
+        let mut time_seq = Vec::with_capacity(n_flows);
+        let mut last_ts = 0u64;
+        for _ in 0..n_flows {
+            let key = get_varint(data, &mut pos)?;
+            let is_long = key & 1 == 1;
+            let template_idx = (key >> 1) as u32;
+            let addr_idx = get_varint(data, &mut pos)? as u32;
+            last_ts += get_varint(data, &mut pos)?;
+            let rtt = if is_long {
+                Duration::ZERO
+            } else {
+                Duration::from_micros(get_varint(data, &mut pos)? << RTT_SHIFT)
+            };
+            time_seq.push(FlowRecord {
+                first_ts: Timestamp::from_micros(last_ts),
+                is_long,
+                template_idx,
+                addr_idx,
+                rtt,
+            });
+        }
+
+        let ct = CompressedTrace {
+            short_templates,
+            long_templates,
+            addresses,
+            time_seq,
+        };
+        ct.validate()?;
+        Ok(ct)
+    }
+}
+
+fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Truncated);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompressedTrace {
+        CompressedTrace {
+            short_templates: vec![vec![0, 16, 32, 48], vec![0, 16, 37, 34, 52, 48, 32]],
+            long_templates: vec![LongTemplate {
+                entries: (0..60)
+                    .map(|i| (((i * 3) % 54) as u16, Duration::from_micros(i as u64 * 17)))
+                    .collect(),
+            }],
+            addresses: vec![
+                Ipv4Addr::new(193, 1, 2, 3),
+                Ipv4Addr::new(172, 16, 99, 4),
+            ],
+            time_seq: vec![
+                FlowRecord {
+                    first_ts: Timestamp::from_micros(1_000),
+                    is_long: false,
+                    template_idx: 1,
+                    addr_idx: 0,
+                    rtt: Duration::from_micros(80_000),
+                },
+                FlowRecord {
+                    first_ts: Timestamp::from_micros(5_000),
+                    is_long: true,
+                    template_idx: 0,
+                    addr_idx: 1,
+                    rtt: Duration::ZERO,
+                },
+                FlowRecord {
+                    first_ts: Timestamp::from_micros(5_000),
+                    is_long: false,
+                    template_idx: 0,
+                    addr_idx: 0,
+                    rtt: Duration::from_micros(128),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let ct = sample();
+        let bytes = ct.to_bytes();
+        let back = CompressedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(back.short_templates, ct.short_templates);
+        assert_eq!(back.long_templates, ct.long_templates);
+        assert_eq!(back.addresses, ct.addresses);
+        assert_eq!(back.time_seq.len(), ct.time_seq.len());
+        for (a, b) in ct.time_seq.iter().zip(&back.time_seq) {
+            assert_eq!(a.first_ts, b.first_ts);
+            assert_eq!(a.is_long, b.is_long);
+            assert_eq!(a.template_idx, b.template_idx);
+            assert_eq!(a.addr_idx, b.addr_idx);
+            // RTT quantized to 128 µs units.
+            assert!(a.rtt.as_micros() - b.rtt.as_micros() < 128);
+        }
+    }
+
+    #[test]
+    fn counts_and_validation() {
+        let ct = sample();
+        assert_eq!(ct.flow_count(), 3);
+        assert_eq!(ct.packet_count(), 7 + 60 + 4);
+        ct.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_indices() {
+        let mut ct = sample();
+        ct.time_seq[0].template_idx = 99;
+        assert!(matches!(
+            ct.validate(),
+            Err(CodecError::IndexOutOfRange("short template", 99))
+        ));
+        let mut ct = sample();
+        ct.time_seq[1].template_idx = 5;
+        assert!(matches!(
+            ct.validate(),
+            Err(CodecError::IndexOutOfRange("long template", 5))
+        ));
+        let mut ct = sample();
+        ct.time_seq[2].addr_idx = 7;
+        assert!(matches!(
+            ct.validate(),
+            Err(CodecError::IndexOutOfRange("address", 7))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_unsorted_time_seq() {
+        let mut ct = sample();
+        ct.time_seq.swap(0, 1);
+        assert_eq!(ct.validate(), Err(CodecError::UnsortedTimeSeq));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            CompressedTrace::from_bytes(b"nope!"),
+            Err(CodecError::BadHeader)
+        );
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 9; // wrong version
+        assert_eq!(CompressedTrace::from_bytes(&bytes), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in 5..bytes.len() {
+            assert!(
+                CompressedTrace::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_flow_record_is_about_eight_bytes() {
+        // 1000 short flows, one template, one address.
+        let ct = CompressedTrace {
+            short_templates: vec![vec![0, 16, 32, 48]],
+            long_templates: vec![],
+            addresses: vec![Ipv4Addr::new(10, 0, 0, 1)],
+            time_seq: (0..1000)
+                .map(|i| FlowRecord {
+                    first_ts: Timestamp::from_micros(i * 50_000),
+                    is_long: false,
+                    template_idx: 0,
+                    addr_idx: 0,
+                    rtt: Duration::from_micros(90_000),
+                })
+                .collect(),
+        };
+        let (_, sizes) = ct.encode();
+        let per_flow = sizes.time_seq as f64 / 1000.0;
+        assert!(
+            (5.0..=9.0).contains(&per_flow),
+            "≈8 bytes per flow as in §5, got {per_flow}"
+        );
+    }
+
+    #[test]
+    fn empty_container_roundtrip() {
+        let ct = CompressedTrace::default();
+        let back = CompressedTrace::from_bytes(&ct.to_bytes()).unwrap();
+        assert_eq!(back, ct);
+        assert_eq!(back.packet_count(), 0);
+    }
+
+    #[test]
+    fn sizes_display_and_total() {
+        let (_, sizes) = sample().encode();
+        assert!(sizes.total() > 0);
+        let s = sizes.to_string();
+        assert!(s.contains("time-seq"));
+        assert_eq!(
+            sizes.total(),
+            sizes.header
+                + sizes.short_templates
+                + sizes.long_templates
+                + sizes.addresses
+                + sizes.time_seq
+        );
+    }
+}

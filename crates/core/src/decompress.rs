@@ -1,0 +1,339 @@
+//! The decompression algorithm of §4.
+//!
+//! "The algorithm starts reading the time-seq dataset ... goes reading the
+//! sequences of M values and decoding the TCP flag, the payload size, and
+//! the inter-packet time. ... For source address, we assign randomly an IP
+//! class B or C address ... a random value between 1024 and 65000 to
+//! client port number, and to the server side the value 80."
+//!
+//! Timing synthesis: the first packet lands at the record's timestamp;
+//! each *dependent* packet (decoded from `f₂`) waits the flow's stored
+//! RTT, each non-dependent packet follows after a small back-to-back gap.
+//! Packet direction is itself reconstructed from the dependence bits: the
+//! first packet travels client→server and every dependent packet flips
+//! the direction (it answered the opposite node).
+
+use crate::characterize::{size_class_representative, Dependence};
+use crate::datasets::CompressedTrace;
+use crate::Params;
+use flowzip_trace::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decompression knobs.
+#[derive(Debug, Clone)]
+pub struct DecompressParams {
+    /// Characterization parameters (must match the compressor's weights
+    /// for `M` decoding; [`Params::paper`] by default).
+    pub params: Params,
+    /// Gap inserted after non-dependent packets (back-to-back spacing).
+    pub backtoback_gap: Duration,
+    /// RTT substitute when a flow recorded none (responder never spoke).
+    pub default_rtt: Duration,
+    /// RNG seed for synthesized addresses and ports.
+    pub seed: u64,
+}
+
+impl Default for DecompressParams {
+    fn default() -> Self {
+        DecompressParams {
+            params: Params::paper(),
+            backtoback_gap: Duration::from_micros(300),
+            default_rtt: Duration::from_millis(80),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The §4 decompressor.
+#[derive(Debug)]
+pub struct Decompressor {
+    config: DecompressParams,
+}
+
+impl Decompressor {
+    /// Creates a decompressor.
+    pub fn new(config: DecompressParams) -> Decompressor {
+        Decompressor { config }
+    }
+
+    /// Expands an archive into a synthetic trace, time-sorted.
+    pub fn decompress(&self, ct: &CompressedTrace) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut packets = Vec::with_capacity(ct.packet_count() as usize);
+        for record in &ct.time_seq {
+            let server = ct.addresses[record.addr_idx as usize];
+            let client = random_class_b_or_c(&mut rng);
+            let client_port = rng.gen_range(1024..=65000u16);
+            let c2s = FiveTuple::tcp(client, client_port, server, 80);
+            let rtt = if record.rtt.is_zero() {
+                self.config.default_rtt
+            } else {
+                record.rtt
+            };
+
+            if record.is_long {
+                let template = &ct.long_templates[record.template_idx as usize];
+                self.expand_flow(
+                    template.entries.iter().map(|&(m, ipt)| (m, Some(ipt))),
+                    record.first_ts,
+                    rtt,
+                    c2s,
+                    &mut packets,
+                );
+            } else {
+                let template = &ct.short_templates[record.template_idx as usize];
+                self.expand_flow(
+                    template.iter().map(|&m| (m, None)),
+                    record.first_ts,
+                    rtt,
+                    c2s,
+                    &mut packets,
+                );
+            }
+        }
+        // §4 merges flows by timestamp while writing the output file.
+        Trace::from_packets(packets)
+    }
+
+    fn expand_flow(
+        &self,
+        entries: impl Iterator<Item = (u16, Option<Duration>)>,
+        first_ts: Timestamp,
+        rtt: Duration,
+        c2s: FiveTuple,
+        out: &mut Vec<PacketRecord>,
+    ) {
+        let weights = self.config.params.weights;
+        let edge = self.config.params.size_edge;
+        let mut now = first_ts;
+        let mut dir_client_to_server = true;
+        let mut client_seq: u32 = 1_000;
+        let mut server_seq: u32 = 5_000;
+        for (i, (m, stored_ipt)) in entries.enumerate() {
+            let (class, dep, f3) = weights
+                .decompose(m as u32)
+                .unwrap_or((crate::characterize::FlagClass::Ack, Dependence::NotDependent, 0));
+            if i > 0 {
+                // Timing: stored gap for long flows; synthesized for short.
+                now += stored_ipt.unwrap_or(match dep {
+                        Dependence::Dependent => rtt,
+                        Dependence::NotDependent => self.config.backtoback_gap,
+                    });
+                // Direction: dependent packets answer the opposite node.
+                if dep == Dependence::Dependent {
+                    dir_client_to_server = !dir_client_to_server;
+                }
+            }
+            let tuple = if dir_client_to_server { c2s } else { c2s.reversed() };
+            let len = size_class_representative(f3, edge);
+            let (seq, ack) = if dir_client_to_server {
+                let s = client_seq;
+                client_seq = client_seq.wrapping_add(len as u32);
+                (s, server_seq)
+            } else {
+                let s = server_seq;
+                server_seq = server_seq.wrapping_add(len as u32);
+                (s, client_seq)
+            };
+            out.push(
+                PacketRecord::builder()
+                    .timestamp(now)
+                    .tuple(tuple)
+                    .flags(class.to_flags())
+                    .payload_len(len)
+                    .seq(seq)
+                    .ack(ack)
+                    .build(),
+            );
+        }
+    }
+}
+
+impl Default for Decompressor {
+    fn default() -> Self {
+        Decompressor::new(DecompressParams::default())
+    }
+}
+
+/// "For source address, we assign randomly an IP class B or C address."
+fn random_class_b_or_c<R: Rng>(rng: &mut R) -> Ipv4Addr {
+    if rng.gen_bool(0.5) {
+        // Class B: 128.0.0.0 – 191.255.255.255
+        Ipv4Addr::new(
+            rng.gen_range(128u8..=191),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..=254),
+        )
+    } else {
+        // Class C: 192.0.0.0 – 223.255.255.255
+        Ipv4Addr::new(
+            rng.gen_range(192u8..=223),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..=254),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use flowzip_trace::flow::FlowTable;
+    use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn web_trace(flows: usize, seed: u64) -> Trace {
+        WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    fn roundtrip(trace: &Trace) -> Trace {
+        let (ct, _) = Compressor::new(Params::paper()).compress(trace);
+        Decompressor::default().decompress(&ct)
+    }
+
+    #[test]
+    fn packet_and_flow_counts_preserved() {
+        let orig = web_trace(120, 1);
+        let dec = roundtrip(&orig);
+        assert_eq!(dec.len(), orig.len());
+        let orig_flows = FlowTable::from_trace(&orig).len();
+        let dec_flows = FlowTable::from_trace(&dec).len();
+        assert_eq!(dec_flows, orig_flows);
+    }
+
+    #[test]
+    fn output_is_time_sorted() {
+        let dec = roundtrip(&web_trace(100, 2));
+        assert!(dec.is_time_ordered());
+        dec.validate().unwrap();
+    }
+
+    #[test]
+    fn ports_follow_section_four() {
+        let dec = roundtrip(&web_trace(60, 3));
+        for p in &dec {
+            let t = p.tuple();
+            let (client_port, server_port) = if t.dst_port == 80 {
+                (t.src_port, t.dst_port)
+            } else {
+                (t.dst_port, t.src_port)
+            };
+            assert_eq!(server_port, 80, "server side is port 80");
+            assert!((1024..=65000).contains(&client_port));
+        }
+    }
+
+    #[test]
+    fn sources_are_class_b_or_c() {
+        let dec = roundtrip(&web_trace(60, 4));
+        for p in &dec {
+            // The client endpoint (port != 80) must be class B or C.
+            let client_ip = if p.tuple().dst_port == 80 {
+                p.src_ip()
+            } else {
+                p.dst_ip()
+            };
+            let first = client_ip.octets()[0];
+            assert!(
+                (128..=223).contains(&first),
+                "client {client_ip} outside class B/C"
+            );
+        }
+    }
+
+    #[test]
+    fn flag_sequence_structure_survives() {
+        let orig = web_trace(150, 5);
+        let dec = roundtrip(&orig);
+        let count = |t: &Trace, pred: fn(TcpFlags) -> bool| {
+            t.iter().filter(|p| pred(p.flags())).count()
+        };
+        // SYN and SYN+ACK counts survive exactly (every flow keeps its
+        // handshake classes through template clustering within d_sim).
+        let syn_orig = count(&orig, |f| f.is_syn_only());
+        let syn_dec = count(&dec, |f| f.is_syn_only());
+        let diff = (syn_orig as f64 - syn_dec as f64).abs() / syn_orig as f64;
+        assert!(diff < 0.05, "syn counts {syn_orig} vs {syn_dec}");
+    }
+
+    #[test]
+    fn payload_class_histogram_survives() {
+        use crate::characterize::size_class;
+        let orig = web_trace(200, 6);
+        let dec = roundtrip(&orig);
+        let hist = |t: &Trace| {
+            let mut h = [0u64; 3];
+            for p in t {
+                h[size_class(p.payload_len(), 500) as usize] += 1;
+            }
+            h
+        };
+        let ho = hist(&orig);
+        let hd = hist(&dec);
+        for k in 0..3 {
+            let rel = (ho[k] as f64 - hd[k] as f64).abs() / ho[k].max(1) as f64;
+            assert!(rel < 0.10, "class {k}: {} vs {}", ho[k], hd[k]);
+        }
+    }
+
+    #[test]
+    fn destination_addresses_come_from_the_address_dataset() {
+        let orig = web_trace(80, 7);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
+        let dec = Decompressor::default().decompress(&ct);
+        let servers: std::collections::HashSet<Ipv4Addr> =
+            ct.addresses.iter().copied().collect();
+        // Every c2s packet's destination is a stored address.
+        for p in &dec {
+            if p.tuple().dst_port == 80 {
+                assert!(servers.contains(&p.dst_ip()));
+            }
+        }
+    }
+
+    #[test]
+    fn flow_durations_are_rtt_scaled() {
+        // A flow's span must be on the order of (dependent packets × RTT).
+        let orig = web_trace(40, 8);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
+        let dec = Decompressor::default().decompress(&ct);
+        let table = FlowTable::from_trace(&dec);
+        for flow in table.flows() {
+            let span = flow
+                .last_timestamp()
+                .saturating_since(flow.first_timestamp());
+            // 4+ dependent packets per scripted flow, RTT >= 1ms each.
+            assert!(span.as_micros() >= 3_000, "span {span} too small");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let orig = web_trace(50, 9);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
+        let a = Decompressor::default().decompress(&ct);
+        let b = Decompressor::default().decompress(&ct);
+        assert_eq!(a, b);
+        let c = Decompressor::new(DecompressParams {
+            seed: 999,
+            ..Default::default()
+        })
+        .decompress(&ct);
+        assert_ne!(a, c, "different seed, different synthesized addresses");
+    }
+
+    #[test]
+    fn empty_archive_decompresses_to_empty_trace() {
+        let dec = Decompressor::default().decompress(&CompressedTrace::default());
+        assert!(dec.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! The analytic compression model of §5, Eq. (7)–(8).
+//!
+//! "In the proposed compression method 8 bytes are sufficient to
+//! represent each flow of n packets. There are some data structures with
+//! information related to the clusters of flows that are also needed.
+//! However these additional data structures are almost constant with the
+//! packet trace length."
+//!
+//! ```text
+//! r(n) = 8 / (40·n)                       (Eq. 7)
+//! C    = Σₙ Pₙ·8 / Σₙ Pₙ·40·n             (Eq. 8, byte-weighted)
+//! ```
+
+/// Bytes of an uncompressed TCP/IP header.
+pub const FULL_HEADER_BYTES: f64 = 40.0;
+/// Bytes per flow in the `time-seq` dataset.
+pub const PER_FLOW_BYTES: f64 = 8.0;
+
+/// Eq. (7): ratio for a single flow of `n` packets (template datasets
+/// amortized away).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ratio_for_flow_len(n: u64) -> f64 {
+    assert!(n > 0, "flows have at least one packet");
+    PER_FLOW_BYTES / (FULL_HEADER_BYTES * n as f64)
+}
+
+/// Eq. (8): overall ratio under a flow-length pmf (`pmf[n]` is the
+/// probability of an n-packet flow; index 0 ignored).
+pub fn expected_ratio(pmf: &[f64]) -> f64 {
+    let mut compressed = 0.0;
+    let mut original = 0.0;
+    for (n, &p) in pmf.iter().enumerate().skip(1) {
+        if p > 0.0 {
+            compressed += p * PER_FLOW_BYTES;
+            original += p * FULL_HEADER_BYTES * n as f64;
+        }
+    }
+    if original == 0.0 {
+        0.0
+    } else {
+        compressed / original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_ratios() {
+        assert!((ratio_for_flow_len(1) - 0.2).abs() < 1e-12);
+        assert!((ratio_for_flow_len(10) - 0.02).abs() < 1e-12);
+        assert!((ratio_for_flow_len(100) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_ratio_is_eight_over_forty_mean() {
+        // C = 8 / (40 · E[n]).
+        let mut pmf = vec![0.0; 21];
+        pmf[5] = 0.5;
+        pmf[15] = 0.5; // E[n] = 10
+        assert!((expected_ratio(&pmf) - 8.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn web_mix_lands_near_three_percent() {
+        // Web-like mean flow length ≈ 7 packets → 8/280 ≈ 2.9%.
+        let mut pmf = vec![0.0; 301];
+        pmf[4] = 0.35;
+        pmf[6] = 0.30;
+        pmf[9] = 0.20;
+        pmf[15] = 0.10;
+        pmf[40] = 0.03;
+        pmf[300] = 0.02;
+        let r = expected_ratio(&pmf);
+        assert!((0.01..=0.05).contains(&r), "≈3% expected, got {r}");
+    }
+
+    #[test]
+    fn empty_pmf_is_zero() {
+        assert_eq!(expected_ratio(&[]), 0.0);
+    }
+}

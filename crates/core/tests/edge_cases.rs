@@ -1,0 +1,221 @@
+//! Edge-case and failure-injection tests for the compression pipeline:
+//! inputs a well-behaved generator never produces but a real capture
+//! will.
+
+use flowzip_core::{CompressedTrace, Compressor, DecompressParams, Decompressor, Params};
+use flowzip_trace::prelude::*;
+
+fn tuple(client_port: u16, server_last_octet: u8) -> FiveTuple {
+    FiveTuple::tcp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        client_port,
+        Ipv4Addr::new(192, 168, 1, server_last_octet),
+        80,
+    )
+}
+
+fn pkt(t: FiveTuple, us: u64, flags: TcpFlags, len: u16) -> PacketRecord {
+    PacketRecord::builder()
+        .tuple(t)
+        .timestamp(Timestamp::from_micros(us))
+        .flags(flags)
+        .payload_len(len)
+        .build()
+}
+
+#[test]
+fn single_packet_flow_survives_the_pipeline() {
+    // A lone SYN (scan traffic): 1-packet flow, below the paper's 2-packet
+    // short-flow minimum, must still be stored and restored.
+    let trace = Trace::from_packets(vec![pkt(tuple(1024, 1), 10, TcpFlags::SYN, 0)]);
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 1);
+    assert_eq!(report.short_flows, 1);
+    let out = Decompressor::default().decompress(&archive);
+    assert_eq!(out.len(), 1);
+    assert!(out.packets()[0].flags().is_syn_only());
+}
+
+#[test]
+fn flow_without_termination_is_flushed_at_eof() {
+    // Half-open connection: no FIN/RST ever.
+    let t = tuple(2000, 2);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::SYN, 0),
+        pkt(t.reversed(), 100, TcpFlags::SYN | TcpFlags::ACK, 0),
+        pkt(t, 200, TcpFlags::ACK, 0),
+    ]);
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 1);
+    assert_eq!(archive.packet_count(), 3);
+}
+
+#[test]
+fn simultaneous_close_is_one_flow() {
+    // Both sides FIN back-to-back, then the final ack.
+    let t = tuple(2100, 3);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::SYN, 0),
+        pkt(t.reversed(), 10, TcpFlags::SYN | TcpFlags::ACK, 0),
+        pkt(t, 20, TcpFlags::FIN | TcpFlags::ACK, 0),
+        pkt(t.reversed(), 30, TcpFlags::FIN | TcpFlags::ACK, 0),
+        pkt(t, 40, TcpFlags::ACK, 0),
+    ]);
+    let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 1, "simultaneous close must not split the flow");
+    assert_eq!(report.packets, 5);
+}
+
+#[test]
+fn port_reuse_after_close_starts_a_new_flow() {
+    // Same 5-tuple reused after a RST: the compressor finalized the first
+    // conversation, so the reuse opens a second flow.
+    let t = tuple(2200, 4);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::SYN, 0),
+        pkt(t, 10, TcpFlags::RST, 0),
+        pkt(t, 1_000_000, TcpFlags::SYN, 0),
+        pkt(t, 1_000_010, TcpFlags::RST, 0),
+    ]);
+    let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 2);
+}
+
+#[test]
+fn exactly_fifty_packets_is_short_fifty_one_is_long() {
+    let build = |n: u64, port: u16| -> Trace {
+        let t = tuple(port, 5);
+        let mut pkts = vec![pkt(t, 0, TcpFlags::SYN, 0)];
+        for i in 1..n {
+            pkts.push(pkt(t.reversed(), i * 10, TcpFlags::ACK, 100));
+        }
+        Trace::from_packets(pkts)
+    };
+    let (_, r50) = Compressor::new(Params::paper()).compress(&build(50, 3000));
+    assert_eq!(r50.short_flows, 1);
+    assert_eq!(r50.long_flows, 0);
+    let (_, r51) = Compressor::new(Params::paper()).compress(&build(51, 3001));
+    assert_eq!(r51.short_flows, 0);
+    assert_eq!(r51.long_flows, 1);
+}
+
+#[test]
+fn zero_rtt_flow_gets_default_rtt_on_decompression() {
+    // Responder never speaks: archive stores RTT 0; the decompressor must
+    // substitute its default instead of emitting zero gaps.
+    let t = tuple(2300, 6);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::SYN, 0),
+        pkt(t, 500_000, TcpFlags::SYN, 0), // retransmit
+        pkt(t, 1_500_000, TcpFlags::RST, 0),
+    ]);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let params = DecompressParams {
+        default_rtt: Duration::from_millis(250),
+        ..DecompressParams::default()
+    };
+    let out = Decompressor::new(params).decompress(&archive);
+    assert_eq!(out.len(), 3);
+    // The synthesized span reflects the default RTT, not zero.
+    assert!(out.duration() >= Duration::from_micros(100));
+}
+
+#[test]
+fn identical_timestamps_are_preserved_in_order() {
+    // Burst captured in the same microsecond.
+    let t = tuple(2400, 7);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 100, TcpFlags::SYN, 0),
+        pkt(t.reversed(), 100, TcpFlags::SYN | TcpFlags::ACK, 0),
+        pkt(t, 100, TcpFlags::RST, 0),
+    ]);
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 1);
+    assert_eq!(archive.packet_count(), 3);
+}
+
+#[test]
+fn very_large_trace_of_identical_flows_uses_one_template() {
+    let mut pkts = Vec::new();
+    for f in 0..500u64 {
+        let t = tuple(3000 + f as u16, 9);
+        let base = f * 1_000_000;
+        pkts.push(pkt(t, base, TcpFlags::SYN, 0));
+        pkts.push(pkt(t.reversed(), base + 100, TcpFlags::SYN | TcpFlags::ACK, 0));
+        pkts.push(pkt(t, base + 200, TcpFlags::RST, 0));
+    }
+    let trace = Trace::from_packets(pkts);
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 500);
+    assert_eq!(report.clusters, 1, "identical flows share one cluster");
+    assert_eq!(archive.short_templates.len(), 1);
+    // time-seq dominates the archive; templates are constant-size.
+    let (_, sizes) = archive.encode();
+    assert!(sizes.time_seq > sizes.short_templates * 10);
+}
+
+#[test]
+fn udp_and_other_protocols_still_flow_through() {
+    // The paper is TCP/Web-scoped, but a capture may carry other
+    // protocols; they must not crash the pipeline (they become flows with
+    // flag class of their raw byte, typically ACK-class).
+    let mut t = tuple(2500, 8);
+    t.protocol = Protocol::UDP;
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::EMPTY, 100),
+        pkt(t, 10, TcpFlags::EMPTY, 100),
+    ]);
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert_eq!(report.flows, 1);
+    assert_eq!(archive.packet_count(), 2);
+    let out = Decompressor::default().decompress(&archive);
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn corrupted_archive_bytes_never_panic() {
+    let t = tuple(2600, 10);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::SYN, 0),
+        pkt(t, 10, TcpFlags::RST, 0),
+    ]);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let bytes = archive.to_bytes();
+    // Flip every byte position one at a time: parsing must either fail
+    // cleanly or produce a *valid* (possibly different) archive.
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xA5;
+        if let Ok(parsed) = CompressedTrace::from_bytes(&bad) {
+            parsed.validate().expect("from_bytes output always validates");
+        }
+    }
+}
+
+#[test]
+fn decompressor_weight_mismatch_degrades_gracefully() {
+    // Archive written with paper weights, read with wide weights: M
+    // values no longer decompose; the decompressor falls back to its
+    // default class rather than panicking.
+    use flowzip_core::Weights;
+    let t = tuple(2700, 11);
+    let trace = Trace::from_packets(vec![
+        pkt(t, 0, TcpFlags::SYN, 0),
+        pkt(t.reversed(), 10, TcpFlags::SYN | TcpFlags::ACK, 0),
+        pkt(t, 20, TcpFlags::RST, 0),
+    ]);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let mismatched = Decompressor::new(DecompressParams {
+        params: Params {
+            weights: Weights {
+                flags: 64,
+                dependence: 8,
+                size: 1,
+            },
+            ..Params::paper()
+        },
+        ..DecompressParams::default()
+    });
+    let out = mismatched.decompress(&archive);
+    assert_eq!(out.len(), 3, "packet count survives even a weight mismatch");
+}

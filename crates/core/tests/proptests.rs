@@ -1,0 +1,146 @@
+//! Property tests for the flow-clustering compressor: structural
+//! invariants that must hold for *any* well-formed input trace.
+
+use flowzip_core::{CompressedTrace, Compressor, Decompressor, Params, TemplateStore};
+use flowzip_trace::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary short TCP conversations rendered into a trace: a list of
+/// (port, packets-per-flow, payload seeds) tuples.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (1024u16..65000, 2usize..20, any::<u16>(), any::<bool>()),
+        1..40,
+    )
+    .prop_map(|flows| {
+        let mut packets = Vec::new();
+        let mut base_us = 0u64;
+        for (port, n, seed, rst) in flows {
+            let t = FiveTuple::tcp(
+                Ipv4Addr::new(10, (port >> 8) as u8, port as u8, 1),
+                port,
+                Ipv4Addr::new(192, 168, (seed >> 8) as u8, (seed & 0xff).max(1) as u8),
+                80,
+            );
+            base_us += 10_000;
+            let mut now = base_us;
+            for i in 0..n {
+                let (tuple, flags, len) = if i == 0 {
+                    (t, TcpFlags::SYN, 0u16)
+                } else if i == 1 {
+                    (t.reversed(), TcpFlags::SYN | TcpFlags::ACK, 0)
+                } else if i + 1 == n && rst {
+                    (t, TcpFlags::RST, 0)
+                } else if i + 1 == n {
+                    (t, TcpFlags::FIN | TcpFlags::ACK, 0)
+                } else if i % 2 == 0 {
+                    (t, TcpFlags::ACK, (seed % 700) )
+                } else {
+                    (t.reversed(), TcpFlags::PSH | TcpFlags::ACK, 1460)
+                };
+                now += 100 + (i as u64 * 37) % 900;
+                packets.push(
+                    PacketRecord::builder()
+                        .timestamp(Timestamp::from_micros(now))
+                        .tuple(tuple)
+                        .flags(flags)
+                        .payload_len(len)
+                        .build(),
+                );
+            }
+        }
+        Trace::from_packets(packets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compression_conserves_packets_and_flows(trace in arb_trace()) {
+        let (ct, report) = Compressor::new(Params::paper()).compress(&trace);
+        prop_assert_eq!(report.packets, trace.len() as u64);
+        prop_assert_eq!(ct.packet_count(), trace.len() as u64);
+        prop_assert_eq!(report.short_flows + report.long_flows, report.flows);
+        prop_assert!(report.clusters <= report.short_flows);
+        ct.validate().unwrap();
+    }
+
+    #[test]
+    fn archive_bytes_roundtrip(trace in arb_trace()) {
+        let (ct, _) = Compressor::new(Params::paper()).compress(&trace);
+        let bytes = ct.to_bytes();
+        let back = CompressedTrace::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.flow_count(), ct.flow_count());
+        prop_assert_eq!(back.short_templates, ct.short_templates);
+        prop_assert_eq!(back.long_templates, ct.long_templates);
+        prop_assert_eq!(back.addresses, ct.addresses);
+    }
+
+    #[test]
+    fn decompression_expands_every_flow(trace in arb_trace()) {
+        let (ct, report) = Compressor::new(Params::paper()).compress(&trace);
+        let dec = Decompressor::default().decompress(&ct);
+        prop_assert_eq!(dec.len() as u64, report.packets);
+        prop_assert!(dec.is_time_ordered());
+        // Every destination of a client->server packet is in the archive.
+        let addrs: std::collections::HashSet<_> = ct.addresses.iter().copied().collect();
+        for p in &dec {
+            if p.tuple().dst_port == 80 {
+                prop_assert!(addrs.contains(&p.dst_ip()));
+            }
+        }
+    }
+
+    #[test]
+    fn template_store_never_loses_flows(
+        vectors in prop::collection::vec(prop::collection::vec(0u16..55, 1..12), 1..60))
+    {
+        let mut store = TemplateStore::new(Params::paper());
+        for v in &vectors {
+            store.offer(v);
+        }
+        prop_assert_eq!(
+            store.matched_count() + store.inserted_count(),
+            vectors.len() as u64
+        );
+        let total_members: u64 = store.templates().iter().map(|t| t.members).sum();
+        prop_assert_eq!(total_members, vectors.len() as u64);
+    }
+
+    #[test]
+    fn template_matches_stay_within_d_sim(
+        vectors in prop::collection::vec(prop::collection::vec(0u16..55, 4..10), 1..40))
+    {
+        let params = Params::paper();
+        let mut store = TemplateStore::new(params.clone());
+        for v in &vectors {
+            let outcome = store.offer(v);
+            let center = &store.templates()[outcome.index() as usize].vector;
+            if center.len() == v.len() {
+                let d = flowzip_core::DistanceMetric::L1.distance(center, v);
+                if outcome.is_match() {
+                    prop_assert!(d <= params.d_sim(v.len()) + 1e-9);
+                } else {
+                    prop_assert_eq!(d, 0.0, "new center must be the vector itself");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_values_always_decompose(flags in any::<u8>(), len in any::<u16>(), prev_dir in any::<Option<bool>>(), dir in any::<bool>()) {
+        use flowzip_core::{Dependence, FlagClassifier, Weights};
+        use flowzip_trace::FlowDirection;
+        let to_dir = |b: bool| if b { FlowDirection::FromInitiator } else { FlowDirection::FromResponder };
+        let dep = Dependence::infer(prev_dir.map(to_dir), to_dir(dir));
+        let f1 = FlagClassifier::paper().classify(TcpFlags::from_bits(flags));
+        let f3 = flowzip_core::characterize::size_class(len, 500);
+        let m = Weights::paper().m_value(f1, dep, f3);
+        let (g1, g2, g3) = Weights::paper().decompose(m).expect("valid M decomposes");
+        prop_assert_eq!(g1, f1);
+        prop_assert_eq!(g2, dep);
+        prop_assert_eq!(g3, f3);
+        prop_assert!(m <= 54);
+    }
+}

@@ -1,0 +1,276 @@
+//! LSB-first bit streams, as DEFLATE packs them (RFC 1951 §3.1.1).
+//!
+//! Data elements other than Huffman codes are written least-significant
+//! bit first; Huffman codes are written most-significant bit first, which
+//! callers achieve by reversing the code bits before calling
+//! [`BitWriter::write_bits`].
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Writes the low `count` bits of `bits`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32` (DEFLATE never needs more).
+    #[inline]
+    pub fn write_bits(&mut self, bits: u32, count: u32) {
+        assert!(count <= 32, "at most 32 bits per call");
+        debug_assert!(count == 32 || bits < (1u32 << count), "bits exceed count");
+        self.bit_buf |= (bits as u64) << self.bit_count;
+        self.bit_count += count;
+        while self.bit_count >= 8 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary (used before stored
+    /// blocks and at stream end).
+    pub fn align_to_byte(&mut self) {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+
+    /// Appends whole bytes; the stream must be byte-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while un-flushed bits remain.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(self.bit_count, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Number of complete bytes emitted so far.
+    pub fn byte_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Total bits written (including buffered ones).
+    pub fn bit_len(&self) -> u64 {
+        self.out.len() as u64 * 8 + self.bit_count as u64
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns it.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+/// Error returned when a reader runs past the end of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.data.len() {
+            self.bit_buf |= (self.data[self.pos] as u64) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    /// Reads `count` bits (≤ 32), LSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBits`] when fewer than `count` bits remain.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Result<u32, OutOfBits> {
+        assert!(count <= 32);
+        self.refill();
+        if self.bit_count < count {
+            return Err(OutOfBits);
+        }
+        let mask = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
+        let v = (self.bit_buf as u32) & mask;
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        Ok(v)
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32, OutOfBits> {
+        self.read_bits(1)
+    }
+
+    /// Discards buffered bits up to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    /// Reads `n` whole bytes; the reader must be byte-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBits`] when fewer than `n` bytes remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader is not byte-aligned.
+    pub fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>, OutOfBits> {
+        assert_eq!(self.bit_count % 8, 0, "read_bytes requires byte alignment");
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = self.read_bits(8)?;
+            out.push(b as u8);
+        }
+        Ok(out)
+    }
+
+    /// Bits still available.
+    pub fn remaining_bits(&self) -> u64 {
+        (self.data.len() - self.pos) as u64 * 8 + self.bit_count as u64
+    }
+}
+
+/// Reverses the low `len` bits of `code` — converts a canonical
+/// (MSB-first) Huffman code into DEFLATE's LSB-first packing order.
+#[inline]
+pub fn reverse_bits(code: u32, len: u32) -> u32 {
+    let mut c = code;
+    let mut r = 0u32;
+    for _ in 0..len {
+        r = (r << 1) | (c & 1);
+        c >>= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xff, 8);
+        w.write_bits(0, 1);
+        w.write_bits(0b1100_1010_1111_0000, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(16).unwrap(), 0b1100_1010_1111_0000);
+    }
+
+    #[test]
+    fn lsb_first_packing() {
+        let mut w = BitWriter::new();
+        // RFC 1951: first bit goes to the least significant bit of byte 0.
+        w.write_bits(1, 1);
+        w.write_bits(0, 1);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_to_byte();
+        w.write_bytes(&[0xAB, 0xCD]);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x01, 0xAB, 0xCD]);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        r.align_to_byte();
+        assert_eq!(r.read_bytes(2).unwrap(), vec![0xAB, 0xCD]);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn out_of_bits_detected() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(OutOfBits));
+    }
+
+    #[test]
+    fn reverse_bits_cases() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b100, 3), 0b001);
+        assert_eq!(reverse_bits(0b1011, 4), 0b1101);
+        assert_eq!(reverse_bits(0, 15), 0);
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bits(0x3f, 6);
+        assert_eq!(w.bit_len(), 8);
+        assert_eq!(w.byte_len(), 1);
+    }
+
+    #[test]
+    fn long_stream_roundtrip() {
+        let mut w = BitWriter::new();
+        for i in 0..1000u32 {
+            w.write_bits(i % 13, 4);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..1000u32 {
+            assert_eq!(r.read_bits(4).unwrap(), i % 13);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Canonical, length-limited Huffman codes (RFC 1951 §3.2.2).
+//!
+//! DEFLATE transmits only *code lengths*; both sides derive the identical
+//! canonical code from them. The encoder additionally needs to *choose*
+//! lengths from symbol frequencies under a maximum-length constraint
+//! (15 bits for literal/length and distance alphabets, 7 for the
+//! code-length alphabet).
+
+/// Maximum code length for the literal/length and distance alphabets.
+pub const MAX_BITS: u32 = 15;
+
+/// Derives length-limited Huffman code lengths from symbol frequencies.
+///
+/// Zero-frequency symbols get length 0 (absent). If only one symbol has
+/// nonzero frequency it still gets a 1-bit code, as DEFLATE requires at
+/// least one bit per coded symbol.
+///
+/// The length limit is enforced by the classic frequency-halving fallback:
+/// if the unconstrained Huffman tree exceeds `max_bits`, frequencies are
+/// scaled down (`(f + 1) / 2`) and the tree is rebuilt; this always
+/// terminates because all frequencies eventually reach 1, whose tree depth
+/// is ⌈log₂ n⌉ ≤ 15 for every DEFLATE alphabet.
+///
+/// # Panics
+///
+/// Panics if `max_bits` cannot possibly accommodate the alphabet
+/// (`2^max_bits < number of used symbols`).
+pub fn code_lengths(freqs: &[u64], max_bits: u32) -> Vec<u8> {
+    let used = freqs.iter().filter(|&&f| f > 0).count();
+    assert!(
+        (1usize << max_bits) >= used,
+        "alphabet of {used} symbols cannot fit in {max_bits}-bit codes"
+    );
+    let mut lengths = vec![0u8; freqs.len()];
+    match used {
+        0 => return lengths,
+        1 => {
+            let idx = freqs.iter().position(|&f| f > 0).expect("one symbol in use");
+            lengths[idx] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let depths = huffman_depths(&scaled);
+        let max = depths.iter().copied().max().unwrap_or(0);
+        if max as u32 <= max_bits {
+            for (l, d) in lengths.iter_mut().zip(depths) {
+                *l = d;
+            }
+            return lengths;
+        }
+        for f in scaled.iter_mut().filter(|f| **f > 0) {
+            *f = (*f).div_ceil(2);
+        }
+    }
+}
+
+/// Unconstrained Huffman depths via pairwise merging of the two least
+/// frequent subtrees.
+fn huffman_depths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(Debug)]
+    struct Node {
+        freq: u64,
+        // Leaf: symbol index. Internal: children indices into `nodes`.
+        kind: NodeKind,
+    }
+    #[derive(Debug)]
+    enum NodeKind {
+        Leaf(usize),
+        Internal(usize, usize),
+    }
+
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            nodes.push(Node {
+                freq: f,
+                kind: NodeKind::Leaf(sym),
+            });
+            heap.push(std::cmp::Reverse((f, nodes.len() - 1)));
+        }
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        nodes.push(Node {
+            freq: fa + fb,
+            kind: NodeKind::Internal(a, b),
+        });
+        heap.push(std::cmp::Reverse((fa + fb, nodes.len() - 1)));
+    }
+    let root = heap.pop().expect("non-empty alphabet").0 .1;
+    let _ = nodes[root].freq;
+
+    let mut depths = vec![0u8; freqs.len()];
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        match nodes[idx].kind {
+            NodeKind::Leaf(sym) => depths[sym] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+        }
+    }
+    depths
+}
+
+/// Assigns canonical code values from lengths (RFC 1951 §3.2.2 algorithm).
+///
+/// Returns `codes[sym]`, the MSB-first code value for each symbol (0 for
+/// absent symbols). Callers writing DEFLATE output must bit-reverse.
+///
+/// # Panics
+///
+/// Panics if the lengths oversubscribe the code space (invalid input), a
+/// condition [`validate_lengths`] reports as an error instead.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max_len + 2];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+        assert!(
+            code + bl_count[bits] <= 1 << bits,
+            "oversubscribed code lengths"
+        );
+    }
+    let mut codes = vec![0u32; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next_code[l as usize];
+            next_code[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Checks that a length set forms a valid (not oversubscribed) prefix code.
+/// A complete code has `kraft == 1`; DEFLATE permits incomplete codes only
+/// in degenerate single-symbol cases.
+///
+/// # Errors
+///
+/// Returns a description of the violation.
+pub fn validate_lengths(lengths: &[u8], max_bits: u32) -> Result<(), String> {
+    let mut kraft = 0u64;
+    let unit = 1u64 << max_bits;
+    for &l in lengths {
+        if l as u32 > max_bits {
+            return Err(format!("length {l} exceeds limit {max_bits}"));
+        }
+        if l > 0 {
+            kraft += unit >> l;
+        }
+    }
+    if kraft > unit {
+        return Err(format!(
+            "oversubscribed: kraft sum {kraft} exceeds {unit}"
+        ));
+    }
+    Ok(())
+}
+
+/// Bit-by-bit canonical Huffman decoder.
+///
+/// Decoding walks the canonical code space: maintain the running code value
+/// and, per length, the first code and the index of its first symbol.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `first_code[l]` — smallest code of length `l`.
+    first_code: Vec<u32>,
+    /// `first_symbol_index[l]` — offset into `symbols` of that code.
+    first_index: Vec<u32>,
+    /// count of codes at each length.
+    counts: Vec<u32>,
+    /// symbols ordered by (length, code).
+    symbols: Vec<u16>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the lengths are not a valid prefix code.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Decoder, String> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max_len == 0 {
+            return Err("empty code".into());
+        }
+        validate_lengths(lengths, max_len.max(1))?;
+        let mut counts = vec![0u32; max_len as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        let mut first_code = vec![0u32; max_len as usize + 1];
+        let mut first_index = vec![0u32; max_len as usize + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len as usize {
+            code = (code + counts[l - 1]) << 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            index += counts[l];
+        }
+        let mut symbols = vec![0u16; index as usize];
+        let mut next_index: Vec<u32> = first_index.clone();
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next_index[l as usize] as usize] = sym as u16;
+                next_index[l as usize] += 1;
+            }
+        }
+        Ok(Decoder {
+            first_code,
+            first_index,
+            counts,
+            symbols,
+            max_len,
+        })
+    }
+
+    /// Decodes one symbol from an MSB-first bit source.
+    ///
+    /// `next_bit` yields bits in code order (MSB first). Returns `None`
+    /// when the bit source ends mid-code or the code is invalid.
+    pub fn decode<F>(&self, mut next_bit: F) -> Option<u16>
+    where
+        F: FnMut() -> Option<u32>,
+    {
+        let mut code = 0u32;
+        for l in 1..=self.max_len as usize {
+            code = (code << 1) | next_bit()?;
+            let count = self.counts[l];
+            if count > 0 {
+                let first = self.first_code[l];
+                if code < first + count && code >= first {
+                    let idx = self.first_index[l] + (code - first);
+                    return Some(self.symbols[idx as usize]);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_example_canonical_codes() {
+        // RFC 1951 §3.2.2 worked example: lengths (3,3,3,3,3,2,4,4)
+        // yield codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn lengths_from_skewed_frequencies() {
+        // One dominant symbol gets the shortest code.
+        let freqs = [100u64, 1, 1, 1];
+        let lengths = code_lengths(&freqs, MAX_BITS);
+        assert!(lengths[0] < lengths[1]);
+        validate_lengths(&lengths, MAX_BITS).unwrap();
+        // Kraft completeness for a full binary tree.
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let freqs = [0u64, 7, 0];
+        let lengths = code_lengths(&freqs, MAX_BITS);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_alphabet_is_all_zero() {
+        let lengths = code_lengths(&[0, 0, 0], MAX_BITS);
+        assert_eq!(lengths, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn length_limit_is_enforced() {
+        // Fibonacci-ish frequencies force deep unconstrained trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = code_lengths(&freqs, 10);
+        assert!(lengths.iter().all(|&l| l <= 10));
+        validate_lengths(&lengths, 10).unwrap();
+        assert!(lengths.iter().any(|&l| l > 0));
+    }
+
+    #[test]
+    fn validate_rejects_oversubscription() {
+        // Three 1-bit codes cannot coexist.
+        assert!(validate_lengths(&[1, 1, 1], 15).is_err());
+        assert!(validate_lengths(&[1, 2, 2], 15).is_ok());
+        assert!(validate_lengths(&[16], 15).is_err());
+    }
+
+    #[test]
+    fn decoder_roundtrip() {
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        for sym in 0..lengths.len() {
+            let code = codes[sym];
+            let len = lengths[sym] as u32;
+            let mut bits: Vec<u32> = (0..len).rev().map(|i| (code >> i) & 1).collect();
+            bits.reverse(); // feed MSB first => reverse twice keeps order; build explicitly:
+            let mut msb_first: Vec<u32> = (0..len).map(|i| (code >> (len - 1 - i)) & 1).collect();
+            let mut iter = msb_first.drain(..);
+            let got = dec.decode(|| iter.next()).unwrap();
+            assert_eq!(got as usize, sym);
+            let _ = bits.pop();
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_truncated_input() {
+        let lengths = [2u8, 2, 2, 2];
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut once = [1u32].into_iter();
+        assert_eq!(dec.decode(|| once.next()), None);
+    }
+
+    #[test]
+    fn roundtrip_random_frequencies() {
+        // encode/decode agreement across many alphabets
+        let cases: Vec<Vec<u64>> = vec![
+            vec![5, 5, 5, 5],
+            vec![1, 2, 4, 8, 16, 32],
+            vec![0, 0, 3, 0, 9, 1, 0, 2],
+            (0..286).map(|i| (i % 7 + 1) as u64).collect(),
+        ];
+        for freqs in cases {
+            let lengths = code_lengths(&freqs, MAX_BITS);
+            validate_lengths(&lengths, MAX_BITS).unwrap();
+            let codes = canonical_codes(&lengths);
+            let dec = Decoder::from_lengths(&lengths).unwrap();
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == 0 {
+                    continue;
+                }
+                let len = l as u32;
+                let code = codes[sym];
+                let mut msb: Vec<u32> =
+                    (0..len).map(|i| (code >> (len - 1 - i)) & 1).collect();
+                let mut it = msb.drain(..);
+                assert_eq!(dec.decode(|| it.next()), Some(sym as u16));
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! DEFLATE decoder (RFC 1951).
+
+use crate::bitio::BitReader;
+use crate::deflate::{
+    fixed_dist_lengths, fixed_litlen_lengths, CL_ORDER, DIST_BASE, DIST_EXTRA, LENGTH_BASE,
+    LENGTH_EXTRA,
+};
+use crate::huffman::Decoder;
+use std::fmt;
+
+/// Errors from a malformed DEFLATE stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InflateError {
+    /// Input ended before the final block completed.
+    UnexpectedEof,
+    /// Reserved block type 11.
+    ReservedBlockType,
+    /// Stored block LEN/NLEN mismatch.
+    StoredLenMismatch,
+    /// A Huffman code table was invalid.
+    BadCodeTable(String),
+    /// A decoded symbol was outside its alphabet.
+    BadSymbol(u16),
+    /// A back-reference pointed before the start of output.
+    BadDistance {
+        /// The offending distance.
+        distance: usize,
+        /// Output produced so far.
+        have: usize,
+    },
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InflateError::UnexpectedEof => write!(f, "unexpected end of deflate stream"),
+            InflateError::ReservedBlockType => write!(f, "reserved block type"),
+            InflateError::StoredLenMismatch => write!(f, "stored block length check failed"),
+            InflateError::BadCodeTable(m) => write!(f, "bad huffman table: {m}"),
+            InflateError::BadSymbol(s) => write!(f, "invalid symbol {s}"),
+            InflateError::BadDistance { distance, have } => {
+                write!(f, "distance {distance} exceeds produced output {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// Decompresses a raw DEFLATE stream produced by
+/// [`deflate_compress`](crate::deflate::deflate_compress) or any
+/// RFC 1951-conforming encoder.
+///
+/// # Errors
+///
+/// Returns [`InflateError`] for truncated or malformed input.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let bfinal = r.read_bit().map_err(|_| InflateError::UnexpectedEof)?;
+        let btype = r.read_bits(2).map_err(|_| InflateError::UnexpectedEof)?;
+        match btype {
+            0b00 => inflate_stored(&mut r, &mut out)?,
+            0b01 => {
+                let lit = Decoder::from_lengths(&fixed_litlen_lengths())
+                    .map_err(InflateError::BadCodeTable)?;
+                let dist = Decoder::from_lengths(&fixed_dist_lengths())
+                    .map_err(InflateError::BadCodeTable)?;
+                inflate_coded(&mut r, &mut out, &lit, &dist)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_coded(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(InflateError::ReservedBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    r.align_to_byte();
+    let len_bytes = r.read_bytes(2).map_err(|_| InflateError::UnexpectedEof)?;
+    let nlen_bytes = r.read_bytes(2).map_err(|_| InflateError::UnexpectedEof)?;
+    let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]);
+    let nlen = u16::from_le_bytes([nlen_bytes[0], nlen_bytes[1]]);
+    if len != !nlen {
+        return Err(InflateError::StoredLenMismatch);
+    }
+    let bytes = r
+        .read_bytes(len as usize)
+        .map_err(|_| InflateError::UnexpectedEof)?;
+    out.extend_from_slice(&bytes);
+    Ok(())
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let hlit = r.read_bits(5).map_err(|_| InflateError::UnexpectedEof)? as usize + 257;
+    let hdist = r.read_bits(5).map_err(|_| InflateError::UnexpectedEof)? as usize + 1;
+    let hclen = r.read_bits(4).map_err(|_| InflateError::UnexpectedEof)? as usize + 4;
+
+    let mut cl_lengths = [0u8; 19];
+    for &sym in CL_ORDER.iter().take(hclen) {
+        cl_lengths[sym] = r.read_bits(3).map_err(|_| InflateError::UnexpectedEof)? as u8;
+    }
+    let cl_dec = Decoder::from_lengths(&cl_lengths).map_err(InflateError::BadCodeTable)?;
+
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = cl_dec
+            .decode(|| r.read_bit().ok())
+            .ok_or(InflateError::UnexpectedEof)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let &prev = lengths.last().ok_or(InflateError::BadSymbol(16))?;
+                let rep = 3 + r.read_bits(2).map_err(|_| InflateError::UnexpectedEof)?;
+                for _ in 0..rep {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let rep = 3 + r.read_bits(3).map_err(|_| InflateError::UnexpectedEof)?;
+                lengths.resize(lengths.len() + rep as usize, 0);
+            }
+            18 => {
+                let rep = 11 + r.read_bits(7).map_err(|_| InflateError::UnexpectedEof)?;
+                lengths.resize(lengths.len() + rep as usize, 0);
+            }
+            s => return Err(InflateError::BadSymbol(s)),
+        }
+    }
+    if lengths.len() != total {
+        return Err(InflateError::BadCodeTable(format!(
+            "code length overrun: {} vs {}",
+            lengths.len(),
+            total
+        )));
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit]).map_err(InflateError::BadCodeTable)?;
+    // A distance table of a single 1-bit code (possibly unused) is legal.
+    let dist = Decoder::from_lengths(&lengths[hlit..]).map_err(InflateError::BadCodeTable)?;
+    Ok((lit, dist))
+}
+
+fn inflate_coded(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: &Decoder,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit
+            .decode(|| r.read_bit().ok())
+            .ok_or(InflateError::UnexpectedEof)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let extra = LENGTH_EXTRA[idx] as u32;
+                let len = LENGTH_BASE[idx] as usize
+                    + r.read_bits(extra).map_err(|_| InflateError::UnexpectedEof)? as usize;
+                let dsym = dist
+                    .decode(|| r.read_bit().ok())
+                    .ok_or(InflateError::UnexpectedEof)?;
+                if dsym as usize >= DIST_BASE.len() {
+                    return Err(InflateError::BadSymbol(dsym));
+                }
+                let dextra = DIST_EXTRA[dsym as usize] as u32;
+                let d = DIST_BASE[dsym as usize] as usize
+                    + r.read_bits(dextra).map_err(|_| InflateError::UnexpectedEof)? as usize;
+                if d == 0 || d > out.len() {
+                    return Err(InflateError::BadDistance {
+                        distance: d,
+                        have: out.len(),
+                    });
+                }
+                let start = out.len() - d;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            s => return Err(InflateError::BadSymbol(s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate_compress, Level};
+
+    #[test]
+    fn inflate_known_fixed_block() {
+        // A fixed-Huffman block containing "abc" produced by zlib:
+        // 0x4b 0x4c 0x4a 0x06 0x00 — BFINAL=1, BTYPE=01, literals a b c, EOB.
+        let stream = [0x4b, 0x4c, 0x4a, 0x06, 0x00];
+        assert_eq!(inflate(&stream).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn inflate_known_stored_block() {
+        // BFINAL=1 BTYPE=00 then LEN=3 NLEN=~3 "xyz"
+        let stream = [0x01, 0x03, 0x00, 0xfc, 0xff, b'x', b'y', b'z'];
+        assert_eq!(inflate(&stream).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn stored_len_mismatch_rejected() {
+        let stream = [0x01, 0x03, 0x00, 0x00, 0x00, b'x', b'y', b'z'];
+        assert_eq!(inflate(&stream), Err(InflateError::StoredLenMismatch));
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1 BTYPE=11
+        let stream = [0b0000_0111];
+        assert_eq!(inflate(&stream), Err(InflateError::ReservedBlockType));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert_eq!(inflate(&[]), Err(InflateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        let z = deflate_compress(b"some reasonably long test data for truncation", Level::Default);
+        for cut in 1..z.len().min(8) {
+            let r = inflate(&z[..z.len() - cut]);
+            assert!(r.is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn distance_before_start_rejected() {
+        // Hand-build a fixed block: match with distance 1 before any literal.
+        use crate::bitio::{reverse_bits, BitWriter};
+        use crate::huffman::canonical_codes;
+        let lens = crate::deflate::fixed_litlen_lengths();
+        let codes = canonical_codes(&lens);
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        // length symbol 257 (len 3): 7-bit code
+        w.write_bits(reverse_bits(codes[257], lens[257] as u32), lens[257] as u32);
+        // distance symbol 0 (dist 1): fixed 5-bit code 0
+        w.write_bits(0, 5);
+        let stream = w.finish();
+        match inflate(&stream) {
+            Err(InflateError::BadDistance { distance: 1, have: 0 }) => {}
+            other => panic!("expected BadDistance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            InflateError::UnexpectedEof,
+            InflateError::ReservedBlockType,
+            InflateError::StoredLenMismatch,
+            InflateError::BadCodeTable("x".into()),
+            InflateError::BadSymbol(300),
+            InflateError::BadDistance { distance: 9, have: 1 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn multi_block_streams() {
+        // Two blocks: non-final stored + final fixed.
+        let mut stream = vec![0x00, 0x02, 0x00, 0xfd, 0xff, b'h', b'i'];
+        stream.extend_from_slice(&[0x4b, 0x4c, 0x4a, 0x06, 0x00]); // final "abc"
+        assert_eq!(inflate(&stream).unwrap(), b"hiabc");
+    }
+}

@@ -1,0 +1,59 @@
+//! From-scratch DEFLATE (RFC 1951) and gzip (RFC 1952) implementation.
+//!
+//! The paper's Figure 1 compares the proposed compressor against **GZIP**
+//! ("The GZIP application and also ZIP and ZLIB use the deflation
+//! algorithm", §5). No compression crate is pulled in; this crate
+//! implements the whole stack the paper cites — Huffman coding \[1\],
+//! LZ77 \[2\] and deflate \[3\] — so the baseline is self-contained:
+//!
+//! * [`bitio`] — LSB-first bit streams used by DEFLATE.
+//! * [`huffman`] — canonical, length-limited Huffman codes.
+//! * [`lz77`] — 32 KiB sliding-window match finder with lazy evaluation.
+//! * [`deflate`] — block encoder (stored / fixed / dynamic, whichever is
+//!   smallest).
+//! * [`mod@inflate`] — full decoder.
+//! * [`gzip`] — the RFC 1952 container with CRC-32.
+//! * [`zlib`] — the RFC 1950 container with Adler-32.
+//!
+//! # Example
+//!
+//! ```
+//! let data = b"how much wood would a woodchuck chuck if a woodchuck could chuck wood";
+//! let z = flowzip_deflate::gzip_compress(data, flowzip_deflate::Level::Default);
+//! let back = flowzip_deflate::gzip_decompress(&z).unwrap();
+//! assert_eq!(back, data);
+//! assert!(z.len() < data.len() + 18);
+//! ```
+
+pub mod bitio;
+pub mod crc32;
+pub mod deflate;
+pub mod gzip;
+pub mod huffman;
+pub mod inflate;
+pub mod lz77;
+pub mod zlib;
+
+pub use deflate::{deflate_compress, Level};
+pub use gzip::{gzip_compress, gzip_decompress};
+pub use inflate::{inflate, InflateError};
+pub use zlib::{zlib_compress, zlib_decompress};
+
+/// Compression ratio helper: `compressed / original`, the metric of §5
+/// (smaller is better; gzip on TSH traces lands near 0.5).
+pub fn ratio(compressed_len: usize, original_len: usize) -> f64 {
+    if original_len == 0 {
+        0.0
+    } else {
+        compressed_len as f64 / original_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_handles_empty() {
+        assert_eq!(super::ratio(10, 0), 0.0);
+        assert!((super::ratio(50, 100) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The Commbench **RTR** kernel: IP forwarding with header rewrite over a
+//! dense routing table.
+//!
+//! RTR models a backbone router's per-packet work: verify + update the
+//! IPv4 header (TTL decrement, checksum recomputation) and resolve the
+//! next hop in a table considerably denser than the Route kernel's, so
+//! lookups walk deeper.
+
+use crate::runner::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
+use crate::{parse_header, MeterSink};
+use flowzip_cachesim::PacketCostMeter;
+use flowzip_radix::{RadixTable, TableGen};
+use flowzip_trace::Trace;
+
+/// Density multiplier over [`BenchConfig::routes`] for RTR's table.
+pub const TABLE_DENSITY: usize = 4;
+
+/// Commbench-style forwarding kernel.
+pub struct RtrBench {
+    table: RadixTable<u32>,
+    config: BenchConfig,
+}
+
+impl RtrBench {
+    /// Builds the kernel with a dense seeded table.
+    pub fn new(config: &BenchConfig) -> RtrBench {
+        RtrBench {
+            table: TableGen::new(config.table_seed ^ 0xD15C).build(config.routes * TABLE_DENSITY),
+            config: config.clone(),
+        }
+    }
+
+    /// Builds the kernel with a dense table covering the trace's
+    /// destinations.
+    pub fn covering(config: &BenchConfig, trace: &Trace) -> RtrBench {
+        let dests: std::collections::HashSet<_> = trace.iter().map(|p| p.dst_ip()).collect();
+        RtrBench {
+            table: TableGen::new(config.table_seed ^ 0xD15C)
+                .build_covering(dests, config.routes * TABLE_DENSITY),
+            config: config.clone(),
+        }
+    }
+
+    /// Builds the kernel with a dense table covering only the trace's
+    /// *server* destinations (port-80 endpoints) — see
+    /// [`RouteBench::covering_servers`](crate::route::RouteBench::covering_servers).
+    pub fn covering_servers(config: &BenchConfig, trace: &Trace) -> RtrBench {
+        let dests: std::collections::HashSet<_> = trace
+            .iter()
+            .filter(|p| p.tuple().dst_port == 80)
+            .map(|p| p.dst_ip())
+            .collect();
+        RtrBench {
+            table: TableGen::new(config.table_seed ^ 0xD15C)
+                .build_covering(dests, config.routes * TABLE_DENSITY),
+            config: config.clone(),
+        }
+    }
+}
+
+impl PacketProcessor for RtrBench {
+    fn kind(&self) -> BenchKind {
+        BenchKind::Rtr
+    }
+
+    fn run(&mut self, trace: &Trace) -> BenchReport {
+        let mut meter = PacketCostMeter::new(self.config.cache);
+        let mut nodes_visited = 0u64;
+        for (i, pkt) in trace.iter().enumerate() {
+            parse_header(&mut meter, i as u64);
+            let buf = crate::PKT_BUF_BASE + (i as u64 % crate::PKT_BUF_SLOTS) * crate::PKT_BUF_SIZE;
+
+            // Header verification: reread the IP header words for the
+            // checksum, then rewrite TTL + checksum.
+            for w in 0..3 {
+                meter.access(buf + w * 8);
+            }
+            meter.access(buf + 16); // TTL write
+            meter.access(buf + 18); // checksum write
+
+            let (_hop, visited) = self
+                .table
+                .traced_lookup(pkt.dst_ip(), &mut MeterSink::new(&mut meter));
+            nodes_visited += visited as u64;
+
+            // Enqueue to the output port ring.
+            meter.access(0x6000_0000 + (i as u64 % 512) * 16);
+            meter.checkpoint();
+        }
+        let cache = meter.cache_stats();
+        BenchReport {
+            kind: BenchKind::Rtr,
+            costs: meter.into_costs(),
+            cache,
+            nodes_visited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteBench;
+    use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn trace(seed: u64) -> Trace {
+        WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 40,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn per_packet_costs() {
+        let t = trace(1);
+        let report = RtrBench::new(&BenchConfig::default()).run(&t);
+        assert_eq!(report.costs.len(), t.len());
+        assert!(report.mean_accesses() > 10.0);
+    }
+
+    #[test]
+    fn denser_table_walks_deeper_than_route() {
+        let t = trace(2);
+        let cfg = BenchConfig::default();
+        let rtr = RtrBench::new(&cfg).run(&t);
+        let route = RouteBench::new(&cfg).run(&t);
+        assert!(
+            rtr.nodes_visited > route.nodes_visited,
+            "rtr {} vs route {}",
+            rtr.nodes_visited,
+            route.nodes_visited
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = trace(3);
+        let a = RtrBench::new(&BenchConfig::default()).run(&t);
+        let b = RtrBench::new(&BenchConfig::default()).run(&t);
+        assert_eq!(a.costs, b.costs);
+    }
+}

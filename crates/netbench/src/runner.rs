@@ -1,0 +1,149 @@
+//! Shared benchmark configuration, report type and the kernel trait.
+
+use flowzip_cachesim::cache::{CacheConfig, CacheStats};
+use flowzip_cachesim::PacketCost;
+use flowzip_trace::Trace;
+use std::fmt;
+
+/// Which kernel to run (handy for CLI flags in the figure binaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchKind {
+    /// Netbench Route: LPM forwarding.
+    #[default]
+    Route,
+    /// Netbench NAT: per-flow translation + forwarding.
+    Nat,
+    /// Commbench RTR: header rewrite + dense-table forwarding.
+    Rtr,
+}
+
+impl BenchKind {
+    /// Parses the names used by the figure binaries.
+    pub fn parse(s: &str) -> Option<BenchKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "route" => Some(BenchKind::Route),
+            "nat" => Some(BenchKind::Nat),
+            "rtr" => Some(BenchKind::Rtr),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BenchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchKind::Route => write!(f, "route"),
+            BenchKind::Nat => write!(f, "nat"),
+            BenchKind::Rtr => write!(f, "rtr"),
+        }
+    }
+}
+
+/// Common benchmark knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Background routing-table size (prefix count).
+    pub routes: usize,
+    /// Seed for table generation.
+    pub table_seed: u64,
+    /// L1 cache geometry for the meter.
+    pub cache: CacheConfig,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            routes: 4_096,
+            table_seed: 0xF10C,
+            cache: CacheConfig::netbench_l1(),
+        }
+    }
+}
+
+/// Result of replaying a trace through a kernel.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Which kernel produced this report.
+    pub kind: BenchKind,
+    /// One cost record per packet, in trace order.
+    pub costs: Vec<PacketCost>,
+    /// Whole-run cache statistics.
+    pub cache: CacheStats,
+    /// Total radix nodes visited across all lookups.
+    pub nodes_visited: u64,
+}
+
+impl BenchReport {
+    /// Mean memory accesses per packet.
+    pub fn mean_accesses(&self) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        self.costs.iter().map(|c| c.accesses).sum::<u64>() as f64 / self.costs.len() as f64
+    }
+
+    /// Mean per-packet miss rate.
+    pub fn mean_miss_rate(&self) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        self.costs.iter().map(|c| c.miss_rate()).sum::<f64>() / self.costs.len() as f64
+    }
+}
+
+impl fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} packets, {:.1} accesses/pkt, {:.2}% mean miss rate",
+            self.kind,
+            self.costs.len(),
+            self.mean_accesses(),
+            100.0 * self.mean_miss_rate()
+        )
+    }
+}
+
+/// A packet-processing kernel that can replay a trace.
+pub trait PacketProcessor {
+    /// Which kernel this is.
+    fn kind(&self) -> BenchKind;
+
+    /// Replays the whole trace, producing per-packet costs.
+    fn run(&mut self, trace: &Trace) -> BenchReport;
+}
+
+/// Runs the kernel selected by `kind` with one call.
+pub fn run_kernel(kind: BenchKind, config: &BenchConfig, trace: &Trace) -> BenchReport {
+    match kind {
+        BenchKind::Route => crate::route::RouteBench::new(config).run(trace),
+        BenchKind::Nat => crate::nat::NatBench::new(config).run(trace),
+        BenchKind::Rtr => crate::rtr::RtrBench::new(config).run(trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for k in [BenchKind::Route, BenchKind::Nat, BenchKind::Rtr] {
+            assert_eq!(BenchKind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(BenchKind::parse("ROUTE"), Some(BenchKind::Route));
+        assert_eq!(BenchKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn empty_report_means() {
+        let r = BenchReport {
+            kind: BenchKind::Route,
+            costs: vec![],
+            cache: Default::default(),
+            nodes_visited: 0,
+        };
+        assert_eq!(r.mean_accesses(), 0.0);
+        assert_eq!(r.mean_miss_rate(), 0.0);
+    }
+}

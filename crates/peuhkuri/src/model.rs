@@ -1,0 +1,82 @@
+//! Analytic model for the Peuhkuri method: §5 quotes its compression
+//! ratio as "bounded by 16%" of the original 40-byte-header trace.
+
+/// Bytes of an uncompressed TCP/IP header.
+pub const FULL_HEADER_BYTES: f64 = 40.0;
+/// Per-flow table entry: the 5-tuple stored once (4+4+2+2+1 bytes).
+pub const PER_FLOW_BYTES: f64 = 13.0;
+/// The paper's quoted per-packet bound: 16% of 40 bytes.
+pub const PER_PACKET_BYTES: f64 = 6.4;
+
+/// The ratio bound the paper quotes for the method.
+pub const BOUND: f64 = 0.16;
+
+/// Expected ratio for a flow of `n` packets: per-flow overhead amortized
+/// over `n` packets of `PER_PACKET_BYTES` each.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ratio_for_flow_len(n: u64) -> f64 {
+    assert!(n > 0, "flows have at least one packet");
+    (PER_FLOW_BYTES + PER_PACKET_BYTES * n as f64) / (FULL_HEADER_BYTES * n as f64)
+}
+
+/// Overall ratio under a flow-length pmf (`pmf[n]` = probability of an
+/// n-packet flow, index 0 ignored); byte-weighted like the VJ model.
+pub fn expected_ratio(pmf: &[f64]) -> f64 {
+    let mut compressed = 0.0;
+    let mut original = 0.0;
+    for (n, &p) in pmf.iter().enumerate().skip(1) {
+        if p > 0.0 {
+            compressed += p * (PER_FLOW_BYTES + PER_PACKET_BYTES * n as f64);
+            original += p * FULL_HEADER_BYTES * n as f64;
+        }
+    }
+    if original == 0.0 {
+        0.0
+    } else {
+        compressed / original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_flows_approach_the_bound() {
+        let r = ratio_for_flow_len(10_000);
+        assert!((r - BOUND).abs() < 0.001);
+    }
+
+    #[test]
+    fn short_flows_pay_table_overhead() {
+        assert!(ratio_for_flow_len(1) > BOUND);
+        assert!(ratio_for_flow_len(2) > ratio_for_flow_len(10));
+    }
+
+    #[test]
+    fn expected_ratio_matches_hand_computation() {
+        let mut pmf = vec![0.0; 6];
+        pmf[5] = 1.0;
+        let expect = (13.0 + 6.4 * 5.0) / 200.0;
+        assert!((expected_ratio(&pmf) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pmf_is_zero() {
+        assert_eq!(expected_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn web_mix_is_near_bound() {
+        let mut pmf = vec![0.0; 101];
+        pmf[4] = 0.4;
+        pmf[8] = 0.3;
+        pmf[20] = 0.2;
+        pmf[100] = 0.1;
+        let r = expected_ratio(&pmf);
+        assert!((0.14..=0.22).contains(&r), "got {r}");
+    }
+}

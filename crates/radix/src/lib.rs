@@ -1,0 +1,38 @@
+//! PATRICIA (path-compressed radix) tree IP routing table with
+//! memory-access tracing.
+//!
+//! §6 of the paper validates its decompressed traces by running three
+//! packet-processing benchmarks whose common core is "the Radix Tree
+//! Routing inside their algorithms": a binary tree that stores prefixes
+//! and masks, matching more bits as the lookup walks down. This crate is
+//! that substrate:
+//!
+//! * [`trie::RadixTable`] — longest-prefix-match table over IPv4 prefixes
+//!   with insert/lookup/remove;
+//! * [`trace`] — a pluggable [`trace::AccessSink`] that receives one
+//!   synthetic memory address per field touch during traced operations
+//!   (the stand-in for the paper's ATOM instrumentation);
+//! * [`tablegen`] — seeded synthetic routing tables with realistic prefix
+//!   length mixes, plus tables derived from a trace's destination set.
+//!
+//! # Example
+//!
+//! ```
+//! use flowzip_radix::trie::RadixTable;
+//! use std::net::Ipv4Addr;
+//!
+//! let mut table = RadixTable::new();
+//! table.insert(Ipv4Addr::new(10, 0, 0, 0), 8, "corp");
+//! table.insert(Ipv4Addr::new(10, 1, 0, 0), 16, "lab");
+//! assert_eq!(table.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(&"lab"));
+//! assert_eq!(table.lookup(Ipv4Addr::new(10, 9, 9, 9)), Some(&"corp"));
+//! assert_eq!(table.lookup(Ipv4Addr::new(11, 0, 0, 1)), None);
+//! ```
+
+pub mod tablegen;
+pub mod trace;
+pub mod trie;
+
+pub use tablegen::TableGen;
+pub use trace::{AccessKind, AccessSink, CountingSink, NullSink, RecordingSink};
+pub use trie::RadixTable;

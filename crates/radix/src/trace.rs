@@ -1,0 +1,139 @@
+//! Memory-access tracing hooks — the workspace's substitute for the
+//! paper's ATOM binary instrumentation.
+//!
+//! The paper instrumented the benchmarks with ATOM and "records the number
+//! of memory accesses performed by each packet". Here, traced radix
+//! operations emit one event per field touch, carrying a deterministic
+//! synthetic address derived from the arena slot, so a downstream cache
+//! simulator sees a realistic, layout-faithful address stream.
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Receiver of memory-access events.
+///
+/// Implementations must be cheap: traced lookups call this several times
+/// per visited node.
+pub trait AccessSink {
+    /// Called once per memory access with its synthetic address.
+    fn access(&mut self, kind: AccessKind, addr: u64);
+}
+
+/// Discards all events (used when only the return value matters).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AccessSink for NullSink {
+    #[inline]
+    fn access(&mut self, _kind: AccessKind, _addr: u64) {}
+}
+
+/// Counts events without storing them.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    /// Number of reads seen.
+    pub reads: u64,
+    /// Number of writes seen.
+    pub writes: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> CountingSink {
+        CountingSink::default()
+    }
+
+    /// Total accesses of both kinds.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl AccessSink for CountingSink {
+    #[inline]
+    fn access(&mut self, kind: AccessKind, _addr: u64) {
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+    }
+}
+
+/// Records the full `(kind, address)` stream — what cache simulation
+/// consumes.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    /// The ordered access stream.
+    pub events: Vec<(AccessKind, u64)>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recorder.
+    pub fn new() -> RecordingSink {
+        RecordingSink::default()
+    }
+
+    /// Drops recorded events, keeping capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl AccessSink for RecordingSink {
+    #[inline]
+    fn access(&mut self, kind: AccessKind, addr: u64) {
+        self.events.push((kind, addr));
+    }
+}
+
+impl<S: AccessSink + ?Sized> AccessSink for &mut S {
+    #[inline]
+    fn access(&mut self, kind: AccessKind, addr: u64) {
+        (**self).access(kind, addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut s = CountingSink::new();
+        s.access(AccessKind::Read, 0x10);
+        s.access(AccessKind::Read, 0x20);
+        s.access(AccessKind::Write, 0x30);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let mut s = RecordingSink::new();
+        s.access(AccessKind::Write, 7);
+        s.access(AccessKind::Read, 9);
+        assert_eq!(
+            s.events,
+            vec![(AccessKind::Write, 7), (AccessKind::Read, 9)]
+        );
+        s.clear();
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        fn feed<S: AccessSink>(mut sink: S) {
+            sink.access(AccessKind::Read, 1);
+        }
+        let mut c = CountingSink::new();
+        feed(&mut c);
+        assert_eq!(c.reads, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the PATRICIA trie must agree with a brute-force
+//! longest-prefix-match oracle through arbitrary insert/remove/lookup
+//! interleavings.
+
+use flowzip_radix::RadixTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+/// Brute-force oracle: a map from (prefix, len) to value.
+#[derive(Default)]
+struct Oracle {
+    routes: HashMap<(u32, u8), u32>,
+}
+
+impl Oracle {
+    fn insert(&mut self, prefix: u32, len: u8, value: u32) -> Option<u32> {
+        self.routes.insert((prefix & mask(len), len), value)
+    }
+
+    fn remove(&mut self, prefix: u32, len: u8) -> Option<u32> {
+        self.routes.remove(&(prefix & mask(len), len))
+    }
+
+    fn lookup(&self, addr: u32) -> Option<u32> {
+        self.routes
+            .iter()
+            .filter(|(&(p, l), _)| addr & mask(l) == p)
+            .max_by_key(|(&(_, l), _)| l)
+            .map(|(_, &v)| v)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u8, u32),
+    Remove(u32, u8),
+    Lookup(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32, any::<u32>()).prop_map(|(p, l, v)| Op::Insert(p, l, v)),
+        (any::<u32>(), 0u8..=32).prop_map(|(p, l)| Op::Remove(p, l)),
+        any::<u32>().prop_map(Op::Lookup),
+    ]
+}
+
+/// Ops biased toward a small prefix universe so removes/lookups actually
+/// hit inserted routes.
+fn arb_clustered_op() -> impl Strategy<Value = Op> {
+    let prefix = prop::sample::select(vec![
+        0x0A00_0000u32,
+        0x0A01_0000,
+        0x0A01_0100,
+        0xC0A8_0000,
+        0xC0A8_0100,
+        0x8000_0000,
+        0xFFFF_FF00,
+    ]);
+    let len = prop::sample::select(vec![0u8, 8, 16, 24, 32]);
+    prop_oneof![
+        (prefix.clone(), len.clone(), any::<u32>()).prop_map(|(p, l, v)| Op::Insert(p, l, v)),
+        (prefix.clone(), len).prop_map(|(p, l)| Op::Remove(p, l)),
+        (prefix, any::<u8>()).prop_map(|(p, low)| Op::Lookup(p | low as u32)),
+    ]
+}
+
+fn run_ops(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut trie: RadixTable<u32> = RadixTable::new();
+    let mut oracle = Oracle::default();
+    for op in ops {
+        match op {
+            Op::Insert(p, l, v) => {
+                let a = trie.insert(Ipv4Addr::from(p), l, v);
+                let b = oracle.insert(p, l, v);
+                prop_assert_eq!(a, b, "insert {:#x}/{}", p, l);
+            }
+            Op::Remove(p, l) => {
+                let a = trie.remove(Ipv4Addr::from(p), l);
+                let b = oracle.remove(p, l);
+                prop_assert_eq!(a, b, "remove {:#x}/{}", p, l);
+            }
+            Op::Lookup(a) => {
+                let got = trie.lookup(Ipv4Addr::from(a)).copied();
+                let want = oracle.lookup(a);
+                prop_assert_eq!(got, want, "lookup {:#x}", a);
+            }
+        }
+        prop_assert_eq!(trie.len(), oracle.routes.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn random_ops_match_oracle(ops in prop::collection::vec(arb_op(), 1..200)) {
+        run_ops(ops)?;
+    }
+
+    #[test]
+    fn clustered_ops_match_oracle(ops in prop::collection::vec(arb_clustered_op(), 1..300)) {
+        run_ops(ops)?;
+    }
+
+    #[test]
+    fn traced_lookup_agrees_with_plain(
+        routes in prop::collection::vec((any::<u32>(), 8u8..=28, any::<u32>()), 1..100),
+        probes in prop::collection::vec(any::<u32>(), 1..100))
+    {
+        let mut trie: RadixTable<u32> = RadixTable::new();
+        for &(p, l, v) in &routes {
+            trie.insert(Ipv4Addr::from(p), l, v);
+        }
+        for &a in &probes {
+            let plain = trie.lookup(Ipv4Addr::from(a)).copied();
+            let mut sink = flowzip_radix::CountingSink::new();
+            let (traced, visited) = trie.traced_lookup(Ipv4Addr::from(a), &mut sink);
+            prop_assert_eq!(plain, traced.copied());
+            prop_assert!(visited >= 1);
+            prop_assert!(sink.total() >= visited as u64, ">= one access per visit");
+        }
+    }
+}

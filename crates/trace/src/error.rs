@@ -1,0 +1,92 @@
+//! Error type shared by trace parsing and I/O.
+
+use std::fmt;
+
+/// Errors produced while reading, writing or validating packet traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record on disk was shorter than the fixed record size.
+    TruncatedRecord {
+        /// Bytes that were available.
+        got: usize,
+        /// Bytes the format requires.
+        need: usize,
+    },
+    /// A field carried a value the format cannot represent.
+    FieldOutOfRange {
+        /// Which field was out of range.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The trace violates an ordering or structural invariant.
+    InvalidTrace(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::TruncatedRecord { got, need } => {
+                write!(f, "truncated record: got {got} bytes, need {need}")
+            }
+            TraceError::FieldOutOfRange { field, value } => {
+                write!(f, "field `{field}` out of range: {value}")
+            }
+            TraceError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TraceError> = vec![
+            TraceError::Io(std::io::Error::other("x")),
+            TraceError::TruncatedRecord { got: 3, need: 44 },
+            TraceError::FieldOutOfRange { field: "ts", value: 9 },
+            TraceError::InvalidTrace("out of order".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = TraceError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = TraceError::TruncatedRecord { got: 0, need: 44 };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,329 @@
+//! Classic **pcap** (libpcap 2.4) trace format support.
+//!
+//! The paper works on TSH header traces, but every practical trace
+//! pipeline speaks pcap, so the library reads and writes it too: each
+//! packet becomes an Ethernet + IPv4 + TCP header frame (54 captured
+//! bytes — headers only, like a `tcpdump -s 54` capture), with the
+//! original on-wire length preserved in `orig_len`.
+//!
+//! Both byte orders are accepted on read (magic detection); files are
+//! written little-endian with microsecond timestamps.
+
+use crate::error::TraceError;
+use crate::flags::TcpFlags;
+use crate::packet::PacketRecord;
+use crate::time::Timestamp;
+use crate::trace::Trace;
+use crate::tuple::Protocol;
+use std::io::{Read, Write};
+use std::net::Ipv4Addr;
+
+/// Little-endian microsecond magic.
+pub const MAGIC_LE: u32 = 0xA1B2_C3D4;
+/// Byte-swapped magic (big-endian writer).
+pub const MAGIC_BE: u32 = 0xD4C3_B2A1;
+/// Link type: Ethernet.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Captured bytes per packet: Ethernet (14) + IPv4 (20) + TCP (20).
+pub const SNAP_BYTES: u32 = 54;
+
+/// Writes a trace as a pcap file. Returns bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O failures and timestamp-range errors (pcap stores
+/// 32-bit seconds).
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<u64, TraceError> {
+    let mut written = 0u64;
+    // Global header.
+    w.write_all(&MAGIC_LE.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&SNAP_BYTES.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    written += 24;
+
+    for p in trace {
+        let (secs, micros) = p.timestamp().to_secs_micros();
+        if p.timestamp().as_micros() / 1_000_000 > u32::MAX as u64 {
+            return Err(TraceError::FieldOutOfRange {
+                field: "timestamp_secs",
+                value: p.timestamp().as_micros() / 1_000_000,
+            });
+        }
+        w.write_all(&secs.to_le_bytes())?;
+        w.write_all(&micros.to_le_bytes())?;
+        w.write_all(&SNAP_BYTES.to_le_bytes())?; // incl_len
+        let orig = 14 + p.ip_total_len();
+        w.write_all(&orig.to_le_bytes())?;
+        w.write_all(&frame(p))?;
+        written += 16 + SNAP_BYTES as u64;
+    }
+    Ok(written)
+}
+
+/// Serializes a trace to an in-memory pcap image.
+pub fn to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + trace.len() * (16 + SNAP_BYTES as usize));
+    write_trace(&mut out, trace).expect("in-memory pcap write cannot fail");
+    out
+}
+
+/// Builds the 54-byte Ethernet+IPv4+TCP frame for one record.
+fn frame(p: &PacketRecord) -> [u8; SNAP_BYTES as usize] {
+    let mut f = [0u8; SNAP_BYTES as usize];
+    // Ethernet: synthetic locally-administered MACs, EtherType IPv4.
+    f[0..6].copy_from_slice(&[0x02, 0, 0, 0, 0, 0x02]);
+    f[6..12].copy_from_slice(&[0x02, 0, 0, 0, 0, 0x01]);
+    f[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+    // IPv4 header.
+    let ip = &mut f[14..34];
+    ip[0] = 0x45;
+    let total = (p.ip_total_len()).min(u16::MAX as u32) as u16;
+    ip[2..4].copy_from_slice(&total.to_be_bytes());
+    ip[4..6].copy_from_slice(&p.ip_id().to_be_bytes());
+    ip[8] = p.ttl();
+    ip[9] = p.tuple().protocol.number();
+    ip[12..16].copy_from_slice(&p.src_ip().octets());
+    ip[16..20].copy_from_slice(&p.dst_ip().octets());
+    let csum = checksum(&f[14..34]);
+    f[24..26].copy_from_slice(&csum.to_be_bytes());
+    // TCP header.
+    let tcp = &mut f[34..54];
+    tcp[0..2].copy_from_slice(&p.tuple().src_port.to_be_bytes());
+    tcp[2..4].copy_from_slice(&p.tuple().dst_port.to_be_bytes());
+    tcp[4..8].copy_from_slice(&p.seq().to_be_bytes());
+    tcp[8..12].copy_from_slice(&p.ack().to_be_bytes());
+    tcp[12] = 5 << 4;
+    tcp[13] = p.flags().bits();
+    tcp[14..16].copy_from_slice(&p.window().to_be_bytes());
+    f
+}
+
+fn checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for (i, chunk) in header.chunks(2).enumerate() {
+        if i == 5 {
+            continue;
+        }
+        sum += ((chunk[0] as u32) << 8) | chunk.get(1).copied().unwrap_or(0) as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Reads a pcap file into a trace. Non-IPv4 or non-Ethernet frames and
+/// truncated captures (< 54 bytes) are skipped, like a tolerant analyzer.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] for malformed global/record headers.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    let mut global = [0u8; 24];
+    read_exact_or(&mut r, &mut global, 24)?;
+    let magic = u32::from_le_bytes([global[0], global[1], global[2], global[3]]);
+    let big_endian = match magic {
+        MAGIC_LE => false,
+        MAGIC_BE => true,
+        _ => {
+            return Err(TraceError::InvalidTrace(format!(
+                "bad pcap magic {magic:#010x}"
+            )))
+        }
+    };
+    let u32at = |b: &[u8], off: usize| -> u32 {
+        let raw = [b[off], b[off + 1], b[off + 2], b[off + 3]];
+        if big_endian {
+            u32::from_be_bytes(raw)
+        } else {
+            u32::from_le_bytes(raw)
+        }
+    };
+    let linktype = u32at(&global, 20);
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(TraceError::InvalidTrace(format!(
+            "unsupported linktype {linktype}"
+        )));
+    }
+
+    let mut trace = Trace::new();
+    let mut rec = [0u8; 16];
+    loop {
+        if !read_record_header(&mut r, &mut rec)? { return Ok(trace) }
+        let secs = u32at(&rec, 0);
+        let micros = u32at(&rec, 4);
+        let incl = u32at(&rec, 8) as usize;
+        let orig = u32at(&rec, 12);
+        let mut body = vec![0u8; incl];
+        read_exact_or(&mut r, &mut body, incl)?;
+        if incl < SNAP_BYTES as usize {
+            continue; // too short to hold our headers
+        }
+        if u16::from_be_bytes([body[12], body[13]]) != 0x0800 {
+            continue; // not IPv4
+        }
+        let ip = &body[14..34];
+        if ip[0] >> 4 != 4 {
+            continue;
+        }
+        let ts = Timestamp::from_secs_micros(secs, micros)?;
+        let tcp = &body[34..54];
+        let total_len = u16::from_be_bytes([ip[2], ip[3]]) as u32;
+        let payload = total_len
+            .max(orig.saturating_sub(14))
+            .saturating_sub(crate::packet::HEADER_BYTES) as u16;
+        trace.push(
+            PacketRecord::builder()
+                .timestamp(ts)
+                .src(
+                    Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]),
+                    u16::from_be_bytes([tcp[0], tcp[1]]),
+                )
+                .dst(
+                    Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]),
+                    u16::from_be_bytes([tcp[2], tcp[3]]),
+                )
+                .protocol(Protocol::new(ip[9]))
+                .flags(TcpFlags::from_bits(tcp[13]))
+                .payload_len(payload)
+                .seq(u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]))
+                .ack(u32::from_be_bytes([tcp[8], tcp[9], tcp[10], tcp[11]]))
+                .window(u16::from_be_bytes([tcp[14], tcp[15]]))
+                .ip_id(u16::from_be_bytes([ip[4], ip[5]]))
+                .ttl(ip[8])
+                .build(),
+        );
+    }
+}
+
+/// Reads a 16-byte record header; `Ok(false)` at clean EOF.
+fn read_record_header<R: Read>(r: &mut R, buf: &mut [u8; 16]) -> Result<bool, TraceError> {
+    let mut filled = 0;
+    while filled < 16 {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(TraceError::TruncatedRecord {
+                got: filled,
+                need: 16,
+            });
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], need: usize) -> Result<(), TraceError> {
+    let mut filled = 0;
+    while filled < need {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Err(TraceError::TruncatedRecord { got: filled, need });
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..50u64 {
+            t.push(
+                PacketRecord::builder()
+                    .timestamp(Timestamp::from_micros(i * 1000 + 5))
+                    .src(Ipv4Addr::new(10, 0, 0, (i % 250 + 1) as u8), 1024 + i as u16)
+                    .dst(Ipv4Addr::new(192, 0, 2, 80), 80)
+                    .flags(if i % 9 == 0 { TcpFlags::SYN } else { TcpFlags::PSH | TcpFlags::ACK })
+                    .payload_len((i * 31 % 1400) as u16)
+                    .seq(i as u32 * 1000)
+                    .ack(77)
+                    .window(4096)
+                    .ip_id(i as u16)
+                    .ttl(61)
+                    .build(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_fields() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_layout() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        assert_eq!(bytes.len(), 24 + t.len() * (16 + 54));
+        assert_eq!(
+            u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            MAGIC_LE
+        );
+        // snaplen and linktype in the global header
+        assert_eq!(u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]), 54);
+        assert_eq!(u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]), 1);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&[0u8; 24][..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_global_header_rejected() {
+        let err = read_trace(&[0u8; 10][..]).unwrap_err();
+        assert!(matches!(err, TraceError::TruncatedRecord { .. }));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        let err = read_trace(&bytes[..bytes.len() - 10]).unwrap_err();
+        assert!(matches!(err, TraceError::TruncatedRecord { .. }));
+    }
+
+    #[test]
+    fn non_ipv4_frames_are_skipped() {
+        let t = sample_trace();
+        let mut bytes = to_bytes(&t);
+        // Corrupt the EtherType of the first frame (offset 24+16+12).
+        bytes[24 + 16 + 12] = 0x08;
+        bytes[24 + 16 + 13] = 0x06; // ARP
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(back.len(), t.len() - 1);
+    }
+
+    #[test]
+    fn empty_trace_is_header_only() {
+        let bytes = to_bytes(&Trace::new());
+        assert_eq!(bytes.len(), 24);
+        let back = read_trace(&bytes[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn ip_checksum_is_valid() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        let ip = &bytes[24 + 16 + 14..24 + 16 + 34];
+        let stored = u16::from_be_bytes([ip[10], ip[11]]);
+        assert_eq!(checksum(ip), stored);
+    }
+}

@@ -1,0 +1,288 @@
+//! Integer microsecond time for trace records.
+//!
+//! Capture formats store time as seconds + microseconds since an epoch; a
+//! single `u64` microsecond counter keeps arithmetic exact (no float drift
+//! when replaying million-packet traces) and cheap to compare.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in trace time, microseconds since the trace epoch.
+///
+/// # Example
+///
+/// ```
+/// use flowzip_trace::{Timestamp, Duration};
+///
+/// let t0 = Timestamp::from_secs_f64(1.5);
+/// let t1 = t0 + Duration::from_millis(20);
+/// assert_eq!(t1.as_micros(), 1_520_000);
+/// assert_eq!(t1 - t0, Duration::from_micros(20_000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(u64);
+
+/// A span between two [`Timestamp`]s, microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Duration(u64);
+
+impl Timestamp {
+    /// The trace epoch (t = 0).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from a raw microsecond count.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Timestamp {
+        Timestamp(us)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Timestamp {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Creates a timestamp from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Timestamp {
+        Timestamp((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Creates a timestamp from the split `(seconds, microseconds)` encoding
+    /// used by capture formats such as TSH and pcap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `micros >= 1_000_000` (not a normalized split).
+    pub fn from_secs_micros(secs: u32, micros: u32) -> Result<Timestamp, crate::TraceError> {
+        if micros >= 1_000_000 {
+            return Err(crate::TraceError::FieldOutOfRange {
+                field: "micros",
+                value: micros as u64,
+            });
+        }
+        Ok(Timestamp(secs as u64 * 1_000_000 + micros as u64))
+    }
+
+    /// Microseconds since the trace epoch.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the trace epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Splits into the `(seconds, microseconds)` wire encoding.
+    #[inline]
+    pub const fn to_secs_micros(self) -> (u32, u32) {
+        ((self.0 / 1_000_000) as u32, (self.0 % 1_000_000) as u32)
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    #[inline]
+    pub const fn saturating_since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at `u64::MAX` microseconds.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Duration {
+        Duration((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Microseconds in this span.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds in this span (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds in this span.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns `true` for the zero-length span.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor, saturating.
+    #[inline]
+    pub const fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Timestamp::saturating_since`] when order is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (s, us) = self.to_secs_micros();
+        write!(f, "{s}.{us:06}s")
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Timestamp({self})")
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_equivalences() {
+        assert_eq!(Timestamp::from_secs(2), Timestamp::from_micros(2_000_000));
+        assert_eq!(Timestamp::from_secs_f64(0.5), Timestamp::from_micros(500_000));
+        assert_eq!(Duration::from_millis(3), Duration::from_micros(3_000));
+        assert_eq!(Duration::from_secs(1), Duration::from_micros(1_000_000));
+    }
+
+    #[test]
+    fn secs_micros_split_roundtrip() {
+        let t = Timestamp::from_micros(7_654_321);
+        assert_eq!(t.to_secs_micros(), (7, 654_321));
+        let back = Timestamp::from_secs_micros(7, 654_321).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn split_rejects_unnormalized_micros() {
+        assert!(Timestamp::from_secs_micros(0, 1_000_000).is_err());
+        assert!(Timestamp::from_secs_micros(0, 999_999).is_ok());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t0 = Timestamp::from_micros(100);
+        let t1 = t0 + Duration::from_micros(50);
+        assert_eq!(t1 - t0, Duration::from_micros(50));
+        assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+        assert_eq!(t1.saturating_since(t0), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn negative_f64_clamps() {
+        assert_eq!(Timestamp::from_secs_f64(-1.0), Timestamp::ZERO);
+        assert_eq!(Duration::from_secs_f64(-0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::from_micros(1_000_001).to_string(), "1.000001s");
+        assert_eq!(Duration::from_micros(999).to_string(), "999us");
+        assert_eq!(Duration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Duration::from_micros(2_000_000).to_string(), "2.000000s");
+    }
+
+    #[test]
+    fn ordering_is_by_time() {
+        let a = Timestamp::from_micros(5);
+        let b = Timestamp::from_micros(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

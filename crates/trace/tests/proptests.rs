@@ -1,0 +1,112 @@
+//! Property-based tests for the trace model: codecs must round-trip and
+//! structural helpers must agree with naive re-computations.
+
+use flowzip_trace::prelude::*;
+use flowzip_trace::tsh;
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = PacketRecord> {
+    (
+        0u64..=(u32::MAX as u64) * 1_000_000 + 999_999, // ts micros within TSH range
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),   // flags byte
+        0u16..=1460,   // payload
+        any::<u32>(),  // seq
+        any::<u32>(),  // ack
+        any::<u16>(),  // window
+        any::<u16>(),  // ip id
+        any::<u8>(),   // ttl
+    )
+        .prop_map(
+            |(ts, sip, dip, sp, dp, flags, len, seq, ack, win, id, ttl)| {
+                PacketRecord::builder()
+                    .timestamp(Timestamp::from_micros(ts))
+                    .src(Ipv4Addr::from(sip), sp)
+                    .dst(Ipv4Addr::from(dip), dp)
+                    .flags(TcpFlags::from_bits(flags))
+                    .payload_len(len)
+                    .seq(seq)
+                    .ack(ack)
+                    .window(win)
+                    .ip_id(id)
+                    .ttl(ttl)
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn tsh_record_roundtrip(p in arb_packet(), ifc in any::<u8>()) {
+        let rec = tsh::encode_record(&p, ifc).unwrap();
+        let (q, got_ifc) = tsh::decode_record(&rec).unwrap();
+        prop_assert_eq!(p, q);
+        prop_assert_eq!(ifc, got_ifc);
+    }
+
+    #[test]
+    fn tsh_trace_roundtrip(pkts in prop::collection::vec(arb_packet(), 0..200)) {
+        let trace = Trace::from_packets(pkts);
+        let bytes = tsh::to_bytes(&trace);
+        prop_assert_eq!(bytes.len() as u64, tsh::file_size(&trace));
+        let back = tsh::read_trace(&bytes[..]).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn five_tuple_hash_direction_sensitivity(
+        sip in any::<[u8;4]>(), dip in any::<[u8;4]>(),
+        sp in any::<u16>(), dp in any::<u16>())
+    {
+        let t = FiveTuple::tcp(Ipv4Addr::from(sip), sp, Ipv4Addr::from(dip), dp);
+        prop_assert_eq!(t.stable_hash(), t.stable_hash());
+        if t != t.reversed() {
+            // canonical keys still collapse the two directions
+            prop_assert_eq!(FlowKey::canonical(t), FlowKey::canonical(t.reversed()));
+        }
+    }
+
+    #[test]
+    fn trace_sort_then_validate(pkts in prop::collection::vec(arb_packet(), 0..100)) {
+        let mut t: Trace = pkts.into_iter().collect();
+        t.sort_by_time();
+        prop_assert!(t.validate().is_ok());
+        prop_assert!(t.is_time_ordered());
+    }
+
+    #[test]
+    fn prefix_until_never_loses_order(
+        pkts in prop::collection::vec(arb_packet(), 0..100),
+        cutoff in 0u64..u32::MAX as u64)
+    {
+        let t = Trace::from_packets(pkts);
+        let p = t.prefix_until(Timestamp::from_micros(cutoff));
+        prop_assert!(p.is_time_ordered());
+        prop_assert!(p.len() <= t.len());
+        for pkt in &p {
+            prop_assert!(pkt.timestamp().as_micros() < cutoff);
+        }
+    }
+
+    #[test]
+    fn flow_table_conserves_packets(pkts in prop::collection::vec(arb_packet(), 0..150)) {
+        let trace = Trace::from_packets(pkts);
+        let table = FlowTable::from_trace(&trace);
+        let grouped: usize = table.flows().map(|f| f.len()).sum();
+        prop_assert_eq!(grouped, trace.len());
+        // Stats over the same flows agree on totals.
+        let stats = table.stats(50);
+        prop_assert_eq!(stats.packets as usize, trace.len());
+        prop_assert_eq!(stats.flows, table.len());
+    }
+
+    #[test]
+    fn timestamp_split_roundtrip(us in 0u64..=(u32::MAX as u64) * 1_000_000 + 999_999) {
+        let t = Timestamp::from_micros(us);
+        let (s, m) = t.to_secs_micros();
+        prop_assert_eq!(Timestamp::from_secs_micros(s, m).unwrap(), t);
+    }
+}

@@ -1,0 +1,206 @@
+//! Prefix-preserving address anonymization.
+//!
+//! §1 of the paper motivates trace compression partly by the state of
+//! public traces: providers release them only "after some
+//! transformations, such as sanitization, which modify some basic
+//! semantic properties (such as IP address structure)". This module
+//! implements the *structure-preserving* alternative (the Crypto-PAn
+//! construction of Xu et al., with a keyed mixing function instead of
+//! AES): two addresses sharing a k-bit prefix before anonymization share
+//! exactly a k-bit prefix afterwards, so radix-tree behaviour — the very
+//! thing §6 measures — survives anonymization.
+
+use flowzip_trace::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Prefix-preserving IPv4 anonymizer (Crypto-PAn-style).
+///
+/// # Example
+///
+/// ```
+/// use flowzip_traffic::anon::Anonymizer;
+/// use std::net::Ipv4Addr;
+///
+/// let anon = Anonymizer::new(0x5EED_CAFE);
+/// let a = anon.anonymize_addr(Ipv4Addr::new(10, 1, 2, 3));
+/// let b = anon.anonymize_addr(Ipv4Addr::new(10, 1, 2, 99));
+/// // Same /24 before => same /24 after.
+/// assert_eq!(u32::from(a) >> 8, u32::from(b) >> 8);
+/// assert_ne!(a, Ipv4Addr::new(10, 1, 2, 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Anonymizer {
+    key: u64,
+}
+
+impl Anonymizer {
+    /// Creates an anonymizer from a secret key; the same key always
+    /// produces the same mapping (required so multi-file traces stay
+    /// consistent).
+    pub fn new(key: u64) -> Anonymizer {
+        Anonymizer { key }
+    }
+
+    /// Keyed PRF bit: pseudo-random function of (key, prefix value,
+    /// prefix length) → one flip bit.
+    fn prf_bit(&self, prefix: u32, len: u32) -> u32 {
+        let mut x = self
+            .key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((prefix as u64) << 8)
+            ^ len as u64;
+        // splitmix64 finalizer — avalanche so each prefix flips
+        // independently.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x & 1) as u32
+    }
+
+    /// Anonymizes one address, preserving prefix relationships.
+    ///
+    /// Bit `i` of the output is the input bit XORed with a PRF of the
+    /// *original* bits above it — the Crypto-PAn invariant.
+    pub fn anonymize_addr(&self, addr: Ipv4Addr) -> Ipv4Addr {
+        let a = u32::from(addr);
+        let mut out = 0u32;
+        for i in 0..32 {
+            let prefix = if i == 0 { 0 } else { a >> (32 - i) };
+            let flip = self.prf_bit(prefix, i);
+            let bit = (a >> (31 - i)) & 1;
+            out = (out << 1) | (bit ^ flip);
+        }
+        Ipv4Addr::from(out)
+    }
+
+    /// Anonymizes every source and destination address in a trace,
+    /// keeping ports, timing, flags and sizes intact. Flow structure is
+    /// preserved exactly (the mapping is a bijection applied
+    /// consistently).
+    pub fn anonymize_trace(&self, trace: &Trace) -> Trace {
+        let mut out = Trace::with_capacity(trace.len());
+        for p in trace {
+            let mut t = p.tuple();
+            t.src_ip = self.anonymize_addr(t.src_ip);
+            t.dst_ip = self.anonymize_addr(t.dst_ip);
+            out.push(p.with_tuple(t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::{WebTrafficConfig, WebTrafficGenerator};
+    use flowzip_trace::flow::FlowTable;
+
+    fn anon() -> Anonymizer {
+        Anonymizer::new(0xC0FF_EE00_DEAD_BEEF)
+    }
+
+    fn common_prefix_len(a: u32, b: u32) -> u32 {
+        (a ^ b).leading_zeros().min(32)
+    }
+
+    #[test]
+    fn prefix_preservation_is_exact() {
+        let anon = anon();
+        let pairs = [
+            (Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(10, 1, 2, 200)),
+            (Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(10, 1, 9, 9)),
+            (Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(192, 168, 0, 1)),
+            (Ipv4Addr::new(130, 206, 5, 5), Ipv4Addr::new(130, 206, 5, 5)),
+        ];
+        for (x, y) in pairs {
+            let before = common_prefix_len(u32::from(x), u32::from(y));
+            let after = common_prefix_len(
+                u32::from(anon.anonymize_addr(x)),
+                u32::from(anon.anonymize_addr(y)),
+            );
+            assert_eq!(before, after, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_key_sensitive() {
+        let a = Ipv4Addr::new(172, 16, 4, 2);
+        assert_eq!(anon().anonymize_addr(a), anon().anonymize_addr(a));
+        let other = Anonymizer::new(1).anonymize_addr(a);
+        assert_ne!(anon().anonymize_addr(a), other);
+    }
+
+    #[test]
+    fn mapping_is_injective_on_a_sample() {
+        let anon = anon();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let mapped = anon.anonymize_addr(Ipv4Addr::from(i.wrapping_mul(2_654_435_761)));
+            assert!(seen.insert(mapped), "collision at input {i}");
+        }
+    }
+
+    #[test]
+    fn addresses_actually_change() {
+        let anon = anon();
+        let mut changed = 0;
+        for i in 0..1000u32 {
+            let a = Ipv4Addr::from(i * 7_919);
+            if anon.anonymize_addr(a) != a {
+                changed += 1;
+            }
+        }
+        assert!(changed > 990, "nearly all addresses must move, got {changed}");
+    }
+
+    #[test]
+    fn trace_anonymization_preserves_flow_structure() {
+        let trace = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 120,
+                ..WebTrafficConfig::default()
+            },
+            9,
+        )
+        .generate();
+        let anon_trace = anon().anonymize_trace(&trace);
+        assert_eq!(anon_trace.len(), trace.len());
+        let so = FlowTable::from_trace(&trace).stats(50);
+        let sa = FlowTable::from_trace(&anon_trace).stats(50);
+        assert_eq!(so.flows, sa.flows, "flow count survives anonymization");
+        assert_eq!(so.packets, sa.packets);
+        assert_eq!(so.length_histogram, sa.length_histogram);
+        // Timing untouched.
+        for (a, b) in trace.iter().zip(anon_trace.iter()) {
+            assert_eq!(a.timestamp(), b.timestamp());
+            assert_eq!(a.tuple().src_port, b.tuple().src_port);
+            assert_ne!(
+                (a.src_ip(), a.dst_ip()),
+                (b.src_ip(), b.dst_ip()),
+                "addresses must be anonymized"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_address_count_is_preserved() {
+        let trace = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 100,
+                ..WebTrafficConfig::default()
+            },
+            10,
+        )
+        .generate();
+        let anon_trace = anon().anonymize_trace(&trace);
+        let dsts = |t: &Trace| {
+            t.iter()
+                .map(|p| p.dst_ip())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert_eq!(dsts(&trace), dsts(&anon_trace));
+    }
+}

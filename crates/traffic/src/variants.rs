@@ -1,0 +1,213 @@
+//! The comparison traces of §6.1: random-destination and fractal/LRU.
+
+use crate::address::{FractalAddressModel, LruStackModel};
+use crate::dist::exponential;
+use flowzip_trace::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's third trace: "assigning random IP destinations addresses,
+/// but maintaining the same temporal distribution of the Original trace."
+///
+/// Every packet keeps its timestamp, flags, ports and sizes; the
+/// destination address is replaced by an *independent* uniform random one
+/// per packet. This deliberately destroys both the spatial locality
+/// (address structure) and the re-reference locality (popular servers) —
+/// that destruction is exactly what makes the random trace diverge in
+/// Figures 2–3.
+pub fn randomize_destinations(trace: &Trace, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Trace::with_capacity(trace.len());
+    for p in trace {
+        let mut t = p.tuple();
+        t.dst_ip = Ipv4Addr::from(rng.gen::<u32>());
+        out.push(p.with_tuple(t));
+    }
+    out
+}
+
+/// Variant that re-maps each distinct destination consistently (flow
+/// structure survives, only the address *values* are anonymized) — useful
+/// when the randomized trace must still be flow-parseable.
+pub fn randomize_destinations_consistent(trace: &Trace, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mapping: std::collections::HashMap<Ipv4Addr, Ipv4Addr> =
+        std::collections::HashMap::new();
+    let mut out = Trace::with_capacity(trace.len());
+    for p in trace {
+        let dst = *mapping
+            .entry(p.dst_ip())
+            .or_insert_with(|| Ipv4Addr::from(rng.gen::<u32>()));
+        let mut t = p.tuple();
+        t.dst_ip = dst;
+        out.push(p.with_tuple(t));
+    }
+    out
+}
+
+/// Configuration of the fractal/LRU trace ("fracexp" in Figures 2–3).
+#[derive(Debug, Clone)]
+pub struct FractalTraceConfig {
+    /// Number of packets to emit.
+    pub packets: usize,
+    /// Mean exponential inter-packet gap in microseconds.
+    pub mean_gap_us: f64,
+    /// Multiplicative-cascade bias (0.5 = uniform, →1 = very clustered).
+    pub cascade_bias: f64,
+    /// LRU stack depth.
+    pub stack_depth: usize,
+    /// Probability a reference replays a stacked address.
+    pub reuse_prob: f64,
+}
+
+impl Default for FractalTraceConfig {
+    fn default() -> Self {
+        FractalTraceConfig {
+            packets: 10_000,
+            mean_gap_us: 500.0,
+            cascade_bias: 0.72,
+            stack_depth: 256,
+            reuse_prob: 0.7,
+        }
+    }
+}
+
+/// The paper's fourth trace: destination addresses from a multiplicative
+/// (fractal) process, replayed through an LRU stack model, with
+/// exponential inter-packet times.
+///
+/// The packets are deliberately flow-less (each stands alone): the trace
+/// exists purely to drive address-lookup benchmarks.
+pub fn fractal_trace(config: &FractalTraceConfig, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cascade = FractalAddressModel::new(&mut rng, config.cascade_bias);
+    let mut stack = LruStackModel::new(config.stack_depth, 1.0, config.reuse_prob);
+    let mut out = Trace::with_capacity(config.packets);
+    let mut now = 0.0f64;
+    for _ in 0..config.packets {
+        now += exponential(&mut rng, config.mean_gap_us);
+        let dst = stack.next(&mut rng, |r| cascade.sample(r));
+        let src = Ipv4Addr::from(rng.gen::<u32>());
+        out.push(
+            PacketRecord::builder()
+                .timestamp(Timestamp::from_micros(now as u64))
+                .src(src, rng.gen_range(1024..=65000))
+                .dst(dst, 80)
+                .flags(TcpFlags::ACK)
+                .payload_len(rng.gen_range(0..=1460))
+                .build(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn base_trace() -> Trace {
+        WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 100,
+                ..WebTrafficConfig::default()
+            },
+            11,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn randomized_keeps_timing_and_sizes() {
+        let orig = base_trace();
+        let rand = randomize_destinations(&orig, 1);
+        assert_eq!(orig.len(), rand.len());
+        for (a, b) in orig.iter().zip(rand.iter()) {
+            assert_eq!(a.timestamp(), b.timestamp());
+            assert_eq!(a.payload_len(), b.payload_len());
+            assert_eq!(a.flags(), b.flags());
+            assert_eq!(a.src_ip(), b.src_ip());
+            assert_eq!(a.tuple().dst_port, b.tuple().dst_port);
+        }
+    }
+
+    #[test]
+    fn randomized_destroys_repetition() {
+        let orig = base_trace();
+        let rand = randomize_destinations(&orig, 1);
+        let distinct = |t: &Trace| {
+            t.iter()
+                .map(|p| p.dst_ip())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        // Fresh dst per packet: (almost) as many destinations as packets.
+        assert!(distinct(&rand) > rand.len() * 99 / 100);
+        assert!(distinct(&orig) < orig.len() / 2, "original repeats servers");
+    }
+
+    #[test]
+    fn consistent_variant_preserves_mapping() {
+        let orig = base_trace();
+        let rand = randomize_destinations_consistent(&orig, 2);
+        let mut map = std::collections::HashMap::new();
+        for (a, b) in orig.iter().zip(rand.iter()) {
+            let prev = map.insert(a.dst_ip(), b.dst_ip());
+            if let Some(prev) = prev {
+                assert_eq!(prev, b.dst_ip(), "same original dst maps identically");
+            }
+        }
+        // Distinct-count preserved by the bijection.
+        let distinct = |t: &Trace| {
+            t.iter()
+                .map(|p| p.dst_ip())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert_eq!(distinct(&orig), distinct(&rand));
+    }
+
+    #[test]
+    fn fractal_trace_shape() {
+        let t = fractal_trace(&FractalTraceConfig::default(), 9);
+        assert_eq!(t.len(), 10_000);
+        assert!(t.is_time_ordered());
+        // Temporal locality: consecutive duplicate destinations are common.
+        let mut repeats = 0;
+        let pkts = t.packets();
+        let mut recent: std::collections::VecDeque<Ipv4Addr> = Default::default();
+        for p in pkts {
+            if recent.contains(&p.dst_ip()) {
+                repeats += 1;
+            }
+            recent.push_back(p.dst_ip());
+            if recent.len() > 32 {
+                recent.pop_front();
+            }
+        }
+        assert!(repeats > 2_000, "LRU model should produce re-references, got {repeats}");
+    }
+
+    #[test]
+    fn fractal_trace_is_deterministic() {
+        let cfg = FractalTraceConfig {
+            packets: 500,
+            ..FractalTraceConfig::default()
+        };
+        assert_eq!(fractal_trace(&cfg, 3), fractal_trace(&cfg, 3));
+        assert_ne!(fractal_trace(&cfg, 3), fractal_trace(&cfg, 4));
+    }
+
+    #[test]
+    fn exponential_gaps_have_configured_mean() {
+        let cfg = FractalTraceConfig {
+            packets: 20_000,
+            mean_gap_us: 250.0,
+            ..FractalTraceConfig::default()
+        };
+        let t = fractal_trace(&cfg, 5);
+        let total = t.duration().as_micros() as f64;
+        let mean = total / (t.len() - 1) as f64;
+        assert!((200.0..=300.0).contains(&mean), "mean gap {mean}");
+    }
+}

@@ -1,0 +1,413 @@
+//! Scripted Web (HTTP/1.0-era) TCP conversation generator — the stand-in
+//! for the paper's RedIRIS "Original trace" (Web-only subset).
+//!
+//! Each flow follows the canonical script whose flag/dependence/size
+//! sequence is exactly what the paper's flow characterization (§2) keys
+//! on:
+//!
+//! ```text
+//! client SYN  ──rtt──▶ server SYN+ACK ──rtt──▶ client ACK
+//! client GET (PSH+ACK, 100–700 B)
+//! ──rtt──▶ server segment 1 … segment k (1460 B, back-to-back)
+//! server FIN+ACK ──rtt──▶ client FIN+ACK ──rtt──▶ server ACK
+//! ```
+//!
+//! Direction flips wait one flow-specific RTT ("dependent" packets);
+//! same-direction packets follow back-to-back after a sub-millisecond
+//! jitter ("not dependent"). Flow sizes come from the §3-calibrated
+//! mixture; a small fraction of flows abort with RST.
+
+use crate::address::ZipfServerPool;
+use crate::dist::{exponential, lognormal, FlowSizeMixture};
+use flowzip_trace::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for the Web traffic generator.
+#[derive(Debug, Clone)]
+pub struct WebTrafficConfig {
+    /// Number of TCP conversations to script.
+    pub flows: usize,
+    /// Flow start times arrive as a Poisson process over this window.
+    pub duration_secs: f64,
+    /// Size of the Zipf-popular server pool.
+    pub servers: usize,
+    /// Zipf exponent of server popularity.
+    pub server_zipf: f64,
+    /// Median round-trip time in milliseconds.
+    pub rtt_median_ms: f64,
+    /// Lognormal shape of the RTT distribution.
+    pub rtt_sigma: f64,
+    /// Flow-size mixture (packets per flow).
+    pub mixture: FlowSizeMixture,
+    /// Full-size segment payload (TCP MSS).
+    pub mss: u16,
+    /// Mean back-to-back jitter between non-dependent packets, in
+    /// microseconds.
+    pub jitter_mean_us: f64,
+    /// Fraction of flows aborted by RST instead of FIN teardown.
+    pub rst_prob: f64,
+}
+
+impl Default for WebTrafficConfig {
+    fn default() -> Self {
+        WebTrafficConfig {
+            flows: 1_000,
+            duration_secs: 60.0,
+            servers: 200,
+            server_zipf: 1.1,
+            rtt_median_ms: 80.0,
+            rtt_sigma: 0.45,
+            mixture: FlowSizeMixture::default(),
+            mss: 1460,
+            jitter_mean_us: 300.0,
+            rst_prob: 0.02,
+        }
+    }
+}
+
+/// Deterministic Web trace generator.
+#[derive(Debug)]
+pub struct WebTrafficGenerator {
+    config: WebTrafficConfig,
+    rng: StdRng,
+}
+
+impl WebTrafficGenerator {
+    /// Creates a generator with a fixed seed; the same `(config, seed)`
+    /// always yields the identical trace.
+    pub fn new(config: WebTrafficConfig, seed: u64) -> WebTrafficGenerator {
+        WebTrafficGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the trace.
+    pub fn generate(mut self) -> Trace {
+        let pool = ZipfServerPool::new(&mut self.rng, self.config.servers, self.config.server_zipf);
+        let mean_gap = self.config.duration_secs / self.config.flows.max(1) as f64;
+        let mut packets = Vec::new();
+        let mut start = 0.0f64;
+        for _ in 0..self.config.flows {
+            start += exponential(&mut self.rng, mean_gap);
+            let server = pool.sample(&mut self.rng);
+            self.script_flow(Timestamp::from_secs_f64(start), server, &mut packets);
+        }
+        Trace::from_packets(packets)
+    }
+
+    fn random_client(&mut self) -> Ipv4Addr {
+        // Public-looking space distinct from the server pool's bias.
+        Ipv4Addr::new(
+            self.rng.gen_range(11u8..=223),
+            self.rng.gen(),
+            self.rng.gen(),
+            self.rng.gen_range(1..=254),
+        )
+    }
+
+    fn script_flow(&mut self, start: Timestamp, server: Ipv4Addr, out: &mut Vec<PacketRecord>) {
+        let cfg = self.config.clone();
+        let client = self.random_client();
+        let client_port = self.rng.gen_range(1024..=65000u16);
+        let c2s = FiveTuple::tcp(client, client_port, server, 80);
+        let s2c = c2s.reversed();
+        let rtt = Duration::from_secs_f64(
+            lognormal(&mut self.rng, cfg.rtt_median_ms, cfg.rtt_sigma) / 1_000.0,
+        )
+        .max(Duration::from_micros(1_000));
+        let n_target = cfg.mixture.sample(&mut self.rng);
+        let data_segments = n_target.saturating_sub(7).max(1);
+        let request_len = self.rng.gen_range(120..=700u16);
+        let aborted = self.rng.gen_bool(cfg.rst_prob);
+
+        let mut now = start;
+        let jitter = |rng: &mut StdRng| {
+            Duration::from_micros(exponential(rng, cfg.jitter_mean_us) as u64 + 1)
+        };
+        let mut client_seq: u32 = self.rng.gen();
+        let mut server_seq: u32 = self.rng.gen();
+        let mut client_id: u16 = self.rng.gen();
+        let mut server_id: u16 = self.rng.gen();
+        let client_ttl = self.rng.gen_range(48u8..=64);
+        let server_ttl = self.rng.gen_range(48u8..=64);
+
+        let push = |ts: Timestamp,
+                        tuple: FiveTuple,
+                        flags: TcpFlags,
+                        len: u16,
+                        seq: &mut u32,
+                        ack: u32,
+                        id: &mut u16,
+                        ttl: u8,
+                        out: &mut Vec<PacketRecord>| {
+            out.push(
+                PacketRecord::builder()
+                    .timestamp(ts)
+                    .tuple(tuple)
+                    .flags(flags)
+                    .payload_len(len)
+                    .seq(*seq)
+                    .ack(ack)
+                    .ip_id(*id)
+                    .ttl(ttl)
+                    .build(),
+            );
+            *seq = seq.wrapping_add(len as u32).wrapping_add(
+                u32::from(flags.contains(TcpFlags::SYN) || flags.contains(TcpFlags::FIN)),
+            );
+            *id = id.wrapping_add(1);
+        };
+
+        // Three-way handshake.
+        push(now, c2s, TcpFlags::SYN, 0, &mut client_seq, 0, &mut client_id, client_ttl, out);
+        now += rtt;
+        push(
+            now,
+            s2c,
+            TcpFlags::SYN | TcpFlags::ACK,
+            0,
+            &mut server_seq,
+            client_seq,
+            &mut server_id,
+            server_ttl,
+            out,
+        );
+        now += rtt;
+        push(
+            now,
+            c2s,
+            TcpFlags::ACK,
+            0,
+            &mut client_seq,
+            server_seq,
+            &mut client_id,
+            client_ttl,
+            out,
+        );
+
+        // Request.
+        now += jitter(&mut self.rng);
+        push(
+            now,
+            c2s,
+            TcpFlags::PSH | TcpFlags::ACK,
+            request_len,
+            &mut client_seq,
+            server_seq,
+            &mut client_id,
+            client_ttl,
+            out,
+        );
+
+        // Response segments: first one waits a full RTT (dependent), the
+        // rest stream back-to-back.
+        let response_total: u64 =
+            self.rng.gen_range(cfg.mss as u64 / 2..cfg.mss as u64 * data_segments as u64 + 1);
+        for i in 0..data_segments {
+            now += if i == 0 { rtt } else { jitter(&mut self.rng) };
+            let remaining = response_total.saturating_sub(i as u64 * cfg.mss as u64);
+            let len = remaining.min(cfg.mss as u64).max(64) as u16;
+            let last = i + 1 == data_segments;
+            let flags = if last {
+                TcpFlags::PSH | TcpFlags::ACK
+            } else {
+                TcpFlags::ACK
+            };
+            push(
+                now,
+                s2c,
+                flags,
+                len,
+                &mut server_seq,
+                client_seq,
+                &mut server_id,
+                server_ttl,
+                out,
+            );
+        }
+
+        if aborted {
+            // Client gives up: RST after the data stops.
+            now += rtt;
+            push(
+                now,
+                c2s,
+                TcpFlags::RST,
+                0,
+                &mut client_seq,
+                server_seq,
+                &mut client_id,
+                client_ttl,
+                out,
+            );
+            return;
+        }
+
+        // Server-initiated teardown (HTTP/1.0 close).
+        now += jitter(&mut self.rng);
+        push(
+            now,
+            s2c,
+            TcpFlags::FIN | TcpFlags::ACK,
+            0,
+            &mut server_seq,
+            client_seq,
+            &mut server_id,
+            server_ttl,
+            out,
+        );
+        now += rtt;
+        push(
+            now,
+            c2s,
+            TcpFlags::FIN | TcpFlags::ACK,
+            0,
+            &mut client_seq,
+            server_seq,
+            &mut client_id,
+            client_ttl,
+            out,
+        );
+        now += rtt;
+        push(
+            now,
+            s2c,
+            TcpFlags::ACK,
+            0,
+            &mut server_seq,
+            client_seq,
+            &mut server_id,
+            server_ttl,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowzip_trace::flow::FlowTable;
+
+    fn generate(flows: usize, seed: u64) -> Trace {
+        WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows,
+                duration_secs: 30.0,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(50, 1), generate(50, 1));
+        assert_ne!(generate(50, 1), generate(50, 2));
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_nonempty() {
+        let t = generate(200, 3);
+        assert!(t.is_time_ordered());
+        assert!(t.len() >= 200 * 7);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn flows_follow_the_script() {
+        let t = generate(100, 4);
+        let table = FlowTable::from_trace(&t);
+        assert_eq!(table.len(), 100);
+        for flow in table.flows() {
+            let pkts = flow.packets();
+            // Starts with a client SYN.
+            assert!(pkts[0].0.flags().is_syn_only(), "flow starts with SYN");
+            // Second packet is the SYN+ACK from the server.
+            assert!(pkts[1].0.flags().is_syn_ack());
+            // Ends with FIN teardown or RST abort.
+            assert!(flow.saw_termination(), "flow must terminate");
+            // Destination port 80 on the initiator side.
+            assert_eq!(flow.initiator().dst_port, 80);
+            assert!((1024..=65000).contains(&flow.initiator().src_port));
+            // FIN-closed conversations have >= 8 packets; RST aborts can
+            // be as short as handshake + request + data + RST.
+            assert!(flow.len() >= 6, "flow of {} packets", flow.len());
+        }
+    }
+
+    #[test]
+    fn rtt_estimates_match_configuration() {
+        let t = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 300,
+                rtt_median_ms: 100.0,
+                rtt_sigma: 0.1, // tight for the test
+                ..WebTrafficConfig::default()
+            },
+            5,
+        )
+        .generate();
+        let table = FlowTable::from_trace(&t);
+        let mut rtts: Vec<f64> = table
+            .flows()
+            .filter_map(|f| f.estimate_rtt())
+            .map(|d| d.as_secs_f64() * 1_000.0)
+            .collect();
+        rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rtts[rtts.len() / 2];
+        assert!((70.0..=130.0).contains(&median), "median rtt {median} ms");
+    }
+
+    #[test]
+    fn flow_size_marginals_match_the_paper() {
+        let t = generate(3_000, 6);
+        let stats = FlowTable::from_trace(&t).stats(50);
+        let sf = stats.short_flow_fraction();
+        let sp = stats.short_packet_fraction();
+        let sb = stats.short_byte_fraction();
+        assert!((0.95..=1.0).contains(&sf), "≈98% short flows, got {sf}");
+        assert!((0.55..=0.95).contains(&sp), "≈75% packets in short flows, got {sp}");
+        assert!((0.5..=0.98).contains(&sb), "≈80% bytes in short flows, got {sb}");
+    }
+
+    #[test]
+    fn some_flows_abort_with_rst() {
+        let t = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 500,
+                rst_prob: 0.2,
+                ..WebTrafficConfig::default()
+            },
+            7,
+        )
+        .generate();
+        let table = FlowTable::from_trace(&t);
+        let rsts = table
+            .flows()
+            .filter(|f| f.packets().iter().any(|(p, _)| p.flags().is_rst()))
+            .count();
+        assert!(rsts > 50, "expected ~20% RST flows, got {rsts}/500");
+    }
+
+    #[test]
+    fn dependent_gaps_are_rtt_sized() {
+        let t = generate(50, 8);
+        let table = FlowTable::from_trace(&t);
+        for flow in table.flows().take(10) {
+            let pkts = flow.packets();
+            // SYN -> SYN+ACK gap ≈ flow RTT ≥ 1 ms by construction.
+            let gap = pkts[1].0.timestamp().saturating_since(pkts[0].0.timestamp());
+            assert!(gap.as_micros() >= 1_000);
+            // Back-to-back server segments are far tighter than RTT gaps.
+            if flow.len() > 9 {
+                let g2 = pkts[5].0.timestamp().saturating_since(pkts[4].0.timestamp());
+                if pkts[5].1 == pkts[4].1 {
+                    assert!(g2 < gap, "same-direction gap should be below RTT");
+                }
+            }
+        }
+    }
+}

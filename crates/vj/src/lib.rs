@@ -1,0 +1,43 @@
+//! Van Jacobson TCP/IP header compression (RFC 1144), adapted for packet
+//! trace storage exactly as §5 of the paper describes.
+//!
+//! The original VJ scheme targets low-speed serial links: per-connection
+//! state lets most headers shrink to a few delta bytes. The paper adapts it
+//! to high-speed trace storage with two changes:
+//!
+//! * a **2-byte timestamp** is added to every compressed header (traces
+//!   need timing; links do not);
+//! * the connection identifier grows from 1 byte to **3 bytes**, because a
+//!   backbone link holds far more simultaneous flows than a modem line;
+//! * the TCP checksum is *not* carried (trace storage does not replay
+//!   payload, so there is nothing to verify).
+//!
+//! The result: "minimal encoded headers are of 6 bytes" — change mask (1) +
+//! connection id (3) + timestamp delta (2). This crate implements a working
+//! compressor/decompressor with that wire format ([`comp`]) plus the
+//! analytic ratio model of Eq. (5)–(6) ([`model`]).
+//!
+//! # Example
+//!
+//! ```
+//! use flowzip_trace::prelude::*;
+//! use flowzip_vj::comp::{VjCompressor, VjDecompressor};
+//!
+//! let t = FiveTuple::tcp(Ipv4Addr::new(10,0,0,1), 4000, Ipv4Addr::new(10,0,0,2), 80);
+//! let mut trace = Trace::new();
+//! for i in 0..10u64 {
+//!     trace.push(PacketRecord::builder()
+//!         .timestamp(Timestamp::from_micros(i * 100))
+//!         .tuple(t).seq(1000 + 10 * i as u32).flags(TcpFlags::ACK)
+//!         .build());
+//! }
+//! let bytes = VjCompressor::new().compress_trace(&trace);
+//! let back = VjDecompressor::new().decompress_trace(&bytes).unwrap();
+//! assert_eq!(back, trace);
+//! ```
+
+pub mod comp;
+pub mod model;
+
+pub use comp::{VjCompressor, VjDecompressor, VjError};
+pub use model::{expected_ratio, ratio_for_flow_len};

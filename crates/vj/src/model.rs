@@ -1,0 +1,110 @@
+//! Analytic Van Jacobson compression-ratio model — Eq. (5) and (6) of §5.
+//!
+//! The paper bounds the compressed size of an n-packet flow by one full
+//! 40-byte header for the first packet plus 6 bytes for each remaining
+//! packet:
+//!
+//! ```text
+//! r_vj(n) = (40 + 6·(n − 1)) / (40·n)            (Eq. 5)
+//! C_vj    = Σₙ Pₙ·(40 + 6·(n−1)) / Σₙ Pₙ·40·n    (Eq. 6, byte-weighted)
+//! ```
+//!
+//! With the Web flow-length distributions the paper measures, `C_vj` lands
+//! near **30%**.
+
+/// Bytes of an uncompressed TCP/IP header.
+pub const FULL_HEADER_BYTES: f64 = 40.0;
+/// Bytes of the minimal VJ-adapted compressed header: change mask (1) +
+/// 3-byte connection id + 2-byte timestamp.
+pub const MIN_COMPRESSED_BYTES: f64 = 6.0;
+
+/// Eq. (5): the compression-ratio bound for a single flow of `n` packets.
+///
+/// # Panics
+///
+/// Panics if `n == 0`; zero-packet flows do not exist.
+pub fn ratio_for_flow_len(n: u64) -> f64 {
+    assert!(n > 0, "flows have at least one packet");
+    (FULL_HEADER_BYTES + MIN_COMPRESSED_BYTES * (n as f64 - 1.0)) / (FULL_HEADER_BYTES * n as f64)
+}
+
+/// Eq. (6): overall ratio under a flow-length pmf (`pmf[n]` = probability
+/// a flow has exactly `n` packets; index 0 ignored).
+///
+/// Byte-weighted: total compressed bytes over total original bytes, both
+/// per expected flow.
+pub fn expected_ratio(pmf: &[f64]) -> f64 {
+    let mut compressed = 0.0;
+    let mut original = 0.0;
+    for (n, &p) in pmf.iter().enumerate().skip(1) {
+        if p > 0.0 {
+            let n = n as f64;
+            compressed += p * (FULL_HEADER_BYTES + MIN_COMPRESSED_BYTES * (n - 1.0));
+            original += p * FULL_HEADER_BYTES * n;
+        }
+    }
+    if original == 0.0 {
+        0.0
+    } else {
+        compressed / original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_flow_has_ratio_one() {
+        assert!((ratio_for_flow_len(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_decreases_with_flow_length() {
+        let mut last = f64::INFINITY;
+        for n in 1..200 {
+            let r = ratio_for_flow_len(n);
+            assert!(r < last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn asymptote_is_six_fortieths() {
+        let r = ratio_for_flow_len(1_000_000);
+        assert!((r - 0.15).abs() < 1e-3);
+    }
+
+    #[test]
+    fn expected_ratio_degenerate_pmf() {
+        // All flows exactly 10 packets.
+        let mut pmf = vec![0.0; 11];
+        pmf[10] = 1.0;
+        let expect = (40.0 + 6.0 * 9.0) / 400.0;
+        assert!((expected_ratio(&pmf) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_ratio_empty_pmf_is_zero() {
+        assert_eq!(expected_ratio(&[]), 0.0);
+        assert_eq!(expected_ratio(&[1.0]), 0.0); // only index 0
+    }
+
+    #[test]
+    fn web_like_mix_lands_near_thirty_percent() {
+        // A mice-dominated mixture: mostly short flows (3–12 packets)
+        // with a thin elephant tail — the regime the paper measures.
+        let mut pmf = vec![0.0; 301];
+        pmf[3] = 0.25;
+        pmf[5] = 0.25;
+        pmf[8] = 0.20;
+        pmf[12] = 0.15;
+        pmf[30] = 0.10;
+        pmf[300] = 0.05;
+        let r = expected_ratio(&pmf);
+        assert!(
+            (0.18..=0.38).contains(&r),
+            "web-like mixture should land near the paper's 30%, got {r}"
+        );
+    }
+}

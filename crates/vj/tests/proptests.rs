@@ -1,0 +1,81 @@
+//! Property tests: VJ compression must be bit-exact over arbitrary
+//! header walks, including pathological deltas and interleavings.
+
+use flowzip_trace::prelude::*;
+use flowzip_vj::comp::{VjCompressor, VjDecompressor};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // (flow-select, ts-gap, seq/ack/win/ipid/len/flags deltas)
+    prop::collection::vec(
+        (
+            0u8..6,            // which of up to 6 connections
+            0u64..200_000,     // gap to previous packet (µs)
+            any::<u32>(),      // seq
+            any::<u32>(),      // ack
+            any::<u16>(),      // window
+            any::<u16>(),      // ip id
+            0u16..1461,        // payload
+            any::<u8>(),       // flags byte
+        ),
+        1..200,
+    )
+    .prop_map(|steps| {
+        let mut now = 0u64;
+        let mut trace = Trace::new();
+        for (conn, gap, seq, ack, win, id, len, flags) in steps {
+            now += gap;
+            let tuple = FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, conn + 1),
+                5_000 + conn as u16,
+                Ipv4Addr::new(192, 168, 1, 1),
+                80,
+            );
+            trace.push(
+                PacketRecord::builder()
+                    .timestamp(Timestamp::from_micros(now))
+                    .tuple(tuple)
+                    .seq(seq)
+                    .ack(ack)
+                    .window(win)
+                    .ip_id(id)
+                    .payload_len(len)
+                    .flags(TcpFlags::from_bits(flags))
+                    .build(),
+            );
+        }
+        trace
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_exact(trace in arb_trace()) {
+        let bytes = VjCompressor::new().compress_trace(&trace);
+        let back = VjDecompressor::new().decompress_trace(&bytes).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn truncation_never_panics_or_lies(trace in arb_trace(), cut_frac in 0.0f64..1.0) {
+        let bytes = VjCompressor::new().compress_trace(&trace);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        // A mid-record cut is correctly rejected with an error; a cut on a
+        // clean record boundary yields a prefix of the original trace.
+        if let Ok(partial) = VjDecompressor::new().decompress_trace(&bytes[..cut]) {
+            prop_assert!(partial.len() <= trace.len());
+            for (a, b) in partial.iter().zip(trace.iter()) {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_never_larger_than_full_headers_plus_overhead(trace in arb_trace()) {
+        let bytes = VjCompressor::new().compress_trace(&trace);
+        // Worst case per packet: full record (41 bytes).
+        prop_assert!(bytes.len() <= trace.len() * 41 + 16);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: generate a Web trace, compress it by flow clustering,
+//! decompress it, and compare the two — the end-to-end pipeline of the
+//! paper in ~60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use flowzip::prelude::*;
+
+fn main() {
+    // 1. Synthesize 60 seconds of Web traffic (the RedIRIS substitute).
+    let trace = WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows: 2_000,
+            duration_secs: 60.0,
+            ..WebTrafficConfig::default()
+        },
+        42,
+    )
+    .generate();
+    let tsh_bytes = flowzip::trace::tsh::file_size(&trace);
+    println!(
+        "original trace : {} packets, {} flows, {:.1} MB as TSH",
+        trace.len(),
+        FlowTable::from_trace(&trace).len(),
+        tsh_bytes as f64 / 1e6
+    );
+
+    // 2. Compress with the paper's parameters (weights 16/4/1, d_sim = 2%).
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    println!("compression    : {report}");
+    println!(
+        "datasets       : {} (ratio {:.2}% of TSH)",
+        report.sizes,
+        100.0 * report.ratio_vs_tsh
+    );
+
+    // 3. Serialize / reload the archive.
+    let bytes = archive.to_bytes();
+    let reloaded = CompressedTrace::from_bytes(&bytes).expect("own bytes parse");
+    assert_eq!(reloaded.flow_count(), archive.flow_count());
+
+    // 4. Decompress into a statistically equivalent trace.
+    let restored = Decompressor::new(DecompressParams::default()).decompress(&reloaded);
+    println!(
+        "decompressed   : {} packets, {} flows",
+        restored.len(),
+        FlowTable::from_trace(&restored).len()
+    );
+
+    // 5. Compare what the method promises to preserve.
+    let stats = |t: &Trace| FlowTable::from_trace(t).stats(50);
+    let (so, sd) = (stats(&trace), stats(&restored));
+    let mut table = TextTable::new(&["metric", "original", "decompressed"]);
+    table.row_owned(vec![
+        "packets".into(),
+        trace.len().to_string(),
+        restored.len().to_string(),
+    ]);
+    table.row_owned(vec![
+        "flows".into(),
+        so.flows.to_string(),
+        sd.flows.to_string(),
+    ]);
+    table.row_owned(vec![
+        "short-flow share".into(),
+        format!("{:.1}%", 100.0 * so.short_flow_fraction()),
+        format!("{:.1}%", 100.0 * sd.short_flow_fraction()),
+    ]);
+    table.row_owned(vec![
+        "mean flow length".into(),
+        format!("{:.2}", so.mean_flow_len()),
+        format!("{:.2}", sd.mean_flow_len()),
+    ]);
+    println!("\n{table}");
+}

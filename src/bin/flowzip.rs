@@ -1,0 +1,230 @@
+//! `flowzip` — command-line front end for the trace compressor.
+//!
+//! ```text
+//! flowzip generate   --flows 2000 --secs 60 --seed 42 -o web.tsh
+//! flowzip stats      web.tsh
+//! flowzip compress   web.tsh -o web.fzc
+//! flowzip info       web.fzc
+//! flowzip decompress web.fzc -o web-restored.tsh
+//! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
+//! ```
+//!
+//! TSH files are the NLANR 44-byte-record format; `.fzc` is the archive
+//! format of `flowzip_core::datasets` (magic `FZC1`).
+
+use flowzip::core::{synthesize, CompressedTrace, Compressor, Decompressor, Params};
+use flowzip::prelude::*;
+use flowzip::trace::tsh;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  flowzip generate   [--flows N] [--secs S] [--seed K] -o OUT.tsh
+  flowzip stats      IN.tsh
+  flowzip compress   IN.tsh  -o OUT.fzc
+  flowzip info       IN.fzc
+  flowzip decompress IN.fzc  -o OUT.tsh [--seed K]
+  flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh";
+
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                flags.push((key.to_string(), value.clone()));
+                i += 2;
+            } else if args[i] == "-o" {
+                let value = args.get(i + 1).ok_or("missing value for -o")?;
+                flags.push(("out".to_string(), value.clone()));
+                i += 2;
+            } else {
+                positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants a number")),
+        }
+    }
+
+    fn out(&self) -> Result<PathBuf, String> {
+        self.get("out")
+            .map(PathBuf::from)
+            .ok_or_else(|| "missing -o OUT".to_string())
+    }
+
+    fn input(&self) -> Result<&str, String> {
+        self.positional
+            .first()
+            .map(|s| s.as_str())
+            .ok_or_else(|| "missing input file".to_string())
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "stats" => stats(&opts),
+        "compress" => compress(&opts),
+        "info" => info(&opts),
+        "decompress" => decompress(&opts),
+        "synth" => synth(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_tsh(path: &str) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    tsh::read_trace(std::io::BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn write_tsh(path: &PathBuf, trace: &Trace) -> Result<u64, String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    tsh::write_trace(std::io::BufWriter::new(file), trace)
+        .map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn generate(opts: &Opts) -> Result<(), String> {
+    let flows = opts.get_u64("flows", 2_000)? as usize;
+    let secs = opts.get_u64("secs", 60)? as f64;
+    let seed = opts.get_u64("seed", 42)?;
+    let out = opts.out()?;
+    let trace = WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows,
+            duration_secs: secs,
+            ..WebTrafficConfig::default()
+        },
+        seed,
+    )
+    .generate();
+    let bytes = write_tsh(&out, &trace)?;
+    println!(
+        "wrote {}: {} packets, {} flows, {} bytes",
+        out.display(),
+        trace.len(),
+        FlowTable::from_trace(&trace).len(),
+        bytes
+    );
+    Ok(())
+}
+
+fn stats(opts: &Opts) -> Result<(), String> {
+    let trace = read_tsh(opts.input()?)?;
+    let s = FlowTable::from_trace(&trace).stats(50);
+    println!("{s}");
+    println!(
+        "packets {}  duration {}  tsh bytes {}",
+        trace.len(),
+        trace.duration(),
+        tsh::file_size(&trace)
+    );
+    Ok(())
+}
+
+fn compress(opts: &Opts) -> Result<(), String> {
+    let input = opts.input()?;
+    let out = opts.out()?;
+    let trace = read_tsh(input)?;
+    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+    let bytes = archive.to_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("{report}");
+    println!("wrote {} ({} bytes)", out.display(), bytes.len());
+    Ok(())
+}
+
+fn info(opts: &Opts) -> Result<(), String> {
+    let input = opts.input()?;
+    let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+    let (_, sizes) = archive.encode();
+    println!("archive: {input}");
+    println!("  flows            : {}", archive.flow_count());
+    println!("  packets          : {}", archive.packet_count());
+    println!("  short templates  : {}", archive.short_templates.len());
+    println!("  long templates   : {}", archive.long_templates.len());
+    println!("  unique addresses : {}", archive.addresses.len());
+    println!("  bytes            : {sizes}");
+    Ok(())
+}
+
+fn decompress(opts: &Opts) -> Result<(), String> {
+    let input = opts.input()?;
+    let out = opts.out()?;
+    let seed = opts.get_u64("seed", 0x5EED)?;
+    let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+    let trace = Decompressor::new(DecompressParams {
+        seed,
+        ..DecompressParams::default()
+    })
+    .decompress(&archive);
+    let written = write_tsh(&out, &trace)?;
+    println!(
+        "wrote {}: {} packets ({} bytes)",
+        out.display(),
+        trace.len(),
+        written
+    );
+    Ok(())
+}
+
+fn synth(opts: &Opts) -> Result<(), String> {
+    let input = opts.input()?;
+    let out = opts.out()?;
+    let flows = opts.get_u64("flows", 10_000)? as usize;
+    let seed = opts.get_u64("seed", 0x517E)?;
+    let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+    let trace = synthesize(&archive, flows, seed);
+    let written = write_tsh(&out, &trace)?;
+    println!(
+        "synthesized {}: {} flows, {} packets ({} bytes)",
+        out.display(),
+        flows,
+        trace.len(),
+        written
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! # flowzip
+//!
+//! A production-grade reproduction of *"Performance Analysis of a New
+//! Packet Trace Compressor based on TCP Flow Clustering"* (Holanda,
+//! Verdú, García, Valero — ISPASS 2005): a lossy packet-trace compressor
+//! that clusters similar TCP flows into shared templates, reaching ≈3% of
+//! the original trace size while preserving the statistical properties
+//! that drive memory-system behaviour of trace-driven benchmarks.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`trace`] | `flowzip-trace` | packet/flow model, TSH trace format |
+//! | [`traffic`] | `flowzip-traffic` | synthetic Web/random/fractal traces |
+//! | [`core`] | `flowzip-core` | ★ the flow-clustering compressor (§2–§4) |
+//! | [`deflate`] | `flowzip-deflate` | from-scratch DEFLATE/gzip baseline |
+//! | [`vj`] | `flowzip-vj` | Van Jacobson header compression baseline |
+//! | [`peuhkuri`] | `flowzip-peuhkuri` | Peuhkuri flow-based baseline |
+//! | [`radix`] | `flowzip-radix` | PATRICIA routing table + tracing |
+//! | [`cachesim`] | `flowzip-cachesim` | cache simulator + packet meter |
+//! | [`netbench`] | `flowzip-netbench` | Route/NAT/RTR kernels (§6) |
+//! | [`analysis`] | `flowzip-analysis` | CDFs, histograms, KS, tables |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flowzip::prelude::*;
+//!
+//! // 1. A synthetic Web trace (the RedIRIS substitute).
+//! let trace = WebTrafficGenerator::new(
+//!     WebTrafficConfig { flows: 200, ..Default::default() }, 42).generate();
+//!
+//! // 2. Compress by flow clustering.
+//! let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+//! assert!(report.ratio_vs_tsh < 0.10);
+//!
+//! // 3. Decompress into a statistically equivalent trace.
+//! let restored = Decompressor::default().decompress(&archive);
+//! assert_eq!(restored.len(), trace.len());
+//! ```
+
+pub use flowzip_analysis as analysis;
+pub use flowzip_cachesim as cachesim;
+pub use flowzip_core as core;
+pub use flowzip_deflate as deflate;
+pub use flowzip_netbench as netbench;
+pub use flowzip_peuhkuri as peuhkuri;
+pub use flowzip_radix as radix;
+pub use flowzip_trace as trace;
+pub use flowzip_traffic as traffic;
+pub use flowzip_vj as vj;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use flowzip_analysis::{ks_distance, BucketedHistogram, Cdf, TextTable};
+    pub use flowzip_cachesim::{Cache, CacheConfig, PacketCost, PacketCostMeter};
+    pub use flowzip_core::{
+        synthesize, CompressedTrace, CompressionReport, Compressor, DecompressParams,
+        Decompressor, Params, SynthConfig, SynthGenerator,
+    };
+    pub use flowzip_netbench::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
+    pub use flowzip_radix::{RadixTable, TableGen};
+    pub use flowzip_trace::prelude::*;
+    pub use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+    pub use flowzip_traffic::{fractal_trace, randomize_destinations, FractalTraceConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_exposes_all_crates() {
+        // Compile-time check that every re-export resolves.
+        let _ = crate::core::Params::paper();
+        let _ = crate::cachesim::CacheConfig::netbench_l1();
+        let _ = crate::trace::TcpFlags::SYN;
+        let _ = crate::netbench::BenchKind::Route;
+        let _ = crate::deflate::Level::Default;
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the `flowzip` CLI binary: every subcommand, the
+//! full generate → compress → decompress → synth file workflow, and error
+//! handling.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flowzip"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flowzip-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_file_workflow() {
+    let dir = tmpdir("workflow");
+    let tsh = dir.join("web.tsh");
+    let fzc = dir.join("web.fzc");
+    let restored = dir.join("restored.tsh");
+    let scaled = dir.join("scaled.tsh");
+
+    // generate
+    let out = bin()
+        .args(["generate", "--flows", "300", "--secs", "20", "--seed", "7", "-o"])
+        .arg(&tsh)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let tsh_len = std::fs::metadata(&tsh).unwrap().len();
+    assert!(tsh_len > 0);
+    assert_eq!(tsh_len % 44, 0, "TSH files are 44-byte records");
+
+    // stats
+    let out = bin().arg("stats").arg(&tsh).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("300 flows"), "stats output: {text}");
+
+    // compress
+    let out = bin().arg("compress").arg(&tsh).arg("-o").arg(&fzc).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let fzc_len = std::fs::metadata(&fzc).unwrap().len();
+    assert!(
+        (fzc_len as f64) < tsh_len as f64 * 0.10,
+        "archive {fzc_len} should be well under 10% of {tsh_len}"
+    );
+
+    // info
+    let out = bin().arg("info").arg(&fzc).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("flows            : 300"), "info output: {text}");
+
+    // decompress
+    let out = bin()
+        .arg("decompress")
+        .arg(&fzc)
+        .arg("-o")
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::metadata(&restored).unwrap().len(),
+        tsh_len,
+        "same packet count → same TSH size"
+    );
+
+    // synth: scale the archive up 3x
+    let out = bin()
+        .args(["synth"])
+        .arg(&fzc)
+        .args(["--flows", "900", "--seed", "5", "-o"])
+        .arg(&scaled)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let scaled_len = std::fs::metadata(&scaled).unwrap().len();
+    assert!(
+        scaled_len > tsh_len * 2,
+        "3x flows should yield roughly 3x packets ({scaled_len} vs {tsh_len})"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_output_flag_fails() {
+    let out = bin().args(["generate", "--flows", "10"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing -o"));
+}
+
+#[test]
+fn corrupt_archive_is_rejected() {
+    let dir = tmpdir("corrupt");
+    let bad = dir.join("bad.fzc");
+    std::fs::write(&bad, b"not an archive at all").unwrap();
+    let out = bin().arg("info").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = bin().arg("stats").arg("/nonexistent/nope.tsh").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("open"));
+}

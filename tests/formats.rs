@@ -1,0 +1,58 @@
+//! Cross-format integration tests: the same trace must survive TSH and
+//! pcap serialization identically, and formats must interconvert.
+
+use flowzip::prelude::*;
+use flowzip::trace::{pcap, tsh};
+
+fn web_trace(flows: usize, seed: u64) -> Trace {
+    WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows,
+            duration_secs: 15.0,
+            ..WebTrafficConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+#[test]
+fn tsh_and_pcap_carry_identical_packets() {
+    let trace = web_trace(150, 1);
+    let via_tsh = tsh::read_trace(&tsh::to_bytes(&trace)[..]).unwrap();
+    let via_pcap = pcap::read_trace(&pcap::to_bytes(&trace)[..]).unwrap();
+    assert_eq!(via_tsh, trace);
+    assert_eq!(via_pcap, trace);
+}
+
+#[test]
+fn tsh_to_pcap_conversion_roundtrip() {
+    // tsh bytes -> Trace -> pcap bytes -> Trace -> tsh bytes: first and
+    // last TSH images must be identical.
+    let trace = web_trace(100, 2);
+    let tsh1 = tsh::to_bytes(&trace);
+    let decoded = tsh::read_trace(&tsh1[..]).unwrap();
+    let pcap_img = pcap::to_bytes(&decoded);
+    let back = pcap::read_trace(&pcap_img[..]).unwrap();
+    let tsh2 = tsh::to_bytes(&back);
+    assert_eq!(tsh1, tsh2);
+}
+
+#[test]
+fn format_sizes_relate_as_expected() {
+    let trace = web_trace(100, 3);
+    let tsh_len = tsh::file_size(&trace);
+    let pcap_len = pcap::to_bytes(&trace).len() as u64;
+    // pcap: 24-byte global header + 70 bytes/packet (16 + 54) vs TSH 44.
+    assert_eq!(pcap_len, 24 + trace.len() as u64 * 70);
+    assert!(pcap_len > tsh_len);
+}
+
+#[test]
+fn compressed_archive_is_smaller_than_any_capture_format() {
+    let trace = web_trace(400, 4);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let fzc = archive.to_bytes().len() as u64;
+    assert!(fzc * 10 < tsh::file_size(&trace));
+    assert!(fzc * 10 < pcap::to_bytes(&trace).len() as u64);
+}

@@ -1,0 +1,206 @@
+//! End-to-end integration tests spanning the whole workspace: generate →
+//! compress → serialize → decompress → replay, checking the properties
+//! the paper claims at each boundary.
+
+use flowzip::prelude::*;
+use flowzip::trace::tsh;
+
+fn web_trace(flows: usize, seed: u64) -> Trace {
+    WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows,
+            duration_secs: 30.0,
+            ..WebTrafficConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+#[test]
+fn full_pipeline_preserves_flow_statistics() {
+    let original = web_trace(500, 1);
+    let (archive, report) = Compressor::new(Params::paper()).compress(&original);
+
+    // Serialize through bytes (what would live on disk).
+    let bytes = archive.to_bytes();
+    let reloaded = CompressedTrace::from_bytes(&bytes).unwrap();
+    let restored = Decompressor::default().decompress(&reloaded);
+
+    assert_eq!(restored.len(), original.len(), "packet count preserved");
+    let so = FlowTable::from_trace(&original).stats(50);
+    let sd = FlowTable::from_trace(&restored).stats(50);
+    assert_eq!(so.flows, sd.flows, "flow count preserved");
+    assert!((so.short_flow_fraction() - sd.short_flow_fraction()).abs() < 0.02);
+    assert!((so.mean_flow_len() - sd.mean_flow_len()).abs() < 0.5);
+
+    // Flow-length distribution: KS over per-flow packet counts.
+    let lens = |s: &FlowStats| {
+        s.length_histogram
+            .iter()
+            .enumerate()
+            .flat_map(|(n, &c)| std::iter::repeat_n(n as f64, c as usize))
+            .collect::<Vec<f64>>()
+    };
+    let d = ks_distance(&lens(&so), &lens(&sd));
+    assert!(d < 0.05, "flow-length distributions diverge: ks = {d}");
+
+    // And it actually compressed: bytes on disk vs the TSH image.
+    let ratio = bytes.len() as f64 / tsh::file_size(&original) as f64;
+    assert!(ratio < 0.08, "on-disk ratio {ratio}");
+    assert_eq!(report.packets, original.len() as u64);
+}
+
+#[test]
+fn compression_ratio_ordering_matches_figure_1() {
+    use flowzip::deflate::{gzip_compress, Level};
+    use flowzip::peuhkuri::PeuhkuriCompressor;
+    use flowzip::vj::comp::VjCompressor;
+
+    let trace = web_trace(800, 2);
+    let image = tsh::to_bytes(&trace);
+    let original = image.len() as f64;
+
+    let gzip = gzip_compress(&image, Level::Default).len() as f64 / original;
+    let vj = VjCompressor::new().compress_trace(&trace).len() as f64 / original;
+    let pk = PeuhkuriCompressor::new().compress_trace(&trace).len() as f64 / original;
+    let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+    let fc = report.ratio_vs_tsh;
+
+    // Figure 1's ordering: original > gzip > vj > peuhkuri > proposed.
+    assert!(gzip < 1.0, "gzip {gzip}");
+    assert!(vj < gzip, "vj {vj} vs gzip {gzip}");
+    assert!(pk < vj, "peuhkuri {pk} vs vj {vj}");
+    assert!(fc < pk, "proposed {fc} vs peuhkuri {pk}");
+    // And the proposed method is in the paper's ballpark.
+    assert!(fc < 0.06, "proposed ratio {fc} should be a few percent");
+}
+
+#[test]
+fn decompressed_trace_drives_benchmarks_like_the_original() {
+    use flowzip::netbench::route::RouteBench;
+
+    let original = web_trace(400, 3);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&original);
+    let decompressed = Decompressor::default().decompress(&archive);
+    let random = randomize_destinations(&original, 44);
+
+    let cfg = BenchConfig::default();
+    let mut bench = RouteBench::covering_servers(&cfg, &original);
+    let ro = bench.run(&original);
+    let rd = bench.run(&decompressed);
+    let rr = bench.run(&random);
+
+    let acc = |r: &BenchReport| r.costs.iter().map(|c| c.accesses as f64).collect::<Vec<_>>();
+    let ks_dec = ks_distance(&acc(&ro), &acc(&rd));
+    let ks_rand = ks_distance(&acc(&ro), &acc(&rr));
+    assert!(
+        ks_dec < ks_rand,
+        "decompressed (ks {ks_dec}) must track the original better than random (ks {ks_rand})"
+    );
+
+    // Figure 3's headline: the random trace shifts miss-rate mass upward.
+    assert!(
+        rr.mean_miss_rate() > rd.mean_miss_rate() * 1.5,
+        "random {:.4} vs decompressed {:.4}",
+        rr.mean_miss_rate(),
+        rd.mean_miss_rate()
+    );
+    assert!(
+        (ro.mean_miss_rate() - rd.mean_miss_rate()).abs() < 0.02,
+        "original {:.4} vs decompressed {:.4}",
+        ro.mean_miss_rate(),
+        rd.mean_miss_rate()
+    );
+}
+
+#[test]
+fn tsh_round_trip_through_disk_format() {
+    let trace = web_trace(100, 4);
+    let bytes = tsh::to_bytes(&trace);
+    assert_eq!(bytes.len() as u64, trace.len() as u64 * 44);
+    let back = tsh::read_trace(&bytes[..]).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn vj_round_trip_is_exact_on_generated_traffic() {
+    use flowzip::vj::comp::{VjCompressor, VjDecompressor};
+    let trace = web_trace(150, 5);
+    let bytes = VjCompressor::new().compress_trace(&trace);
+    let back = VjDecompressor::new().decompress_trace(&bytes).unwrap();
+    assert_eq!(back, trace, "VJ is lossless down to every header field");
+}
+
+#[test]
+fn peuhkuri_round_trip_preserves_its_contract() {
+    use flowzip::peuhkuri::{decompress, PeuhkuriCompressor};
+    let trace = web_trace(150, 6);
+    let back = decompress(&PeuhkuriCompressor::new().compress_trace(&trace)).unwrap();
+    assert_eq!(back.len(), trace.len());
+    for (a, b) in trace.iter().zip(back.iter()) {
+        assert_eq!(a.tuple(), b.tuple());
+        assert_eq!(a.timestamp(), b.timestamp());
+        assert_eq!(a.flags(), b.flags());
+        assert_eq!(a.payload_len(), b.payload_len());
+    }
+}
+
+#[test]
+fn gzip_on_tsh_image_round_trips() {
+    use flowzip::deflate::{gzip_compress, gzip_decompress, Level};
+    let trace = web_trace(80, 7);
+    let image = tsh::to_bytes(&trace);
+    for level in [Level::Fast, Level::Default, Level::Best] {
+        let z = gzip_compress(&image, level);
+        assert_eq!(gzip_decompress(&z).unwrap(), image);
+        assert!(z.len() < image.len(), "TSH images are compressible");
+    }
+}
+
+#[test]
+fn analytic_models_track_measured_ratios() {
+    let trace = web_trace(1_000, 8);
+    let stats = FlowTable::from_trace(&trace).stats(50);
+    let pmf = stats.length_pmf();
+
+    // VJ: model vs measured within a factor of 1.6 (the model is the
+    // paper's lower bound; the implementation pays varint overhead).
+    let vj_model = flowzip::vj::model::expected_ratio(&pmf);
+    let vj_measured = flowzip::vj::comp::VjCompressor::new()
+        .compress_trace(&trace)
+        .len() as f64
+        / tsh::file_size(&trace) as f64;
+    assert!(
+        vj_measured < vj_model * 1.8 && vj_measured > vj_model * 0.5,
+        "vj model {vj_model:.3} vs measured {vj_measured:.3}"
+    );
+
+    // Proposed: Eq. (8) vs measured.
+    let fc_model = flowzip::core::model::expected_ratio(&pmf);
+    let (_, report) = Compressor::new(Params::paper()).compress(&trace);
+    assert!(
+        report.ratio_vs_tsh < fc_model * 3.0,
+        "proposed model {fc_model:.4} vs measured {:.4}",
+        report.ratio_vs_tsh
+    );
+}
+
+#[test]
+fn clustering_is_the_mechanism_not_an_accident() {
+    // With clustering disabled (similarity 0 and unique-template flows),
+    // the archive must grow; with the paper's threshold it shrinks.
+    let trace = web_trace(600, 9);
+    let strict = Compressor::new(Params {
+        similarity: 0.0,
+        ..Params::paper()
+    });
+    let paper = Compressor::new(Params::paper());
+    let (_, rs) = strict.compress(&trace);
+    let (_, rp) = paper.compress(&trace);
+    assert!(rs.clusters >= rp.clusters);
+    assert!(rs.sizes.total() >= rp.sizes.total());
+    // Even exact-match-only clustering crushes Web traffic, because many
+    // flows are *identical* (§2.1's observation).
+    assert!(rs.clusters < rs.short_flows / 2);
+}
