@@ -1,0 +1,97 @@
+//! The [`Arbitrary`] trait and [`any`], for "any value of this type".
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::marker::PhantomData;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary_value(runner: &mut TestRunner) -> Self;
+}
+
+/// Strategy yielding any value of `T` (with mild bias toward the
+/// boundary values upstream proptest tends to surface via shrinking).
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "any::<{}>()", std::any::type_name::<T>())
+    }
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary_value(runner)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(runner: &mut TestRunner) -> $t {
+                // 1/8 of draws are boundary values.
+                match runner.random_u64() % 16 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    _ => runner.random_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(runner: &mut TestRunner) -> bool {
+        runner.random_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(runner: &mut TestRunner) -> f64 {
+        match runner.random_u64() % 16 {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            _ => {
+                // Finite doubles across a wide magnitude span.
+                let mantissa = (runner.random_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let exp = (runner.random_u64() % 41) as i32 - 20;
+                let sign = if runner.random_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                sign * mantissa * 10f64.powi(exp)
+            }
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary_value(runner: &mut TestRunner) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary_value(runner))
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary_value(runner: &mut TestRunner) -> Option<T> {
+        if runner.random_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(T::arbitrary_value(runner))
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline, dependency-free subset of the `proptest` crate API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `proptest` its test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support);
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter_map` /
+//!   `boxed`, tuple strategies up to 12 elements, integer-range
+//!   strategies, [`strategy::Just`] and [`prop_oneof!`];
+//! * [`arbitrary::Arbitrary`] / [`arbitrary::any`] for primitives,
+//!   byte arrays and `Option<T>`;
+//! * [`collection::vec`] and [`sample::select`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!   returning [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   run seed instead of a minimized input.
+//! * **Deterministic by default.** The runner seed is fixed (or taken
+//!   from `PROPTEST_SEED`), so failures reproduce exactly in CI.
+//! * **Bounded cases.** `PROPTEST_CASES` overrides every suite's case
+//!   count, letting CI cap total runtime (satisfying the workspace's
+//!   bounded-test-time requirement).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares a block of property tests (simplified `proptest::proptest!`).
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in any::<u32>()) {
+///         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __runner = $crate::test_runner::TestRunner::new(__config);
+            let __strategy = ($($strat,)+);
+            __runner.run_named(stringify!($name), &__strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) by returning a [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions compare equal (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions compare unequal (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            __l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Picks one of several strategies (all yielding the same `Value`) with
+/// equal probability. Weighted arms (`w => strat`) are accepted and the
+/// weight is honoured.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

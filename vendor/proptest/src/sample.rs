@@ -1,0 +1,25 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Strategy yielding clones of elements of a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Uniform choice from `options` (mirrors `proptest::sample::select`).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select needs options");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let i = (runner.random_u64() % self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}

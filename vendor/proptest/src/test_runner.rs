@@ -1,0 +1,160 @@
+//! Case-loop driver: configuration, errors, and the runner itself.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Default number of cases per property when neither the suite nor the
+/// `PROPTEST_CASES` environment variable says otherwise. Deliberately
+/// modest so `cargo test -q` stays fast in CI.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Fixed run seed so failures reproduce exactly; override with
+/// `PROPTEST_SEED` to explore a different stream.
+pub const DEFAULT_SEED: u64 = 0xF10B_21B5_EED0_0001;
+
+/// Runner configuration (stands in for `proptest::test_runner::Config`,
+/// aliased to `ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    ///
+    /// The `PROPTEST_CASES` environment variable, when set, overrides
+    /// this for every suite — including suites that hard-code a count
+    /// via [`Config::with_cases`] — so CI can bound total test time.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (subject to the `PROPTEST_CASES`
+    /// environment override).
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(n) if n > 0 => n,
+            _ => self.cases,
+        }
+    }
+
+    fn seed() -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Err(_) => DEFAULT_SEED,
+            Ok(v) => {
+                // Accept both decimal and the 0x-prefixed hex form that
+                // failure messages print, and refuse garbage loudly —
+                // silently falling back would "lose" a reproduction.
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                parsed.unwrap_or_else(|_| panic!("unparseable PROPTEST_SEED: {v:?}"))
+            }
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for the generated input.
+    Fail(String),
+    /// The input was rejected as uninteresting; it does not count as a
+    /// run case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Generates inputs and drives the case loop.
+pub struct TestRunner {
+    config: Config,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner over `config`, seeded deterministically (see
+    /// [`DEFAULT_SEED`] and the `PROPTEST_SEED` variable).
+    pub fn new(config: Config) -> TestRunner {
+        let seed = Config::seed();
+        TestRunner {
+            config,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Raw 64 random bits (strategies sample through this).
+    pub fn random_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Runs `test` against `cases` freshly generated inputs, panicking on
+    /// the first failure with enough context to reproduce it.
+    pub fn run_named<S, F>(&mut self, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let cases = self.config.effective_cases();
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < cases {
+            let value = strategy.generate(self);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < cases.saturating_mul(8).max(256),
+                        "property `{name}` rejected too many inputs ({rejects})"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(reason))) => panic!(
+                    "property `{name}` failed at case {case}/{cases} \
+                     (seed {seed:#x}): {reason}",
+                    seed = self.seed
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "property `{name}` panicked at case {case}/{cases} (seed {seed:#x})",
+                        seed = self.seed
+                    );
+                    panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
