@@ -1,0 +1,109 @@
+//! engine_throughput — single-thread vs. sharded scaling of the
+//! `flowzip-engine` streaming pipeline on a seeded synthetic trace.
+//!
+//! This is the repo's perf trajectory anchor: besides the usual console
+//! report it writes a machine-readable `target/BENCH_engine.json`
+//! (packets/s per thread count) that CI uploads, so future PRs have a
+//! baseline to diff against.
+//!
+//! Knobs (environment):
+//!
+//! * `FLOWZIP_BENCH_PACKETS` — target trace size (default 1_000_000).
+//! * `FLOWZIP_BENCH_RUNS` — timed runs per thread count, best taken
+//!   (default 3).
+//! * `FLOWZIP_BENCH_JSON` — output path override.
+
+use criterion::black_box;
+use flowzip_bench::original_trace;
+use flowzip_engine::StreamingEngine;
+use flowzip_trace::Duration;
+use std::time::Instant;
+
+/// Average packets per flow the default Web mixture produces; only used
+/// to size the generator toward the packet target.
+const PACKETS_PER_FLOW_ESTIMATE: u64 = 18;
+
+const SEED: u64 = 0x0E7E;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Point {
+    threads: usize,
+    seconds: f64,
+    packets_per_sec: f64,
+    mb_per_sec: f64,
+}
+
+fn main() {
+    let target = env_u64("FLOWZIP_BENCH_PACKETS", 1_000_000);
+    let runs = env_u64("FLOWZIP_BENCH_RUNS", 3).max(1);
+    let flows = (target / PACKETS_PER_FLOW_ESTIMATE).max(1) as usize;
+    eprintln!("generating ~{target} packets ({flows} web flows, seed {SEED:#x})...");
+    let trace = original_trace(flows, 120.0, SEED);
+    let packets = trace.len() as u64;
+    let tsh_mb = packets as f64 * 44.0 / 1e6;
+    eprintln!("trace ready: {packets} packets ({tsh_mb:.1} MB as TSH)");
+
+    let mut points: Vec<Point> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let engine = StreamingEngine::builder()
+            .shards(threads)
+            .batch_size(4096)
+            .idle_timeout(Some(Duration::from_secs(120)))
+            .build();
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let (archive, report) = engine.compress_trace(&trace).expect("in-memory run");
+            best = best.min(t0.elapsed().as_secs_f64());
+            black_box((archive, report));
+        }
+        let p = Point {
+            threads,
+            seconds: best,
+            packets_per_sec: packets as f64 / best,
+            mb_per_sec: tsh_mb / best,
+        };
+        println!(
+            "engine_throughput/threads/{:<2}  best {:>8.3}s  {:>12.0} packets/s  {:>8.2} MB/s",
+            p.threads, p.seconds, p.packets_per_sec, p.mb_per_sec
+        );
+        points.push(p);
+    }
+
+    let base = points[0].packets_per_sec;
+    let results: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"seconds\": {:.6}, \"packets_per_sec\": {:.0}, \
+                 \"mb_per_sec\": {:.2}, \"speedup_vs_1\": {:.3}}}",
+                p.threads,
+                p.seconds,
+                p.packets_per_sec,
+                p.mb_per_sec,
+                p.packets_per_sec / base
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+
+    let path = std::env::var("FLOWZIP_BENCH_JSON").unwrap_or_else(|_| {
+        // The bench runs with the package as cwd; the workspace target
+        // dir is two levels up.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_engine.json").to_string()
+    });
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {path}");
+}

@@ -11,7 +11,14 @@
 //!
 //! * an RST is seen (abortive close — immediate), or
 //! * both directions have sent FIN and the closing ACK arrives, or
+//! * the flow sits idle past a caller-chosen cutoff
+//!   ([`FlowAccumulator::evict_idle`] — what keeps streaming memory
+//!   bounded on arbitrarily long traces), or
 //! * the trace ends ([`FlowAccumulator::finish`]).
+//!
+//! Streaming consumers interleave [`FlowAccumulator::push`] with
+//! [`FlowAccumulator::drain_completed`] so finished flows leave the
+//! accumulator as soon as they close instead of piling up.
 
 use crate::characterize::{size_class, Dependence};
 use crate::Params;
@@ -57,6 +64,9 @@ impl FinishedFlow {
 
 #[derive(Debug)]
 struct ActiveFlow {
+    /// First-seen sequence number; pairs with the `order` log so stale
+    /// log entries for a reopened key are distinguishable.
+    seq: u64,
     initiator: FiveTuple,
     first_ts: Timestamp,
     last_ts: Timestamp,
@@ -87,9 +97,21 @@ impl ActiveFlow {
 pub struct FlowAccumulator {
     params: Params,
     active: HashMap<FlowKey, ActiveFlow>,
-    /// Keys in first-seen order, so `finish()` drains deterministically.
-    order: Vec<FlowKey>,
+    /// Append-only log of `(key, seq)` in first-seen order, so
+    /// `finish()` and `evict_idle()` drain deterministically. Entries
+    /// whose flow has completed (or whose key was reopened under a new
+    /// seq) are tombstones, skipped on traversal and compacted away once
+    /// they outnumber live flows — completion itself stays O(1) even
+    /// with millions of concurrently open flows.
+    order: Vec<(FlowKey, u64)>,
+    /// Completed-entry count in `order` (compaction trigger).
+    tombstones: usize,
+    next_seq: u64,
     finished: Vec<FinishedFlow>,
+    /// High-water mark of simultaneously open flows.
+    peak_active: usize,
+    /// Flows closed by [`FlowAccumulator::evict_idle`] rather than FIN/RST.
+    evicted: u64,
 }
 
 impl FlowAccumulator {
@@ -99,7 +121,11 @@ impl FlowAccumulator {
             params,
             active: HashMap::new(),
             order: Vec::new(),
+            tombstones: 0,
+            next_seq: 0,
             finished: Vec::new(),
+            peak_active: 0,
+            evicted: 0,
         }
     }
 
@@ -108,13 +134,30 @@ impl FlowAccumulator {
         self.active.len()
     }
 
+    /// Most flows ever open at once — the memory high-water mark a
+    /// streaming pipeline reports and bounds via [`Self::evict_idle`].
+    pub fn peak_active_flows(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Flows force-closed by idle-timeout eviction so far.
+    pub fn evicted_flows(&self) -> u64 {
+        self.evicted
+    }
+
     /// Routes one packet into its flow, finalizing the flow when the
     /// packet completes it.
     pub fn push(&mut self, p: &PacketRecord) {
         let key = FlowKey::canonical(p.tuple());
         let flow = self.active.entry(key).or_insert_with(|| {
-            self.order.push(key);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.order.push((key, seq));
+            // Live flows = log entries minus tombstones; after the push
+            // that is the open-flow count including this new flow.
+            self.peak_active = self.peak_active.max(self.order.len() - self.tombstones);
             ActiveFlow {
+                seq,
                 initiator: p.tuple(),
                 first_ts: p.timestamp(),
                 last_ts: p.timestamp(),
@@ -161,9 +204,24 @@ impl FlowAccumulator {
                 && !p.flags().is_fin()); // the closing ACK after both FINs
         if complete {
             let flow = self.active.remove(&key).expect("flow present - just updated");
-            self.order.retain(|k| *k != key);
             self.finished.push(flow.finish(&self.params));
+            // The flow's `order` entry becomes a tombstone; compact the
+            // log once tombstones dominate so it stays proportional to
+            // the open-flow count (amortized O(1) per completion).
+            self.tombstones += 1;
+            if self.tombstones > self.active.len() + 16 {
+                self.compact_order();
+            }
         }
+    }
+
+    /// Drops `order` entries whose flow completed or whose key was
+    /// reopened under a newer seq.
+    fn compact_order(&mut self) {
+        let active = &self.active;
+        self.order
+            .retain(|(key, seq)| active.get(key).is_some_and(|f| f.seq == *seq));
+        self.tombstones = 0;
     }
 
     /// Flows completed so far (FIN/RST-terminated), in completion order.
@@ -171,12 +229,56 @@ impl FlowAccumulator {
         &self.finished
     }
 
+    /// Takes the flows completed so far, leaving the accumulator running.
+    ///
+    /// Streaming pipelines call this between batches so completed flows
+    /// move downstream (clustering, serialization) instead of accumulating
+    /// here — together with [`Self::evict_idle`] this is what keeps the
+    /// accumulator's footprint proportional to *concurrency*, not trace
+    /// length.
+    pub fn drain_completed(&mut self) -> Vec<FinishedFlow> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Force-closes every flow whose last packet predates `cutoff`,
+    /// finalizing each exactly as [`Self::finish`] would (first-seen
+    /// order). Returns how many flows were evicted.
+    ///
+    /// A flow whose key reappears later starts over as a *new* flow, so
+    /// callers trading exactness for bounded memory pick a cutoff safely
+    /// past any plausible TCP idle period.
+    pub fn evict_idle(&mut self, cutoff: Timestamp) -> usize {
+        let mut evicted = 0usize;
+        let mut kept = Vec::with_capacity(self.active.len());
+        for (key, seq) in std::mem::take(&mut self.order) {
+            let idle = match self.active.get(&key) {
+                Some(flow) if flow.seq == seq => flow.last_ts < cutoff,
+                // Tombstone (completed, or key reopened under a new seq):
+                // drop the entry while we're rebuilding anyway.
+                _ => continue,
+            };
+            if idle {
+                let flow = self.active.remove(&key).expect("idle flow present");
+                self.finished.push(flow.finish(&self.params));
+                evicted += 1;
+            } else {
+                kept.push((key, seq));
+            }
+        }
+        self.order = kept;
+        self.tombstones = 0;
+        self.evicted += evicted as u64;
+        evicted
+    }
+
     /// Flushes still-open flows (end of trace) and returns every finished
     /// flow. Open flows are flushed in first-seen order, after the
     /// FIN/RST-completed ones.
     pub fn finish(mut self) -> Vec<FinishedFlow> {
-        for key in std::mem::take(&mut self.order) {
-            if let Some(flow) = self.active.remove(&key) {
+        for (key, seq) in std::mem::take(&mut self.order) {
+            let live = self.active.get(&key).is_some_and(|f| f.seq == seq);
+            if live {
+                let flow = self.active.remove(&key).expect("live flow present");
                 self.finished.push(flow.finish(&self.params));
             }
         }
@@ -314,6 +416,84 @@ mod tests {
                 Duration::from_micros(10)
             ]
         );
+    }
+
+    #[test]
+    fn evict_idle_closes_only_stale_flows() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let old = tuple(9000);
+        let fresh = tuple(9001);
+        acc.push(&pkt(old, 0, TcpFlags::SYN, 0));
+        acc.push(&pkt(fresh, 5_000_000, TcpFlags::SYN, 0));
+        let n = acc.evict_idle(Timestamp::from_micros(1_000_000));
+        assert_eq!(n, 1);
+        assert_eq!(acc.evicted_flows(), 1);
+        assert_eq!(acc.active_flows(), 1);
+        assert_eq!(acc.completed().len(), 1);
+        assert_eq!(acc.completed()[0].len(), 1);
+        // The fresh flow survives and still finishes normally.
+        let flows = acc.finish();
+        assert_eq!(flows.len(), 2);
+    }
+
+    #[test]
+    fn evicted_key_reappears_as_new_flow() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let t = tuple(9100);
+        acc.push(&pkt(t, 0, TcpFlags::SYN, 0));
+        acc.evict_idle(Timestamp::from_micros(10));
+        acc.push(&pkt(t, 20, TcpFlags::ACK, 0));
+        let flows = acc.finish();
+        assert_eq!(flows.len(), 2);
+        assert!(flows.iter().all(|f| f.len() == 1));
+    }
+
+    #[test]
+    fn drain_completed_empties_and_preserves_order() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        push_conversation(&mut acc, tuple(9200), 0);
+        push_conversation(&mut acc, tuple(9201), 1_000);
+        let first = acc.drain_completed();
+        assert_eq!(first.len(), 2);
+        assert!(first[0].first_ts < first[1].first_ts);
+        assert!(acc.completed().is_empty());
+        push_conversation(&mut acc, tuple(9202), 2_000);
+        assert_eq!(acc.drain_completed().len(), 1);
+    }
+
+    #[test]
+    fn order_log_compaction_preserves_semantics() {
+        // Thousands of completions against few open flows force many
+        // compaction cycles; reopened keys must come back as fresh flows
+        // in correct first-seen order and peak must stay small.
+        let mut acc = FlowAccumulator::new(Params::paper());
+        let keep = tuple(1); // stays open throughout
+        acc.push(&pkt(keep, 0, TcpFlags::SYN, 0));
+        for round in 0..2_000u64 {
+            let t = tuple(2 + (round % 7) as u16); // 7 keys reopened ~286x each
+            let base = 10 + round * 3;
+            acc.push(&pkt(t, base, TcpFlags::SYN, 0));
+            acc.push(&pkt(t, base + 1, TcpFlags::RST, 0));
+        }
+        assert_eq!(acc.completed().len(), 2_000);
+        assert!(acc.peak_active_flows() <= 3, "peak {}", acc.peak_active_flows());
+        assert_eq!(acc.active_flows(), 1);
+        let flows = acc.finish();
+        assert_eq!(flows.len(), 2_001);
+        // The long-lived flow flushes last, with only its own packet.
+        assert_eq!(flows[2_000].first_ts, Timestamp::from_micros(0));
+        assert_eq!(flows[2_000].len(), 1);
+    }
+
+    #[test]
+    fn peak_active_tracks_high_water_mark() {
+        let mut acc = FlowAccumulator::new(Params::paper());
+        acc.push(&pkt(tuple(9300), 0, TcpFlags::SYN, 0));
+        acc.push(&pkt(tuple(9301), 1, TcpFlags::SYN, 0));
+        acc.push(&pkt(tuple(9301), 2, TcpFlags::RST, 0));
+        acc.push(&pkt(tuple(9302), 3, TcpFlags::SYN, 0));
+        assert_eq!(acc.peak_active_flows(), 2);
+        assert_eq!(acc.active_flows(), 2);
     }
 
     #[test]

@@ -120,6 +120,16 @@ impl TemplateStore {
     ///
     /// Panics on an empty vector; zero-packet flows do not exist.
     pub fn offer(&mut self, vector: &[u16]) -> MatchOutcome {
+        self.offer_weighted(vector, 1)
+    }
+
+    /// [`Self::offer`] for a pre-clustered group of `members` flows
+    /// sharing `vector` as their center — the merge primitive. On a
+    /// match the whole group joins the existing cluster (all `members`
+    /// count as matched); on insertion the group's center stays a center
+    /// and its other `members − 1` flows count as matched to it, exactly
+    /// as if the flows had been offered here one by one.
+    fn offer_weighted(&mut self, vector: &[u16], members: u64) -> MatchOutcome {
         assert!(!vector.is_empty(), "flows have at least one packet");
         let n = vector.len();
         let d_sim = self.params.d_sim(n);
@@ -163,22 +173,51 @@ impl TemplateStore {
 
         match found {
             Some(idx) => {
-                self.templates[idx as usize].members += 1;
-                self.matched += 1;
+                self.templates[idx as usize].members += members;
+                self.matched += members;
                 MatchOutcome::Matched(idx)
             }
             None => {
                 let idx = self.templates.len() as u32;
                 self.templates.push(Template {
                     vector: vector.to_vec(),
-                    members: 1,
+                    members,
                 });
                 bucket.order.push(idx);
                 bucket.by_sum.entry(sum).or_default().push(idx);
                 self.inserted += 1;
+                self.matched += members - 1;
                 MatchOutcome::Inserted(idx)
             }
         }
+    }
+
+    /// Absorbs another store built with the same parameters, re-clustering
+    /// each foreign template under this store's `d_sim` rule (Eq. 4): a
+    /// foreign center within `d_sim` of a local one folds its members into
+    /// that cluster; otherwise it becomes a new center here. Returns the
+    /// remap table `other`'s template index → this store's template index,
+    /// for rewriting flow records that referenced `other`.
+    ///
+    /// This is what lets sharded pipelines run one store per shard and
+    /// still emit a single `short-flows-template` dataset whose centers
+    /// all satisfy the pairwise Eq. 4 guarantee against their members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stores were built with different parameters —
+    /// re-clustering under a different `d_sim` would silently void the
+    /// Eq. 4 guarantee for the foreign members.
+    pub fn merge(&mut self, other: TemplateStore) -> Vec<u32> {
+        assert_eq!(
+            self.params, other.params,
+            "merging stores with different clustering parameters"
+        );
+        other
+            .templates
+            .into_iter()
+            .map(|t| self.offer_weighted(&t.vector, t.members).index())
+            .collect()
     }
 
     /// Consumes the store, returning the template list (the dataset that
@@ -304,6 +343,69 @@ mod tests {
         let c: Vec<u16> = a.iter().map(|&x| x + 2).collect(); // L1=32, L2=8
         assert!(!l1.offer(&c).is_match());
         assert!(l2.offer(&c).is_match());
+    }
+
+    #[test]
+    fn merge_folds_similar_centers_and_remaps() {
+        let mut a = store();
+        let mut b = store();
+        let v = vec![0u16, 16, 32, 37, 34, 52, 48, 32];
+        let mut near = v.clone();
+        near[3] = 33; // within d_sim = 8 of v
+        let far = vec![200u16, 200, 200, 200, 200, 200, 200, 200];
+        a.offer(&v);
+        a.offer(&v);
+        b.offer(&near);
+        b.offer(&near);
+        b.offer(&far);
+        let remap = a.merge(b);
+        // near folded into v's cluster (index 0), far became center 1.
+        assert_eq!(remap, vec![0, 1]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.templates()[0].members, 4);
+        assert_eq!(a.templates()[1].members, 1);
+        // Counters behave as if all five flows were offered to one store.
+        assert_eq!(a.matched_count() + a.len() as u64, 5);
+    }
+
+    #[test]
+    fn merge_into_empty_store_preserves_everything() {
+        let mut shard = store();
+        for v in [vec![1u16, 2, 3], vec![90u16, 90, 90], vec![1u16, 2, 4]] {
+            shard.offer(&v);
+        }
+        let shard_len = shard.len();
+        let shard_matched = shard.matched_count();
+        let mut merged = store();
+        let vectors = shard.templates().iter().map(|t| t.vector.clone()).collect::<Vec<_>>();
+        let got = merged.merge(shard);
+        assert_eq!(got, (0..shard_len as u32).collect::<Vec<_>>());
+        assert_eq!(merged.len(), shard_len);
+        assert_eq!(merged.matched_count(), shard_matched);
+        for (i, v) in vectors.iter().enumerate() {
+            assert_eq!(&merged.templates()[i].vector, v);
+        }
+    }
+
+    #[test]
+    fn merged_flows_stay_within_eq4_of_their_center() {
+        // After a merge, every member that was re-pointed at a local
+        // center is within d_sim of it by construction (offer checked it).
+        let mut a = store();
+        let mut b = store();
+        let base = vec![10u16; 10]; // n=10 -> d_sim = 10
+        let mut shifted = base.clone();
+        shifted[0] = 15; // L1 distance 5
+        a.offer(&base);
+        b.offer(&shifted);
+        let remap = a.merge(b);
+        let center = &a.templates()[remap[0] as usize].vector;
+        let d: i64 = center
+            .iter()
+            .zip(&shifted)
+            .map(|(&x, &y)| (x as i64 - y as i64).abs())
+            .sum();
+        assert!(d as f64 <= Params::paper().d_sim(10));
     }
 
     #[test]

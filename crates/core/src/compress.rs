@@ -26,6 +26,13 @@ pub struct CompressionReport {
     pub clusters: u64,
     /// Unique destination addresses.
     pub addresses: u64,
+    /// Open-flow high-water mark, the memory-relevant figure. For a
+    /// single accumulator this is the true count of simultaneously open
+    /// flows; for sharded streaming runs it is the *sum of per-shard
+    /// peaks* — an upper bound on true concurrency, since shards may
+    /// peak at different moments. Zero when the producer did not track
+    /// it (e.g. [`Compressor::assemble`] on pre-cooked flows).
+    pub peak_active_flows: u64,
     /// Serialized size per dataset.
     pub sizes: DatasetSizes,
     /// Original size as a 44-byte-record TSH file.
@@ -79,8 +86,11 @@ impl Compressor {
         for p in trace {
             acc.push(p);
         }
+        let peak = acc.peak_active_flows() as u64;
         let flows = acc.finish();
-        self.assemble(trace, flows)
+        let (compressed, mut report) = self.assemble(trace, flows);
+        report.peak_active_flows = peak;
+        (compressed, report)
     }
 
     /// Builds the datasets from finished flows (exposed for tests and
@@ -90,93 +100,197 @@ impl Compressor {
         trace: &Trace,
         flows: Vec<FinishedFlow>,
     ) -> (CompressedTrace, CompressionReport) {
-        let mut store = TemplateStore::new(self.params.clone());
-        let mut long_templates: Vec<LongTemplate> = Vec::new();
-        let mut addresses: Vec<Ipv4Addr> = Vec::new();
-        let mut addr_index: HashMap<Ipv4Addr, u32> = HashMap::new();
-        let mut time_seq: Vec<FlowRecord> = Vec::with_capacity(flows.len());
-
-        let mut short_flows = 0u64;
-        let mut long_flows = 0u64;
-        let mut packets = 0u64;
-
+        let mut asm = FlowAssembler::new(self.params.clone());
         for flow in &flows {
-            packets += flow.len() as u64;
-            let addr_idx = *addr_index.entry(flow.dst_ip).or_insert_with(|| {
-                addresses.push(flow.dst_ip);
+            asm.consume(flow);
+        }
+        assemble_shards(
+            &self.params,
+            vec![asm],
+            flowzip_trace::tsh::file_size(trace),
+            trace.header_bytes(),
+        )
+    }
+}
+
+/// One flow, characterized and clustered shard-locally, awaiting final
+/// index assignment in [`assemble_shards`].
+#[derive(Debug)]
+struct PendingFlow {
+    first_ts: flowzip_trace::Timestamp,
+    dst_ip: Ipv4Addr,
+    rtt: flowzip_trace::Duration,
+    is_long: bool,
+    /// Index into the owning assembler's template list (short) or its
+    /// long-template list (long).
+    template_idx: u32,
+}
+
+/// The per-flow half of dataset assembly: finished flows go in, a local
+/// `short-flows-template` store, long templates and pending flow records
+/// come out.
+///
+/// This is the single implementation of §3's short/long branch, shared
+/// by the batch [`Compressor`] (one assembler) and the sharded streaming
+/// engine (one assembler per shard, folded by [`assemble_shards`]) — so
+/// the two pipelines cannot drift apart.
+#[derive(Debug)]
+pub struct FlowAssembler {
+    short_max: usize,
+    store: TemplateStore,
+    long_templates: Vec<LongTemplate>,
+    pending: Vec<PendingFlow>,
+    packets: u64,
+    short_flows: u64,
+    long_flows: u64,
+}
+
+impl FlowAssembler {
+    /// Creates an empty assembler clustering under `params`.
+    pub fn new(params: Params) -> FlowAssembler {
+        FlowAssembler {
+            short_max: params.short_max,
+            store: TemplateStore::new(params),
+            long_templates: Vec::new(),
+            pending: Vec::new(),
+            packets: 0,
+            short_flows: 0,
+            long_flows: 0,
+        }
+    }
+
+    /// Consumes one finished flow: short flows are offered to the local
+    /// template store, long flows stored verbatim.
+    pub fn consume(&mut self, flow: &FinishedFlow) {
+        self.packets += flow.len() as u64;
+        if flow.is_short(self.short_max) {
+            self.short_flows += 1;
+            let outcome = self.store.offer(&flow.vector);
+            self.pending.push(PendingFlow {
+                first_ts: flow.first_ts,
+                dst_ip: flow.dst_ip,
+                rtt: flow.rtt,
+                is_long: false,
+                template_idx: outcome.index(),
+            });
+        } else {
+            self.long_flows += 1;
+            // "For long flows, we do not perform any search."
+            let idx = self.long_templates.len() as u32;
+            self.long_templates.push(LongTemplate {
+                entries: flow
+                    .vector
+                    .iter()
+                    .copied()
+                    .zip(flow.ipts.iter().copied())
+                    .collect(),
+            });
+            self.pending.push(PendingFlow {
+                first_ts: flow.first_ts,
+                dst_ip: flow.dst_ip,
+                rtt: flowzip_trace::Duration::ZERO,
+                is_long: true,
+                template_idx: idx,
+            });
+        }
+    }
+
+    /// Packets consumed so far (callers sizing the §5 ratios need this
+    /// before [`assemble_shards`] runs).
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+/// Folds one or more [`FlowAssembler`]s into the final archive and
+/// report. Shard stores merge via [`TemplateStore::merge`] (re-clustering
+/// under the same Eq. 4 rule), addresses dedupe globally, and the
+/// time-seq dataset is re-sorted. `tsh_bytes` / `header_bytes` are the
+/// original-size baselines the ratios divide by.
+///
+/// With a single assembler this reproduces [`Compressor::compress`]
+/// byte-for-byte (re-offering cluster centers in insertion order is a
+/// fixed point of the greedy search).
+pub fn assemble_shards(
+    params: &Params,
+    shards: Vec<FlowAssembler>,
+    tsh_bytes: u64,
+    header_bytes: u64,
+) -> (CompressedTrace, CompressionReport) {
+    let mut store = TemplateStore::new(params.clone());
+    let mut long_templates: Vec<LongTemplate> = Vec::new();
+    let mut addresses: Vec<Ipv4Addr> = Vec::new();
+    let mut addr_index: HashMap<Ipv4Addr, u32> = HashMap::new();
+    let mut time_seq: Vec<FlowRecord> = Vec::new();
+
+    let mut packets = 0u64;
+    let mut short_flows = 0u64;
+    let mut long_flows = 0u64;
+
+    for shard in shards {
+        packets += shard.packets;
+        short_flows += shard.short_flows;
+        long_flows += shard.long_flows;
+
+        let remap = store.merge(shard.store);
+        let long_base = long_templates.len() as u32;
+        long_templates.extend(shard.long_templates);
+        for rec in shard.pending {
+            let addr_idx = *addr_index.entry(rec.dst_ip).or_insert_with(|| {
+                addresses.push(rec.dst_ip);
                 (addresses.len() - 1) as u32
             });
-            if flow.is_short(self.params.short_max) {
-                short_flows += 1;
-                let outcome = store.offer(&flow.vector);
-                time_seq.push(FlowRecord {
-                    first_ts: flow.first_ts,
-                    is_long: false,
-                    template_idx: outcome.index(),
-                    addr_idx,
-                    rtt: flow.rtt,
-                });
-            } else {
-                long_flows += 1;
-                // "For long flows, we do not perform any search."
-                let idx = long_templates.len() as u32;
-                long_templates.push(LongTemplate {
-                    entries: flow
-                        .vector
-                        .iter()
-                        .copied()
-                        .zip(flow.ipts.iter().copied())
-                        .collect(),
-                });
-                time_seq.push(FlowRecord {
-                    first_ts: flow.first_ts,
-                    is_long: true,
-                    template_idx: idx,
-                    addr_idx,
-                    rtt: flowzip_trace::Duration::ZERO,
-                });
-            }
+            time_seq.push(FlowRecord {
+                first_ts: rec.first_ts,
+                is_long: rec.is_long,
+                template_idx: if rec.is_long {
+                    long_base + rec.template_idx
+                } else {
+                    remap[rec.template_idx as usize]
+                },
+                addr_idx,
+                rtt: rec.rtt,
+            });
         }
-
-        // The time-seq dataset "is sorted by the time-stamp data field".
-        time_seq.sort_by_key(|r| r.first_ts);
-
-        let matched_flows = store.matched_count();
-        let clusters = store.len() as u64;
-        let compressed = CompressedTrace {
-            short_templates: store.into_templates().into_iter().map(|t| t.vector).collect(),
-            long_templates,
-            addresses,
-            time_seq,
-        };
-        debug_assert!(compressed.validate().is_ok());
-
-        let (_, sizes) = compressed.encode();
-        let tsh_bytes = flowzip_trace::tsh::file_size(trace);
-        let header_bytes = trace.header_bytes();
-        let report = CompressionReport {
-            packets,
-            flows: flows.len() as u64,
-            short_flows,
-            long_flows,
-            matched_flows,
-            clusters,
-            addresses: compressed.addresses.len() as u64,
-            sizes,
-            tsh_bytes,
-            ratio_vs_tsh: if tsh_bytes == 0 {
-                0.0
-            } else {
-                sizes.total() as f64 / tsh_bytes as f64
-            },
-            ratio_vs_headers: if header_bytes == 0 {
-                0.0
-            } else {
-                sizes.total() as f64 / header_bytes as f64
-            },
-        };
-        (compressed, report)
     }
+
+    // The time-seq dataset "is sorted by the time-stamp data field".
+    time_seq.sort_by_key(|r| r.first_ts);
+
+    let matched_flows = store.matched_count();
+    let clusters = store.len() as u64;
+    let compressed = CompressedTrace {
+        short_templates: store.into_templates().into_iter().map(|t| t.vector).collect(),
+        long_templates,
+        addresses,
+        time_seq,
+    };
+    debug_assert!(compressed.validate().is_ok());
+
+    let (_, sizes) = compressed.encode();
+    let report = CompressionReport {
+        packets,
+        flows: short_flows + long_flows,
+        short_flows,
+        long_flows,
+        matched_flows,
+        clusters,
+        addresses: compressed.addresses.len() as u64,
+        peak_active_flows: 0,
+        sizes,
+        tsh_bytes,
+        ratio_vs_tsh: if tsh_bytes == 0 {
+            0.0
+        } else {
+            sizes.total() as f64 / tsh_bytes as f64
+        },
+        ratio_vs_headers: if header_bytes == 0 {
+            0.0
+        } else {
+            sizes.total() as f64 / header_bytes as f64
+        },
+    };
+    (compressed, report)
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ pub mod synth;
 pub use accumulate::{FinishedFlow, FlowAccumulator};
 pub use characterize::{Dependence, DistanceMetric, FlagClass, FlagClassifier, Weights};
 pub use cluster::{SearchIndex, TemplateStore};
-pub use compress::{CompressionReport, Compressor};
+pub use compress::{assemble_shards, CompressionReport, Compressor, FlowAssembler};
 pub use datasets::{CompressedTrace, DatasetSizes, FlowRecord};
 pub use decompress::{DecompressParams, Decompressor};
 pub use synth::{synthesize, ArchiveModel, SynthConfig, SynthGenerator};

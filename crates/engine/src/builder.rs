@@ -1,0 +1,168 @@
+//! Engine configuration: shard count, batching, back-pressure and the
+//! idle-flow eviction policy.
+
+use crate::engine::StreamingEngine;
+use flowzip_core::Params;
+use flowzip_trace::Duration;
+
+/// Resolved engine configuration (what [`EngineBuilder::build`] produces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Compression parameters shared by every shard.
+    pub params: Params,
+    /// Worker threads; flows are partitioned across them by flow-key
+    /// hash. One shard reproduces batch output byte-for-byte.
+    pub shards: usize,
+    /// Packets per cross-thread batch. Larger batches amortize channel
+    /// overhead; smaller ones reduce latency and peak buffering.
+    pub batch_size: usize,
+    /// Bounded in-flight batches per shard channel — the back-pressure
+    /// knob that caps reader run-ahead (peak buffered packets is
+    /// `shards · channel_capacity · batch_size` plus one partial batch).
+    pub channel_capacity: usize,
+    /// Evict flows idle longer than this (in *trace* time). `None`
+    /// disables eviction: memory then grows with the number of flows left
+    /// open by the trace, exactly like the batch compressor.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl EngineConfig {
+    fn validated(mut self) -> EngineConfig {
+        self.shards = self.shards.max(1);
+        self.batch_size = self.batch_size.max(1);
+        self.channel_capacity = self.channel_capacity.max(1);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineBuilder::new().config
+    }
+}
+
+/// Fluent builder for a [`StreamingEngine`].
+///
+/// ```
+/// use flowzip_engine::StreamingEngine;
+/// use flowzip_trace::Duration;
+///
+/// let engine = StreamingEngine::builder()
+///     .shards(4)
+///     .batch_size(1024)
+///     .channel_capacity(8)
+///     .idle_timeout(Some(Duration::from_secs(60)))
+///     .build();
+/// assert_eq!(engine.config().shards, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Starts from the defaults: paper parameters, one shard per
+    /// available CPU (capped at 8), 1024-packet batches, 4 in-flight
+    /// batches per shard, no idle eviction.
+    pub fn new() -> EngineBuilder {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EngineBuilder {
+            config: EngineConfig {
+                params: Params::paper(),
+                shards: cpus.min(8),
+                batch_size: 1024,
+                channel_capacity: 4,
+                idle_timeout: None,
+            },
+        }
+    }
+
+    /// Compression parameters (default: [`Params::paper`]).
+    pub fn params(mut self, params: Params) -> EngineBuilder {
+        self.config.params = params;
+        self
+    }
+
+    /// Number of worker shards (clamped to ≥ 1).
+    pub fn shards(mut self, shards: usize) -> EngineBuilder {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Packets per cross-thread batch (clamped to ≥ 1).
+    pub fn batch_size(mut self, batch_size: usize) -> EngineBuilder {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Bounded in-flight batches per shard channel (clamped to ≥ 1).
+    pub fn channel_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Idle-flow eviction horizon in trace time; `None` disables.
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> EngineBuilder {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> StreamingEngine {
+        StreamingEngine::new(self.config.validated())
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.shards >= 1);
+        assert!(c.batch_size >= 1);
+        assert!(c.channel_capacity >= 1);
+        assert_eq!(c.idle_timeout, None);
+        assert_eq!(c.params, Params::paper());
+    }
+
+    #[test]
+    fn zero_knobs_clamp_to_one() {
+        let e = StreamingEngine::builder()
+            .shards(0)
+            .batch_size(0)
+            .channel_capacity(0)
+            .build();
+        assert_eq!(e.config().shards, 1);
+        assert_eq!(e.config().batch_size, 1);
+        assert_eq!(e.config().channel_capacity, 1);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let e = StreamingEngine::builder()
+            .params(Params {
+                similarity: 0.05,
+                ..Params::paper()
+            })
+            .shards(3)
+            .batch_size(77)
+            .channel_capacity(2)
+            .idle_timeout(Some(Duration::from_secs(30)))
+            .build();
+        assert_eq!(e.config().shards, 3);
+        assert_eq!(e.config().batch_size, 77);
+        assert_eq!(e.config().channel_capacity, 2);
+        assert_eq!(e.config().idle_timeout, Some(Duration::from_secs(30)));
+        assert!((e.config().params.similarity - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,432 @@
+//! The streaming engine: route → accumulate per shard → merge.
+//!
+//! ```text
+//!                    ┌── batch channel ──▶ shard 0: FlowAccumulator + TemplateStore ─┐
+//! reader ──▶ router ─┼── batch channel ──▶ shard 1: FlowAccumulator + TemplateStore ─┼─▶ merge
+//!  (any Iterator)    └── batch channel ──▶ shard N: FlowAccumulator + TemplateStore ─┘
+//! ```
+//!
+//! The router hashes each packet's canonical flow key so both directions
+//! of a conversation land on the same shard; channels are bounded, so a
+//! fast reader is back-pressured instead of buffering the trace. Workers
+//! finalize flows online (FIN/RST, idle eviction, end of input) and
+//! cluster them immediately; the merge step folds the per-shard stores
+//! with [`TemplateStore::merge`] and re-sorts the flow records into one
+//! valid time-seq dataset.
+
+use crate::builder::{EngineBuilder, EngineConfig};
+use crate::report::EngineReport;
+use flowzip_core::datasets::CompressedTrace;
+use flowzip_core::{assemble_shards, FlowAccumulator, FlowAssembler, Params};
+use flowzip_trace::prelude::*;
+use flowzip_trace::TraceError;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Everything a shard hands back when its channel closes.
+struct ShardOutput {
+    asm: FlowAssembler,
+    peak_active: u64,
+    evicted: u64,
+}
+
+/// One shard's state machine: accumulate → finalize online → cluster,
+/// with idle eviction keeping the accumulator bounded. Used both by the
+/// worker threads and by the inline single-shard fast path.
+struct ShardWorker {
+    acc: FlowAccumulator,
+    asm: FlowAssembler,
+    idle_timeout: Option<Duration>,
+    /// Scan for idle flows at a quarter of the timeout horizon: often
+    /// enough that stale state dies promptly, rare enough to stay off
+    /// the per-packet fast path.
+    scan_interval: Option<Duration>,
+    next_scan: Option<Timestamp>,
+}
+
+impl ShardWorker {
+    fn new(params: Params, idle_timeout: Option<Duration>) -> ShardWorker {
+        ShardWorker {
+            acc: FlowAccumulator::new(params.clone()),
+            asm: FlowAssembler::new(params),
+            idle_timeout,
+            scan_interval: idle_timeout
+                .map(|t| Duration::from_micros((t.as_micros() / 4).max(1))),
+            next_scan: None,
+        }
+    }
+
+    fn process_batch(&mut self, batch: &[PacketRecord]) {
+        for p in batch {
+            self.acc.push(p);
+        }
+        if let (Some(timeout), Some(interval), Some(newest)) = (
+            self.idle_timeout,
+            self.scan_interval,
+            batch.last().map(|p| p.timestamp()),
+        ) {
+            if self.next_scan.is_none_or(|at| newest >= at) {
+                self.acc.evict_idle(Timestamp::from_micros(
+                    newest.as_micros().saturating_sub(timeout.as_micros()),
+                ));
+                self.next_scan = Some(newest.saturating_add(interval));
+            }
+        }
+        for flow in self.acc.drain_completed() {
+            self.asm.consume(&flow);
+        }
+    }
+
+    fn finish(mut self) -> ShardOutput {
+        let peak_active = self.acc.peak_active_flows() as u64;
+        let evicted = self.acc.evicted_flows();
+        for flow in self.acc.finish() {
+            self.asm.consume(&flow);
+        }
+        ShardOutput {
+            asm: self.asm,
+            peak_active,
+            evicted,
+        }
+    }
+}
+
+/// One shard's worker loop: drain batches until the channel closes.
+fn run_shard(
+    rx: mpsc::Receiver<Vec<PacketRecord>>,
+    params: Params,
+    idle_timeout: Option<Duration>,
+) -> ShardOutput {
+    let mut worker = ShardWorker::new(params, idle_timeout);
+    while let Ok(batch) = rx.recv() {
+        worker.process_batch(&batch);
+    }
+    worker.finish()
+}
+
+/// Which shard owns a packet: a cheap direction-free FNV-1a over the
+/// endpoint pair, so both directions of a conversation land together.
+/// This runs on the single router thread for every packet — it must cost
+/// far less than the per-packet work it fans out (SipHash here halves
+/// router throughput for no distributional benefit).
+fn shard_of(p: &PacketRecord, shards: usize) -> usize {
+    let t = p.tuple();
+    let a = (u32::from(t.src_ip), t.src_port);
+    let b = (u32::from(t.dst_ip), t.dst_port);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        lo.0 as u64,
+        lo.1 as u64,
+        hi.0 as u64,
+        hi.1 as u64,
+        t.protocol.number() as u64,
+    ] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The sharded streaming compressor. Construct via
+/// [`StreamingEngine::builder`]; see the [crate docs](crate) for the
+/// architecture.
+#[derive(Debug, Clone)]
+pub struct StreamingEngine {
+    config: EngineConfig,
+}
+
+impl StreamingEngine {
+    /// Creates an engine from a resolved configuration.
+    pub fn new(config: EngineConfig) -> StreamingEngine {
+        StreamingEngine { config }
+    }
+
+    /// Starts a configuration builder with library defaults.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Compresses a fallible packet stream — the general entry point that
+    /// [`TshReader`](flowzip_trace::TshReader) and
+    /// [`PcapReader`](flowzip_trace::PcapReader) plug into directly.
+    ///
+    /// # Errors
+    ///
+    /// The first reader error aborts the run and is returned; packets
+    /// already routed are discarded with the worker state.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads (a bug in the pipeline, never
+    /// an input condition).
+    pub fn compress_stream<I>(
+        &self,
+        input: I,
+    ) -> Result<(CompressedTrace, EngineReport), TraceError>
+    where
+        I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
+    {
+        let config = &self.config;
+        let started = Instant::now();
+        if config.shards == 1 {
+            // Single shard: run everything inline. No channel, no second
+            // thread — this is the honest sequential baseline the
+            // `engine_throughput` bench scales against, and it makes the
+            // one-shard engine byte-identical to the batch compressor by
+            // construction.
+            let mut worker = ShardWorker::new(config.params.clone(), config.idle_timeout);
+            let mut buf: Vec<PacketRecord> = Vec::with_capacity(config.batch_size);
+            for item in input {
+                buf.push(item?);
+                if buf.len() >= config.batch_size {
+                    worker.process_batch(&buf);
+                    buf.clear();
+                }
+            }
+            if !buf.is_empty() {
+                worker.process_batch(&buf);
+            }
+            let outputs = vec![worker.finish()];
+            return Ok(self.merge(outputs, started.elapsed().as_secs_f64()));
+        }
+        let outputs = std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(config.shards);
+            let mut handles = Vec::with_capacity(config.shards);
+            for _ in 0..config.shards {
+                let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
+                let params = config.params.clone();
+                let idle_timeout = config.idle_timeout;
+                senders.push(tx);
+                handles.push(scope.spawn(move || run_shard(rx, params, idle_timeout)));
+            }
+
+            let mut buffers: Vec<Vec<PacketRecord>> =
+                (0..config.shards).map(|_| Vec::with_capacity(config.batch_size)).collect();
+            let mut input_err = None;
+            'route: for item in input {
+                match item {
+                    Ok(p) => {
+                        let s = shard_of(&p, config.shards);
+                        buffers[s].push(p);
+                        if buffers[s].len() >= config.batch_size {
+                            let batch = std::mem::replace(
+                                &mut buffers[s],
+                                Vec::with_capacity(config.batch_size),
+                            );
+                            if senders[s].send(batch).is_err() {
+                                // Worker gone: stop routing and surface its
+                                // panic from join below.
+                                break 'route;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        input_err = Some(e);
+                        break 'route;
+                    }
+                }
+            }
+            if input_err.is_none() {
+                for (s, buf) in buffers.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        // A send can only fail if the worker died; join
+                        // below re-raises its panic.
+                        let _ = senders[s].send(buf);
+                    }
+                }
+            }
+            drop(senders);
+            let outputs: Vec<ShardOutput> = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect();
+            match input_err {
+                Some(e) => Err(e),
+                None => Ok(outputs),
+            }
+        })?;
+        Ok(self.merge(outputs, started.elapsed().as_secs_f64()))
+    }
+
+    /// Convenience: compresses an infallible packet sequence.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors [`StreamingEngine::compress_stream`].
+    pub fn compress_packets<I>(
+        &self,
+        packets: I,
+    ) -> Result<(CompressedTrace, EngineReport), TraceError>
+    where
+        I: IntoIterator<Item = PacketRecord>,
+    {
+        self.compress_stream(packets.into_iter().map(Ok))
+    }
+
+    /// Convenience: compresses an in-memory trace (the batch-compressor
+    /// interface, for comparisons and tests).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors [`StreamingEngine::compress_stream`].
+    pub fn compress_trace(
+        &self,
+        trace: &Trace,
+    ) -> Result<(CompressedTrace, EngineReport), TraceError> {
+        self.compress_packets(trace.iter().cloned())
+    }
+
+    /// Folds per-shard outputs into one archive plus the aggregate
+    /// report. The dataset assembly itself is `flowzip-core`'s
+    /// [`assemble_shards`] — the same code the batch compressor runs —
+    /// so only the throughput/memory bookkeeping lives here.
+    fn merge(&self, outputs: Vec<ShardOutput>, elapsed_secs: f64) -> (CompressedTrace, EngineReport) {
+        let packets: u64 = outputs.iter().map(|o| o.asm.packets()).sum();
+        let peak_active: u64 = outputs.iter().map(|o| o.peak_active).sum();
+        let evicted: u64 = outputs.iter().map(|o| o.evicted).sum();
+
+        // Every packet costs 44 B as a TSH record and 40 B of bare
+        // headers — the §5 baselines, computable without the trace.
+        let tsh_bytes = packets * flowzip_trace::tsh::RECORD_BYTES as u64;
+        let header_bytes = packets * flowzip_trace::packet::HEADER_BYTES as u64;
+        let (compressed, mut report) = assemble_shards(
+            &self.config.params,
+            outputs.into_iter().map(|o| o.asm).collect(),
+            tsh_bytes,
+            header_bytes,
+        );
+        report.peak_active_flows = peak_active;
+
+        let elapsed = elapsed_secs.max(f64::EPSILON);
+        let engine_report = EngineReport {
+            shards: self.config.shards,
+            elapsed_secs,
+            packets_per_sec: packets as f64 / elapsed,
+            mb_per_sec: tsh_bytes as f64 / elapsed / 1e6,
+            evicted_flows: evicted,
+            report,
+        };
+        (compressed, engine_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowzip_core::Compressor;
+
+    fn pkt(port: u16, us: u64, flags: TcpFlags) -> PacketRecord {
+        PacketRecord::builder()
+            .src(Ipv4Addr::new(10, 0, 0, 1), port)
+            .dst(Ipv4Addr::new(192, 0, 2, 9), 80)
+            .timestamp(Timestamp::from_micros(us))
+            .flags(flags)
+            .build()
+    }
+
+    #[test]
+    fn empty_input_produces_empty_archive() {
+        let engine = StreamingEngine::builder().shards(2).build();
+        let (ct, report) = engine.compress_packets(Vec::new()).unwrap();
+        assert_eq!(ct.flow_count(), 0);
+        assert_eq!(report.report.packets, 0);
+        assert_eq!(report.report.ratio_vs_tsh, 0.0);
+    }
+
+    #[test]
+    fn reader_error_aborts_the_run() {
+        let engine = StreamingEngine::builder().shards(2).batch_size(1).build();
+        let input = vec![
+            Ok(pkt(4000, 0, TcpFlags::SYN)),
+            Err(TraceError::TruncatedRecord { got: 3, need: 44 }),
+            Ok(pkt(4001, 10, TcpFlags::SYN)),
+        ];
+        let err = engine.compress_stream(input).unwrap_err();
+        assert!(matches!(err, TraceError::TruncatedRecord { got: 3, need: 44 }));
+    }
+
+    #[test]
+    fn both_directions_of_a_flow_share_a_shard() {
+        for port in [1000u16, 2000, 3000, 4000, 50000] {
+            let fwd = pkt(port, 0, TcpFlags::SYN);
+            let rev = PacketRecord::builder()
+                .src(Ipv4Addr::new(192, 0, 2, 9), 80)
+                .dst(Ipv4Addr::new(10, 0, 0, 1), port)
+                .timestamp(Timestamp::from_micros(1))
+                .flags(TcpFlags::SYN | TcpFlags::ACK)
+                .build();
+            for shards in [2usize, 3, 7] {
+                assert_eq!(shard_of(&fwd, shards), shard_of(&rev, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_trace_matches_batch_counts_across_shard_counts() {
+        let mut trace = Trace::new();
+        for (i, port) in (4000u16..4024).enumerate() {
+            let base = i as u64 * 1_000;
+            trace.push(pkt(port, base, TcpFlags::SYN));
+            trace.push(pkt(port, base + 10, TcpFlags::ACK));
+            trace.push(pkt(port, base + 20, TcpFlags::RST));
+        }
+        let (_, batch) = Compressor::new(Params::paper()).compress(&trace);
+        for shards in [1usize, 2, 5] {
+            let engine = StreamingEngine::builder().shards(shards).batch_size(4).build();
+            let (ct, streamed) = engine.compress_trace(&trace).unwrap();
+            assert_eq!(streamed.report.packets, batch.packets);
+            assert_eq!(streamed.report.flows, batch.flows);
+            assert_eq!(streamed.report.short_flows, batch.short_flows);
+            assert_eq!(streamed.report.long_flows, batch.long_flows);
+            assert_eq!(streamed.report.addresses, batch.addresses);
+            assert_eq!(streamed.report.tsh_bytes, batch.tsh_bytes);
+            ct.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn idle_eviction_bounds_active_flows_and_loses_none() {
+        // 2_000 flows that never terminate, spread 10 ms apart: without
+        // eviction every one stays open; with a 1 s idle timeout the
+        // engine retires them as the trace clock advances.
+        let mut packets = Vec::new();
+        for i in 0..2_000u64 {
+            packets.push(
+                PacketRecord::builder()
+                    .src(Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1), 1024 + (i % 30_000) as u16)
+                    .dst(Ipv4Addr::new(192, 0, 2, 1), 80)
+                    .timestamp(Timestamp::from_micros(i * 10_000))
+                    .flags(TcpFlags::SYN)
+                    .build(),
+            );
+        }
+        let bounded = StreamingEngine::builder()
+            .shards(2)
+            .batch_size(64)
+            .idle_timeout(Some(Duration::from_secs(1)))
+            .build();
+        let (_, with_eviction) = bounded.compress_packets(packets.clone()).unwrap();
+        assert_eq!(with_eviction.report.flows, 2_000, "every flow still reported");
+        assert_eq!(with_eviction.report.packets, 2_000);
+        assert!(
+            with_eviction.peak_active_flows() < 500,
+            "peak {} should be bounded by the idle horizon",
+            with_eviction.peak_active_flows()
+        );
+        assert!(with_eviction.evicted_flows > 1_000);
+
+        let unbounded = StreamingEngine::builder().shards(2).batch_size(64).build();
+        let (_, without) = unbounded.compress_packets(packets).unwrap();
+        assert_eq!(without.peak_active_flows(), 2_000, "no eviction → all open at once");
+        assert_eq!(without.evicted_flows, 0);
+    }
+}

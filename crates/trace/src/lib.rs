@@ -13,7 +13,8 @@
 //! * [`time::Timestamp`] / [`time::Duration`] — microsecond integer time.
 //! * [`packet::PacketRecord`] — one captured TCP/IP header + timestamp.
 //! * [`trace::Trace`] — an ordered sequence of packet records.
-//! * [`tsh`] — 44-byte TSH record codec (read/write whole traces).
+//! * [`tsh`] — 44-byte TSH record codec: incremental [`tsh::TshReader`]
+//!   for streaming, plus whole-trace read/write.
 //! * [`flow`] — grouping packets into bidirectional flows, flow statistics.
 //!
 //! # Example
@@ -45,8 +46,10 @@ pub use error::TraceError;
 pub use flags::TcpFlags;
 pub use flow::{Flow, FlowDirection, FlowKey, FlowStats, FlowTable};
 pub use packet::{PacketBuilder, PacketRecord};
+pub use pcap::PcapReader;
 pub use time::{Duration, Timestamp};
 pub use trace::Trace;
+pub use tsh::TshReader;
 pub use tuple::{FiveTuple, Protocol};
 
 /// Convenient glob-import surface for examples and downstream crates.

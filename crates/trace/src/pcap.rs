@@ -26,6 +26,11 @@ pub const MAGIC_BE: u32 = 0xD4C3_B2A1;
 pub const LINKTYPE_ETHERNET: u32 = 1;
 /// Captured bytes per packet: Ethernet (14) + IPv4 (20) + TCP (20).
 pub const SNAP_BYTES: u32 = 54;
+/// Largest per-record capture length the reader accepts. Real snaplens
+/// top out at 64 KiB; anything bigger means a desynced or hostile
+/// stream, and bounding it keeps a corrupt length field from turning
+/// into a multi-gigabyte allocation.
+pub const MAX_CAPTURE_BYTES: usize = 1 << 18;
 
 /// Writes a trace as a pcap file. Returns bytes written.
 ///
@@ -116,68 +121,115 @@ fn checksum(header: &[u8]) -> u16 {
     !(sum as u16)
 }
 
-/// Reads a pcap file into a trace. Non-IPv4 or non-Ethernet frames and
-/// truncated captures (< 54 bytes) are skipped, like a tolerant analyzer.
-///
-/// # Errors
-///
-/// Returns [`TraceError`] for malformed global/record headers.
-pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
-    let mut global = [0u8; 24];
-    read_exact_or(&mut r, &mut global, 24)?;
-    let magic = u32::from_le_bytes([global[0], global[1], global[2], global[3]]);
-    let big_endian = match magic {
-        MAGIC_LE => false,
-        MAGIC_BE => true,
-        _ => {
+/// Incremental pcap reader: an iterator of
+/// `Result<PacketRecord, TraceError>` that parses one capture record at a
+/// time. Non-IPv4 / non-Ethernet frames and under-snap captures are
+/// skipped silently, like [`read_trace`]; the first hard error (truncated
+/// record, bad timestamp, I/O failure) is yielded once and fuses the
+/// iterator.
+#[derive(Debug)]
+pub struct PcapReader<R> {
+    inner: R,
+    big_endian: bool,
+    done: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the 24-byte global header, leaving the stream
+    /// positioned at the first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidTrace`] for a bad magic or link type
+    /// and [`TraceError::TruncatedRecord`] for a short global header.
+    pub fn new(mut inner: R) -> Result<PcapReader<R>, TraceError> {
+        let mut global = [0u8; 24];
+        read_exact_or(&mut inner, &mut global, 24)?;
+        let magic = u32::from_le_bytes([global[0], global[1], global[2], global[3]]);
+        let big_endian = match magic {
+            MAGIC_LE => false,
+            MAGIC_BE => true,
+            _ => {
+                return Err(TraceError::InvalidTrace(format!(
+                    "bad pcap magic {magic:#010x}"
+                )))
+            }
+        };
+        let raw = [global[20], global[21], global[22], global[23]];
+        let linktype = if big_endian {
+            u32::from_be_bytes(raw)
+        } else {
+            u32::from_le_bytes(raw)
+        };
+        if linktype != LINKTYPE_ETHERNET {
             return Err(TraceError::InvalidTrace(format!(
-                "bad pcap magic {magic:#010x}"
-            )))
+                "unsupported linktype {linktype}"
+            )));
         }
-    };
-    let u32at = |b: &[u8], off: usize| -> u32 {
+        Ok(PcapReader {
+            inner,
+            big_endian,
+            done: false,
+        })
+    }
+
+    /// Unwraps the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn u32at(&self, b: &[u8], off: usize) -> u32 {
         let raw = [b[off], b[off + 1], b[off + 2], b[off + 3]];
-        if big_endian {
+        if self.big_endian {
             u32::from_be_bytes(raw)
         } else {
             u32::from_le_bytes(raw)
         }
-    };
-    let linktype = u32at(&global, 20);
-    if linktype != LINKTYPE_ETHERNET {
-        return Err(TraceError::InvalidTrace(format!(
-            "unsupported linktype {linktype}"
-        )));
     }
 
-    let mut trace = Trace::new();
-    let mut rec = [0u8; 16];
-    loop {
-        if !read_record_header(&mut r, &mut rec)? { return Ok(trace) }
-        let secs = u32at(&rec, 0);
-        let micros = u32at(&rec, 4);
-        let incl = u32at(&rec, 8) as usize;
-        let orig = u32at(&rec, 12);
-        let mut body = vec![0u8; incl];
-        read_exact_or(&mut r, &mut body, incl)?;
-        if incl < SNAP_BYTES as usize {
-            continue; // too short to hold our headers
-        }
-        if u16::from_be_bytes([body[12], body[13]]) != 0x0800 {
-            continue; // not IPv4
-        }
-        let ip = &body[14..34];
-        if ip[0] >> 4 != 4 {
-            continue;
-        }
-        let ts = Timestamp::from_secs_micros(secs, micros)?;
-        let tcp = &body[34..54];
-        let total_len = u16::from_be_bytes([ip[2], ip[3]]) as u32;
-        let payload = total_len
-            .max(orig.saturating_sub(14))
-            .saturating_sub(crate::packet::HEADER_BYTES) as u16;
-        trace.push(
-            PacketRecord::builder()
+    /// Parses records until one decodes to a packet, is skipped into the
+    /// next iteration, errors, or EOF.
+    fn read_packet(&mut self) -> Option<Result<PacketRecord, TraceError>> {
+        let mut rec = [0u8; 16];
+        loop {
+            match read_record_header(&mut self.inner, &mut rec) {
+                Ok(false) => return None,
+                Ok(true) => {}
+                Err(e) => return Some(Err(e)),
+            }
+            let secs = self.u32at(&rec, 0);
+            let micros = self.u32at(&rec, 4);
+            let incl = self.u32at(&rec, 8) as usize;
+            let orig = self.u32at(&rec, 12);
+            if incl > MAX_CAPTURE_BYTES {
+                return Some(Err(TraceError::InvalidTrace(format!(
+                    "capture length {incl} exceeds the {MAX_CAPTURE_BYTES} B limit"
+                ))));
+            }
+            let mut body = vec![0u8; incl];
+            if let Err(e) = read_exact_or(&mut self.inner, &mut body, incl) {
+                return Some(Err(e));
+            }
+            if incl < SNAP_BYTES as usize {
+                continue; // too short to hold our headers
+            }
+            if u16::from_be_bytes([body[12], body[13]]) != 0x0800 {
+                continue; // not IPv4
+            }
+            let ip = &body[14..34];
+            if ip[0] >> 4 != 4 {
+                continue;
+            }
+            let ts = match Timestamp::from_secs_micros(secs, micros) {
+                Ok(ts) => ts,
+                Err(e) => return Some(Err(e)),
+            };
+            let tcp = &body[34..54];
+            let total_len = u16::from_be_bytes([ip[2], ip[3]]) as u32;
+            let payload = total_len
+                .max(orig.saturating_sub(14))
+                .saturating_sub(crate::packet::HEADER_BYTES) as u16;
+            return Some(Ok(PacketRecord::builder()
                 .timestamp(ts)
                 .src(
                     Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]),
@@ -195,9 +247,39 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
                 .window(u16::from_be_bytes([tcp[14], tcp[15]]))
                 .ip_id(u16::from_be_bytes([ip[4], ip[5]]))
                 .ttl(ip[8])
-                .build(),
-        );
+                .build()));
+        }
     }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item = self.read_packet();
+        match &item {
+            None | Some(Err(_)) => self.done = true,
+            Some(Ok(_)) => {}
+        }
+        item
+    }
+}
+
+/// Reads a pcap file into a trace. Non-IPv4 or non-Ethernet frames and
+/// truncated captures (< 54 bytes) are skipped, like a tolerant analyzer.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] for malformed global/record headers.
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
+    let mut trace = Trace::new();
+    for pkt in PcapReader::new(r)? {
+        trace.push(pkt?);
+    }
+    Ok(trace)
 }
 
 /// Reads a 16-byte record header; `Ok(false)` at clean EOF.

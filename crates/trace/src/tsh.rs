@@ -151,33 +151,92 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<u64, TraceError>
     Ok(written)
 }
 
+/// Incremental TSH record reader: an iterator of
+/// `Result<PacketRecord, TraceError>` that holds one 44-byte record in
+/// memory at a time, so arbitrarily large traces stream without being
+/// slurped into a [`Trace`].
+///
+/// The first error (truncated record, unnormalized field, I/O failure)
+/// is yielded once and fuses the iterator — subsequent calls return
+/// `None` rather than re-reading a stream in an unknown state.
+///
+/// # Example
+///
+/// ```
+/// use flowzip_trace::tsh::{self, TshReader};
+/// use flowzip_trace::prelude::*;
+///
+/// let mut t = Trace::new();
+/// t.push(PacketRecord::builder().timestamp(Timestamp::from_micros(7)).build());
+/// let bytes = tsh::to_bytes(&t);
+/// let packets: Vec<_> = TshReader::new(&bytes[..]).collect::<Result<_, _>>().unwrap();
+/// assert_eq!(packets.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TshReader<R> {
+    inner: R,
+    done: bool,
+}
+
+impl<R: Read> TshReader<R> {
+    /// Wraps a byte stream of consecutive 44-byte TSH records.
+    pub fn new(inner: R) -> TshReader<R> {
+        TshReader { inner, done: false }
+    }
+
+    /// Unwraps the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn read_record(&mut self) -> Option<Result<PacketRecord, TraceError>> {
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut filled = 0;
+        while filled < RECORD_BYTES {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return None, // clean EOF at a boundary
+                Ok(0) => {
+                    return Some(Err(TraceError::TruncatedRecord {
+                        got: filled,
+                        need: RECORD_BYTES,
+                    }))
+                }
+                Ok(n) => filled += n,
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+        Some(decode_record(&buf).map(|(pkt, _ifc)| pkt))
+    }
+}
+
+impl<R: Read> Iterator for TshReader<R> {
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item = self.read_record();
+        match &item {
+            None | Some(Err(_)) => self.done = true,
+            Some(Ok(_)) => {}
+        }
+        item
+    }
+}
+
 /// Reads consecutive TSH records until EOF.
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::TruncatedRecord`] if the stream ends inside a
 /// record, and propagates I/O failures.
-pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
     let mut trace = Trace::new();
-    let mut buf = [0u8; RECORD_BYTES];
-    loop {
-        let mut filled = 0;
-        while filled < RECORD_BYTES {
-            let n = r.read(&mut buf[filled..])?;
-            if n == 0 {
-                if filled == 0 {
-                    return Ok(trace);
-                }
-                return Err(TraceError::TruncatedRecord {
-                    got: filled,
-                    need: RECORD_BYTES,
-                });
-            }
-            filled += n;
-        }
-        let (pkt, _ifc) = decode_record(&buf)?;
-        trace.push(pkt);
+    for pkt in TshReader::new(r) {
+        trace.push(pkt?);
     }
+    Ok(trace)
 }
 
 /// Serializes a trace to an in-memory TSH image — what Figure 1 calls the

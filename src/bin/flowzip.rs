@@ -4,17 +4,23 @@
 //! flowzip generate   --flows 2000 --secs 60 --seed 42 -o web.tsh
 //! flowzip stats      web.tsh
 //! flowzip compress   web.tsh -o web.fzc
+//! flowzip compress   web.tsh -o web.fzc --streaming --threads 4 --idle-timeout 60
 //! flowzip info       web.fzc
 //! flowzip decompress web.fzc -o web-restored.tsh
 //! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
 //! ```
 //!
 //! TSH files are the NLANR 44-byte-record format; `.fzc` is the archive
-//! format of `flowzip_core::datasets` (magic `FZC1`).
+//! format of `flowzip_core::datasets` (magic `FZC1`). `--streaming` runs
+//! the sharded `flowzip-engine` pipeline: the input file is never loaded
+//! whole, flows are accumulated across `--threads` workers, and
+//! `--idle-timeout` (seconds of trace time, 0 = off) bounds open-flow
+//! memory on long captures.
 
 use flowzip::core::{synthesize, CompressedTrace, Compressor, Decompressor, Params};
+use flowzip::engine::StreamingEngine;
 use flowzip::prelude::*;
-use flowzip::trace::tsh;
+use flowzip::trace::tsh::{self, TshReader};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -35,9 +41,14 @@ const USAGE: &str = "usage:
   flowzip generate   [--flows N] [--secs S] [--seed K] -o OUT.tsh
   flowzip stats      IN.tsh
   flowzip compress   IN.tsh  -o OUT.fzc
+                     [--streaming] [--threads N] [--idle-timeout SECS] [--batch-size N]
+                     (any engine flag implies --streaming)
   flowzip info       IN.fzc
   flowzip decompress IN.fzc  -o OUT.tsh [--seed K]
   flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh";
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["streaming"];
 
 struct Opts {
     positional: Vec<String>,
@@ -51,6 +62,11 @@ impl Opts {
         let mut i = 0;
         while i < args.len() {
             if let Some(key) = args[i].strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    flags.push((key.to_string(), "true".to_string()));
+                    i += 1;
+                    continue;
+                }
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -83,6 +99,10 @@ impl Opts {
         }
     }
 
+    fn get_bool(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
     fn out(&self) -> Result<PathBuf, String> {
         self.get("out")
             .map(PathBuf::from)
@@ -113,9 +133,19 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn read_tsh(path: &str) -> Result<Trace, String> {
+/// Opens a TSH file as an incremental record reader; callers decide
+/// whether to stream it (engine) or collect it (batch, stats).
+fn open_tsh(path: &str) -> Result<TshReader<std::io::BufReader<std::fs::File>>, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    tsh::read_trace(std::io::BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+    Ok(TshReader::new(std::io::BufReader::new(file)))
+}
+
+fn read_tsh(path: &str) -> Result<Trace, String> {
+    let mut trace = Trace::new();
+    for pkt in open_tsh(path)? {
+        trace.push(pkt.map_err(|e| format!("parse {path}: {e}"))?);
+    }
+    Ok(trace)
 }
 
 fn write_tsh(path: &PathBuf, trace: &Trace) -> Result<u64, String> {
@@ -165,12 +195,39 @@ fn stats(opts: &Opts) -> Result<(), String> {
 fn compress(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let out = opts.out()?;
-    let trace = read_tsh(input)?;
-    let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
-    let bytes = archive.to_bytes();
-    std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
-    println!("{report}");
-    println!("wrote {} ({} bytes)", out.display(), bytes.len());
+    // Any engine knob implies streaming — silently falling back to the
+    // whole-file batch path would be exactly the OOM the engine prevents.
+    let streaming = opts.get_bool("streaming")
+        || opts.get("threads").is_some()
+        || opts.get("idle-timeout").is_some()
+        || opts.get("batch-size").is_some();
+    let bytes = if streaming {
+        let threads = opts.get_u64("threads", 0)? as usize;
+        let idle_secs = opts.get_u64("idle-timeout", 0)?;
+        let batch = opts.get_u64("batch-size", 1024)? as usize;
+        let mut builder = StreamingEngine::builder()
+            .batch_size(batch)
+            .idle_timeout((idle_secs > 0).then(|| Duration::from_secs(idle_secs)));
+        if threads > 0 {
+            builder = builder.shards(threads);
+        }
+        let engine = builder.build();
+        let (archive, report) = engine
+            .compress_stream(open_tsh(input)?)
+            .map_err(|e| format!("compress {input}: {e}"))?;
+        let bytes = archive.to_bytes();
+        std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!("{report}");
+        bytes.len()
+    } else {
+        let trace = read_tsh(input)?;
+        let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
+        let bytes = archive.to_bytes();
+        std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!("{report}; peak {} active flows", report.peak_active_flows);
+        bytes.len()
+    };
+    println!("wrote {} ({bytes} bytes)", out.display());
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! | [`trace`] | `flowzip-trace` | packet/flow model, TSH trace format |
 //! | [`traffic`] | `flowzip-traffic` | synthetic Web/random/fractal traces |
 //! | [`core`] | `flowzip-core` | ★ the flow-clustering compressor (§2–§4) |
+//! | [`engine`] | `flowzip-engine` | sharded, bounded-memory streaming engine |
 //! | [`deflate`] | `flowzip-deflate` | from-scratch DEFLATE/gzip baseline |
 //! | [`vj`] | `flowzip-vj` | Van Jacobson header compression baseline |
 //! | [`peuhkuri`] | `flowzip-peuhkuri` | Peuhkuri flow-based baseline |
@@ -44,6 +45,7 @@ pub use flowzip_analysis as analysis;
 pub use flowzip_cachesim as cachesim;
 pub use flowzip_core as core;
 pub use flowzip_deflate as deflate;
+pub use flowzip_engine as engine;
 pub use flowzip_netbench as netbench;
 pub use flowzip_peuhkuri as peuhkuri;
 pub use flowzip_radix as radix;
@@ -59,6 +61,7 @@ pub mod prelude {
         synthesize, CompressedTrace, CompressionReport, Compressor, DecompressParams,
         Decompressor, Params, SynthConfig, SynthGenerator,
     };
+    pub use flowzip_engine::{EngineBuilder, EngineReport, StreamingEngine};
     pub use flowzip_netbench::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
     pub use flowzip_radix::{RadixTable, TableGen};
     pub use flowzip_trace::prelude::*;
@@ -72,6 +75,7 @@ mod tests {
     fn facade_exposes_all_crates() {
         // Compile-time check that every re-export resolves.
         let _ = crate::core::Params::paper();
+        let _ = crate::engine::StreamingEngine::builder();
         let _ = crate::cachesim::CacheConfig::netbench_l1();
         let _ = crate::trace::TcpFlags::SYN;
         let _ = crate::netbench::BenchKind::Route;

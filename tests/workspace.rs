@@ -11,6 +11,7 @@ fn every_facade_module_is_reachable() {
     assert!(flowzip::trace::TcpFlags::SYN.contains(flowzip::trace::TcpFlags::SYN));
     assert!(flowzip::traffic::WebTrafficConfig::default().flows > 0);
     assert_eq!(flowzip::core::Params::paper().short_max, 50);
+    assert!(flowzip::engine::StreamingEngine::builder().build().config().shards >= 1);
     assert_eq!(flowzip::deflate::ratio(50, 100), 0.5);
     assert!(flowzip::vj::model::ratio_for_flow_len(1) > 0.0);
     assert_eq!(&flowzip::peuhkuri::MAGIC, b"PKT1");
@@ -27,6 +28,7 @@ fn prelude_pulls_in_the_whole_pipeline_vocabulary() {
     let _generate: fn(WebTrafficConfig, u64) -> WebTrafficGenerator = WebTrafficGenerator::new;
     let _compress: fn(Params) -> Compressor = Compressor::new;
     let _decompress: fn() -> Decompressor = Decompressor::default;
+    let _engine: fn() -> EngineBuilder = StreamingEngine::builder;
     let _table: fn(&Trace) -> FlowTable = FlowTable::from_trace;
     let _ks: fn(&[f64], &[f64]) -> f64 = ks_distance;
     let _cache: fn(CacheConfig) -> Cache = Cache::new;
