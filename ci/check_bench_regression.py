@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the engine_throughput bench.
+
+Compares a freshly measured ``target/BENCH_engine.json`` against the
+checked-in baseline ``ci/BENCH_engine.baseline.json`` and exits non-zero
+when peak packets/s drops more than the tolerance (default 15%).
+
+The gated metric is the *peak* packets/s across thread counts — the
+headline throughput — because individual thread-count points are noisy
+on shared CI runners while the peak is comparatively stable. Per-point
+deltas are still printed so the full trajectory is visible in the log.
+
+Usage:
+    python3 ci/check_bench_regression.py CURRENT BASELINE [--bless]
+
+    --bless    copy CURRENT over BASELINE instead of comparing (run after
+               an intentional perf change or a CI-runner hardware change,
+               then commit the new baseline)
+
+Environment:
+    FLOWZIP_BENCH_TOLERANCE   allowed fractional drop (default 0.15)
+"""
+
+import json
+import os
+import shutil
+import sys
+
+
+def peak(doc):
+    return max(r["packets_per_sec"] for r in doc["results"])
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path, baseline_path = argv[1], argv[2]
+
+    if "--bless" in argv[3:]:
+        shutil.copyfile(current_path, baseline_path)
+        print(f"blessed: {current_path} -> {baseline_path}")
+        return 0
+
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    tolerance = float(os.environ.get("FLOWZIP_BENCH_TOLERANCE", "0.15"))
+    base_by_threads = {r["threads"]: r for r in baseline["results"]}
+
+    print(f"{'threads':>7} {'baseline pkt/s':>15} {'current pkt/s':>15} {'delta':>8}")
+    for r in current["results"]:
+        base = base_by_threads.get(r["threads"])
+        if base is None:
+            print(f"{r['threads']:>7} {'-':>15} {r['packets_per_sec']:>15,} {'new':>8}")
+            continue
+        delta = r["packets_per_sec"] / base["packets_per_sec"] - 1.0
+        print(
+            f"{r['threads']:>7} {base['packets_per_sec']:>15,}"
+            f" {r['packets_per_sec']:>15,} {delta:>+7.1%}"
+        )
+
+    base_peak, cur_peak = peak(baseline), peak(current)
+    peak_delta = cur_peak / base_peak - 1.0
+    print(f"\npeak packets/s: baseline {base_peak:,} -> current {cur_peak:,} ({peak_delta:+.1%})")
+
+    if peak_delta < -tolerance:
+        print(
+            f"FAIL: peak packets/s dropped {-peak_delta:.1%} > {tolerance:.0%} tolerance.\n"
+            f"If this regression is intentional, re-bless with:\n"
+            f"  python3 ci/check_bench_regression.py {current_path} {baseline_path} --bless",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: within {tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

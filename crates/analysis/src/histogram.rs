@@ -91,7 +91,10 @@ impl BucketedHistogram {
             .windows(2)
             .map(|w| format!("{}-{}", fmt(w[0]), fmt(w[1])))
             .collect();
-        labels.push(format!(">{}", fmt(*self.edges.last().expect("non-empty edges"))));
+        labels.push(format!(
+            ">{}",
+            fmt(*self.edges.last().expect("non-empty edges"))
+        ));
         labels
     }
 }

@@ -16,11 +16,7 @@ use std::path::Path;
 /// # Panics
 ///
 /// Panics if series lengths differ or no series is provided.
-pub fn write_dat(
-    path: &Path,
-    header: &[&str],
-    series: &[&[f64]],
-) -> std::io::Result<()> {
+pub fn write_dat(path: &Path, header: &[&str], series: &[&[f64]]) -> std::io::Result<()> {
     assert!(!series.is_empty(), "need at least one series");
     assert_eq!(header.len(), series.len(), "one header per series");
     let n = series[0].len();

@@ -99,7 +99,11 @@ fn main() {
     let path = std::env::var("FLOWZIP_BENCH_JSON").unwrap_or_else(|_| {
         // The bench runs with the package as cwd; the workspace target
         // dir is two levels up.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_engine.json").to_string()
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_engine.json"
+        )
+        .to_string()
     });
     if let Some(parent) = std::path::Path::new(&path).parent() {
         let _ = std::fs::create_dir_all(parent);

@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flowzip_bench::original_trace;
-use flowzip_netbench::{nat::NatBench, route::RouteBench, rtr::RtrBench, BenchConfig,
-    PacketProcessor};
+use flowzip_netbench::{
+    nat::NatBench, route::RouteBench, rtr::RtrBench, BenchConfig, PacketProcessor,
+};
 
 fn bench_kernels(c: &mut Criterion) {
     let trace = original_trace(800, 30.0, 5);

@@ -27,29 +27,41 @@ fn main() {
     let random = randomize_destinations(&original, seed ^ 0xABCD);
 
     let geometries: [(&str, CacheConfig); 5] = [
-        ("8K/1-way/32B", CacheConfig {
-            size_bytes: 8 * 1024,
-            line_bytes: 32,
-            associativity: 1,
-            replacement: Replacement::Lru,
-        }),
+        (
+            "8K/1-way/32B",
+            CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                associativity: 1,
+                replacement: Replacement::Lru,
+            },
+        ),
         ("16K/2-way/32B (paper-era)", CacheConfig::netbench_l1()),
-        ("32K/4-way/64B", CacheConfig {
-            size_bytes: 32 * 1024,
-            line_bytes: 64,
-            associativity: 4,
-            replacement: Replacement::Lru,
-        }),
-        ("16K/2-way/32B FIFO", CacheConfig {
-            replacement: Replacement::Fifo,
-            ..CacheConfig::netbench_l1()
-        }),
-        ("64K/8-way/64B", CacheConfig {
-            size_bytes: 64 * 1024,
-            line_bytes: 64,
-            associativity: 8,
-            replacement: Replacement::Lru,
-        }),
+        (
+            "32K/4-way/64B",
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                associativity: 4,
+                replacement: Replacement::Lru,
+            },
+        ),
+        (
+            "16K/2-way/32B FIFO",
+            CacheConfig {
+                replacement: Replacement::Fifo,
+                ..CacheConfig::netbench_l1()
+            },
+        ),
+        (
+            "64K/8-way/64B",
+            CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+                replacement: Replacement::Lru,
+            },
+        ),
     ];
 
     println!("\nAblation: cache geometry — mean per-packet miss rate (route kernel)\n");

@@ -22,21 +22,50 @@ fn main() {
     let original = original_trace(flows, 60.0, seed);
 
     let candidates: [(&str, Weights); 5] = [
-        ("paper 16/4/1", Weights { flags: 16, dependence: 4, size: 1 }),
-        ("flat 1/1/1", Weights { flags: 1, dependence: 1, size: 1 }),
-        ("flags-only 16/0/0", Weights { flags: 16, dependence: 0, size: 0 }),
-        ("size-heavy 4/2/8", Weights { flags: 4, dependence: 2, size: 8 }),
-        ("wide 64/8/1", Weights { flags: 64, dependence: 8, size: 1 }),
+        (
+            "paper 16/4/1",
+            Weights {
+                flags: 16,
+                dependence: 4,
+                size: 1,
+            },
+        ),
+        (
+            "flat 1/1/1",
+            Weights {
+                flags: 1,
+                dependence: 1,
+                size: 1,
+            },
+        ),
+        (
+            "flags-only 16/0/0",
+            Weights {
+                flags: 16,
+                dependence: 0,
+                size: 0,
+            },
+        ),
+        (
+            "size-heavy 4/2/8",
+            Weights {
+                flags: 4,
+                dependence: 2,
+                size: 8,
+            },
+        ),
+        (
+            "wide 64/8/1",
+            Weights {
+                flags: 64,
+                dependence: 8,
+                size: 1,
+            },
+        ),
     ];
 
     println!("\nAblation: characterization weights (paper: 16/4/1)\n");
-    let mut table = TextTable::new(&[
-        "weights",
-        "clusters",
-        "ratio vs TSH",
-        "decodable",
-        "max M",
-    ]);
+    let mut table = TextTable::new(&["weights", "clusters", "ratio vs TSH", "decodable", "max M"]);
     for (name, weights) in candidates {
         let params = Params {
             weights,

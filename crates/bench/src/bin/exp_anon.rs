@@ -46,7 +46,10 @@ fn main() {
     let rn = run(&naive, &original, "naive random");
 
     let acc = |r: &flowzip_netbench::BenchReport| {
-        r.costs.iter().map(|c| c.accesses as f64).collect::<Vec<f64>>()
+        r.costs
+            .iter()
+            .map(|c| c.accesses as f64)
+            .collect::<Vec<f64>>()
     };
     let base = acc(&ro);
 

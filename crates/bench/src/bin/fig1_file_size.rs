@@ -83,15 +83,34 @@ fn main() {
 
     let last = steps - 1;
     println!("final ratios vs original TSH:");
-    println!("  gzip     {:>6.1}%   (paper: ~50%)", 100.0 * s_gzip[last] / s_orig[last]);
-    println!("  vj       {:>6.1}%   (paper: ~30%)", 100.0 * s_vj[last] / s_orig[last]);
-    println!("  peuhkuri {:>6.1}%   (paper: ~16%)", 100.0 * s_pk[last] / s_orig[last]);
-    println!("  proposed {:>6.1}%   (paper:  ~3%)", 100.0 * s_fc[last] / s_orig[last]);
+    println!(
+        "  gzip     {:>6.1}%   (paper: ~50%)",
+        100.0 * s_gzip[last] / s_orig[last]
+    );
+    println!(
+        "  vj       {:>6.1}%   (paper: ~30%)",
+        100.0 * s_vj[last] / s_orig[last]
+    );
+    println!(
+        "  peuhkuri {:>6.1}%   (paper: ~16%)",
+        100.0 * s_pk[last] / s_orig[last]
+    );
+    println!(
+        "  proposed {:>6.1}%   (paper:  ~3%)",
+        100.0 * s_fc[last] / s_orig[last]
+    );
 
     let path = figures_dir().join("fig1.dat");
     write_dat(
         &path,
-        &["elapsed_s", "original_mb", "gzip_mb", "vj_mb", "peuhkuri_mb", "proposed_mb"],
+        &[
+            "elapsed_s",
+            "original_mb",
+            "gzip_mb",
+            "vj_mb",
+            "peuhkuri_mb",
+            "proposed_mb",
+        ],
         &[&xs, &s_orig, &s_gzip, &s_vj, &s_pk, &s_fc],
     )
     .expect("write fig1.dat");

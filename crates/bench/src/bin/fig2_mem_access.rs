@@ -126,7 +126,13 @@ fn main() {
     let path = figures_dir().join(format!("fig2_{kind}.dat"));
     write_dat(
         &path,
-        &["accesses", "original_pct", "decompressed_pct", "random_pct", "fractal_pct"],
+        &[
+            "accesses",
+            "original_pct",
+            "decompressed_pct",
+            "random_pct",
+            "fractal_pct",
+        ],
         &[&xs, &y_orig, &y_dec, &y_rand, &y_frac],
     )
     .expect("write fig2 series");

@@ -74,9 +74,19 @@ fn main() {
     let path = figures_dir().join(format!("fig3_{kind}.dat"));
     write_dat(
         &path,
-        &["bucket", "original_pct", "decompressed_pct", "random_pct", "fractal_pct"],
+        &[
+            "bucket",
+            "original_pct",
+            "decompressed_pct",
+            "random_pct",
+            "fractal_pct",
+        ],
         &[&xs, &p_orig, &p_dec, &p_rand, &p_frac],
     )
     .expect("write fig3 series");
-    println!("\nseries written to {} (buckets: {})", path.display(), labels.join(", "));
+    println!(
+        "\nseries written to {} (buckets: {})",
+        path.display(),
+        labels.join(", ")
+    );
 }

@@ -21,7 +21,11 @@ fn main() {
     let table = FlowTable::from_trace(&trace);
     let stats = table.stats(50);
 
-    println!("\n§3 flow statistics — {} packets in {} flows\n", trace.len(), stats.flows);
+    println!(
+        "\n§3 flow statistics — {} packets in {} flows\n",
+        trace.len(),
+        stats.flows
+    );
     let mut t = TextTable::new(&["metric", "measured", "paper"]);
     t.row_owned(vec![
         "flows with < 51 packets".into(),

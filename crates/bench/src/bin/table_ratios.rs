@@ -46,7 +46,12 @@ fn main() {
     );
     let mut table = TextTable::new(&["method", "measured", "model (Eq. 5-8)", "paper"]);
     let pct = |x: f64| format!("{:.1}%", 100.0 * x);
-    table.row_owned(vec!["gzip (deflate)".into(), pct(gzip), "-".into(), "~50%".into()]);
+    table.row_owned(vec![
+        "gzip (deflate)".into(),
+        pct(gzip),
+        "-".into(),
+        "~50%".into(),
+    ]);
     table.row_owned(vec![
         "van jacobson".into(),
         pct(vj_measured),

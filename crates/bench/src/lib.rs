@@ -32,8 +32,7 @@ pub fn figures_dir() -> PathBuf {
 /// Parses `--key value` style arguments (all optional, all u64), plus
 /// `--bench name` strings. Unknown keys are rejected with a helpful
 /// message.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Args {
     /// Raw `--key value` pairs.
     pairs: Vec<(String, String)>,
@@ -68,7 +67,10 @@ impl Args {
             .iter()
             .rev()
             .find(|(k, _)| k == key)
-            .map(|(_, v)| v.parse().unwrap_or_else(|_| panic!("--{key} wants a number")))
+            .map(|(_, v)| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -82,7 +84,6 @@ impl Args {
             .unwrap_or_else(|| default.to_string())
     }
 }
-
 
 /// The standard "Original trace" every experiment starts from: `flows`
 /// Web conversations over `secs` seconds.

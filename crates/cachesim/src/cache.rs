@@ -246,7 +246,10 @@ impl Cache {
             valid: true,
             stamp: self.tick,
         };
-        AccessResult { hit: false, evicted }
+        AccessResult {
+            hit: false,
+            evicted,
+        }
     }
 }
 

@@ -199,11 +199,12 @@ impl FlowAccumulator {
         }
 
         let complete = p.flags().is_rst()
-            || (flow.fin_from_initiator
-                && flow.fin_from_responder
-                && !p.flags().is_fin()); // the closing ACK after both FINs
+            || (flow.fin_from_initiator && flow.fin_from_responder && !p.flags().is_fin()); // the closing ACK after both FINs
         if complete {
-            let flow = self.active.remove(&key).expect("flow present - just updated");
+            let flow = self
+                .active
+                .remove(&key)
+                .expect("flow present - just updated");
             self.finished.push(flow.finish(&self.params));
             // The flow's `order` entry becomes a tombstone; compact the
             // log once tombstones dominate so it stays proportional to
@@ -315,7 +316,7 @@ mod tests {
         acc.push(&pkt(t, base_us, TcpFlags::SYN, 0));
         acc.push(&pkt(s, base_us + 100, TcpFlags::SYN | TcpFlags::ACK, 0));
         acc.push(&pkt(t, base_us + 200, TcpFlags::ACK, 0));
-        acc.push(&pkt(t, base_us + 210, TcpFlags::PSH | TcpFlags::ACK, 300, ));
+        acc.push(&pkt(t, base_us + 210, TcpFlags::PSH | TcpFlags::ACK, 300));
         acc.push(&pkt(s, base_us + 310, TcpFlags::ACK, 1460));
         acc.push(&pkt(s, base_us + 320, TcpFlags::FIN | TcpFlags::ACK, 0));
         acc.push(&pkt(t, base_us + 420, TcpFlags::FIN | TcpFlags::ACK, 0));
@@ -476,7 +477,11 @@ mod tests {
             acc.push(&pkt(t, base + 1, TcpFlags::RST, 0));
         }
         assert_eq!(acc.completed().len(), 2_000);
-        assert!(acc.peak_active_flows() <= 3, "peak {}", acc.peak_active_flows());
+        assert!(
+            acc.peak_active_flows() <= 3,
+            "peak {}",
+            acc.peak_active_flows()
+        );
         assert_eq!(acc.active_flows(), 1);
         let flows = acc.finish();
         assert_eq!(flows.len(), 2_001);

@@ -334,7 +334,10 @@ mod tests {
     #[test]
     fn dependence_inference() {
         use FlowDirection::*;
-        assert_eq!(Dependence::infer(None, FromInitiator), Dependence::Dependent);
+        assert_eq!(
+            Dependence::infer(None, FromInitiator),
+            Dependence::Dependent
+        );
         assert_eq!(
             Dependence::infer(Some(FromInitiator), FromResponder),
             Dependence::Dependent
@@ -384,7 +387,12 @@ mod tests {
     #[test]
     fn decompose_inverts_m_value() {
         let w = Weights::paper();
-        for f1 in [FlagClass::Syn, FlagClass::SynAck, FlagClass::Ack, FlagClass::Fin] {
+        for f1 in [
+            FlagClass::Syn,
+            FlagClass::SynAck,
+            FlagClass::Ack,
+            FlagClass::Fin,
+        ] {
             for f2 in [Dependence::Dependent, Dependence::NotDependent] {
                 for f3 in 0..3u32 {
                     let m = w.m_value(f1, f2, f3);
@@ -415,7 +423,11 @@ mod tests {
             // the extended classifier.
             assert_eq!(
                 FlagClassifier::Extended.classify(c.to_flags()),
-                if c == FlagClass::Other { FlagClass::Ack } else { c }
+                if c == FlagClass::Other {
+                    FlagClass::Ack
+                } else {
+                    c
+                }
             );
         }
         assert!(FlagClass::from_value(6).is_none());

@@ -288,11 +288,7 @@ mod tests {
     #[test]
     fn linear_and_pruned_agree() {
         let vectors: Vec<Vec<u16>> = (0..200)
-            .map(|i| {
-                (0..10)
-                    .map(|j| ((i * 7 + j * 13) % 55) as u16)
-                    .collect()
-            })
+            .map(|i| (0..10).map(|j| ((i * 7 + j * 13) % 55) as u16).collect())
             .collect();
         let mut lin = TemplateStore::new(Params {
             index: SearchIndex::Linear,
@@ -377,7 +373,11 @@ mod tests {
         let shard_len = shard.len();
         let shard_matched = shard.matched_count();
         let mut merged = store();
-        let vectors = shard.templates().iter().map(|t| t.vector.clone()).collect::<Vec<_>>();
+        let vectors = shard
+            .templates()
+            .iter()
+            .map(|t| t.vector.clone())
+            .collect::<Vec<_>>();
         let got = merged.merge(shard);
         assert_eq!(got, (0..shard_len as u32).collect::<Vec<_>>());
         assert_eq!(merged.len(), shard_len);

@@ -2,6 +2,7 @@
 
 use crate::accumulate::{FinishedFlow, FlowAccumulator};
 use crate::cluster::TemplateStore;
+use crate::container::ShardSection;
 use crate::datasets::{CompressedTrace, DatasetSizes, FlowRecord, LongTemplate};
 use crate::Params;
 use flowzip_trace::Trace;
@@ -104,12 +105,13 @@ impl Compressor {
         for flow in &flows {
             asm.consume(flow);
         }
-        assemble_shards(
+        let (compressed, report, _) = assemble_shards(
             &self.params,
             vec![asm],
             flowzip_trace::tsh::file_size(trace),
             trace.header_bytes(),
-        )
+        );
+        (compressed, report)
     }
 }
 
@@ -200,6 +202,106 @@ impl FlowAssembler {
     pub fn packets(&self) -> u64 {
         self.packets
     }
+
+    /// Encodes this assembler's state into a self-contained container-v2
+    /// section: local addresses dedupe in consume order (matching
+    /// [`assemble_shards`]' global first-appearance order shard by
+    /// shard), flow records stably sort by first timestamp, and the
+    /// payload serializes with shard-local indices. Designed to run on
+    /// the shard's own thread — the O(trace) serialization work leaves
+    /// the writer's serial tail entirely.
+    pub fn into_section(self) -> ShardSection {
+        let mut addr_index: HashMap<Ipv4Addr, u32> = HashMap::new();
+        let mut addresses: Vec<Ipv4Addr> = Vec::new();
+        let mut records: Vec<FlowRecord> = self
+            .pending
+            .into_iter()
+            .map(|rec| {
+                let addr_idx = *addr_index.entry(rec.dst_ip).or_insert_with(|| {
+                    addresses.push(rec.dst_ip);
+                    (addresses.len() - 1) as u32
+                });
+                FlowRecord {
+                    first_ts: rec.first_ts,
+                    is_long: rec.is_long,
+                    template_idx: rec.template_idx,
+                    addr_idx,
+                    rtt: rec.rtt,
+                }
+            })
+            .collect();
+        records.sort_by_key(|r| r.first_ts);
+
+        let mut payload = Vec::new();
+        for t in &self.long_templates {
+            crate::container::put_long_template(t, &mut payload);
+        }
+        let long_template_bytes = payload.len() as u64;
+        let mut last_ts = 0u64;
+        for r in &records {
+            crate::container::put_time_seq_record(r, &mut last_ts, &mut payload);
+        }
+        let time_seq_bytes = payload.len() as u64 - long_template_bytes;
+
+        ShardSection {
+            store: self.store,
+            addresses,
+            flow_count: records.len() as u64,
+            long_count: self.long_templates.len() as u64,
+            packets: self.packets,
+            short_flows: self.short_flows,
+            long_flows: self.long_flows,
+            payload,
+            long_template_bytes,
+            time_seq_bytes,
+        }
+    }
+}
+
+/// Folds encoded per-shard sections into the final v2 archive bytes and
+/// report — the container-v2 counterpart of [`assemble_shards`]. The
+/// O(trace) payloads were already encoded shard-side
+/// ([`FlowAssembler::into_section`]); what remains serial here is the
+/// template-store merge, the global address dedupe, and the section
+/// index — O(shards + clusters + addresses).
+pub fn assemble_sections(
+    params: &Params,
+    sections: Vec<ShardSection>,
+    tsh_bytes: u64,
+    header_bytes: u64,
+) -> (Vec<u8>, CompressionReport) {
+    let mut packets = 0u64;
+    let mut short_flows = 0u64;
+    let mut long_flows = 0u64;
+    for s in &sections {
+        packets += s.packets;
+        short_flows += s.short_flows;
+        long_flows += s.long_flows;
+    }
+    let (bytes, sizes, stats) = crate::container::write_sections(params, sections);
+    let report = CompressionReport {
+        packets,
+        flows: short_flows + long_flows,
+        short_flows,
+        long_flows,
+        matched_flows: stats.matched_flows,
+        clusters: stats.clusters,
+        addresses: stats.addresses,
+        peak_active_flows: 0,
+        sizes,
+        tsh_bytes,
+        ratio_vs_tsh: if tsh_bytes == 0 {
+            0.0
+        } else {
+            sizes.total() as f64 / tsh_bytes as f64
+        },
+        ratio_vs_headers: if header_bytes == 0 {
+            0.0
+        } else {
+            sizes.total() as f64 / header_bytes as f64
+        },
+    };
+    (bytes, report)
 }
 
 /// Folds one or more [`FlowAssembler`]s into the final archive and
@@ -207,6 +309,10 @@ impl FlowAssembler {
 /// under the same Eq. 4 rule), addresses dedupe globally, and the
 /// time-seq dataset is re-sorted. `tsh_bytes` / `header_bytes` are the
 /// original-size baselines the ratios divide by.
+///
+/// The encoded v1 bytes come back too: computing the report's dataset
+/// sizes requires a full encode anyway, so callers that want the
+/// serialized archive reuse it instead of encoding a second time.
 ///
 /// With a single assembler this reproduces [`Compressor::compress`]
 /// byte-for-byte (re-offering cluster centers in insertion order is a
@@ -216,7 +322,7 @@ pub fn assemble_shards(
     shards: Vec<FlowAssembler>,
     tsh_bytes: u64,
     header_bytes: u64,
-) -> (CompressedTrace, CompressionReport) {
+) -> (CompressedTrace, CompressionReport, Vec<u8>) {
     let mut store = TemplateStore::new(params.clone());
     let mut long_templates: Vec<LongTemplate> = Vec::new();
     let mut addresses: Vec<Ipv4Addr> = Vec::new();
@@ -260,14 +366,18 @@ pub fn assemble_shards(
     let matched_flows = store.matched_count();
     let clusters = store.len() as u64;
     let compressed = CompressedTrace {
-        short_templates: store.into_templates().into_iter().map(|t| t.vector).collect(),
+        short_templates: store
+            .into_templates()
+            .into_iter()
+            .map(|t| t.vector)
+            .collect(),
         long_templates,
         addresses,
         time_seq,
     };
     debug_assert!(compressed.validate().is_ok());
 
-    let (_, sizes) = compressed.encode();
+    let (encoded, sizes) = compressed.encode();
     let report = CompressionReport {
         packets,
         flows: short_flows + long_flows,
@@ -290,7 +400,7 @@ pub fn assemble_shards(
             sizes.total() as f64 / header_bytes as f64
         },
     };
-    (compressed, report)
+    (compressed, report, encoded)
 }
 
 #[cfg(test)]
@@ -402,6 +512,77 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("% of TSH"));
         assert!(s.contains("clusters"));
+    }
+
+    #[test]
+    fn sectioned_v2_decodes_identically_to_v1_assembly() {
+        // Shard finished flows round-robin across three assemblers, then
+        // run the v1 merge path and the v2 section path over identical
+        // shard states: the decoded archives must be *equal*, which is
+        // what makes v2 decompression packet-identical to v1.
+        let trace = web_trace(400, 11);
+        let params = Params::paper();
+        let mut acc = FlowAccumulator::new(params.clone());
+        for p in &trace {
+            acc.push(p);
+        }
+        let flows = acc.finish();
+        let build = || {
+            let mut asms: Vec<FlowAssembler> =
+                (0..3).map(|_| FlowAssembler::new(params.clone())).collect();
+            for (i, flow) in flows.iter().enumerate() {
+                asms[i % 3].consume(flow);
+            }
+            asms
+        };
+        let tsh = flowzip_trace::tsh::file_size(&trace);
+        let hdr = trace.header_bytes();
+
+        let (ct_v1, report_v1, _) = assemble_shards(&params, build(), tsh, hdr);
+        let sections = build()
+            .into_iter()
+            .map(FlowAssembler::into_section)
+            .collect();
+        let (bytes_v2, report_v2) = assemble_sections(&params, sections, tsh, hdr);
+
+        let decoded_v1 = CompressedTrace::from_bytes(&ct_v1.to_bytes()).unwrap();
+        let decoded_v2 = CompressedTrace::from_bytes(&bytes_v2).unwrap();
+        assert_eq!(decoded_v1, decoded_v2);
+
+        assert_eq!(report_v2.packets, report_v1.packets);
+        assert_eq!(report_v2.flows, report_v1.flows);
+        assert_eq!(report_v2.short_flows, report_v1.short_flows);
+        assert_eq!(report_v2.long_flows, report_v1.long_flows);
+        assert_eq!(report_v2.clusters, report_v1.clusters);
+        assert_eq!(report_v2.matched_flows, report_v1.matched_flows);
+        assert_eq!(report_v2.addresses, report_v1.addresses);
+        // v2 sizes reflect the v2 file exactly (index overhead included).
+        assert_eq!(report_v2.sizes.total(), bytes_v2.len() as u64);
+    }
+
+    #[test]
+    fn single_assembler_section_matches_batch_v2_bytes() {
+        // One shard's v2 archive must be byte-identical to the batch
+        // archive's single-section serialization.
+        let trace = web_trace(120, 12);
+        let params = Params::paper();
+        let (ct, _) = Compressor::new(params.clone()).compress(&trace);
+
+        let mut acc = FlowAccumulator::new(params.clone());
+        for p in &trace {
+            acc.push(p);
+        }
+        let mut asm = FlowAssembler::new(params.clone());
+        for flow in &acc.finish() {
+            asm.consume(flow);
+        }
+        let (bytes, _) = assemble_sections(
+            &params,
+            vec![asm.into_section()],
+            flowzip_trace::tsh::file_size(&trace),
+            trace.header_bytes(),
+        );
+        assert_eq!(bytes, ct.to_bytes_v2());
     }
 
     #[test]

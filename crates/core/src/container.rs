@@ -1,0 +1,917 @@
+//! Archive container **v2**: a versioned header, small global datasets,
+//! and *shared-nothing per-shard sections*.
+//!
+//! The v1 container ([`datasets`](crate::datasets)) serializes the whole
+//! archive in one pass — fine for the batch compressor, but for the
+//! sharded streaming engine it turns the merge step into a serial tail
+//! that is O(trace). v2 moves every O(trace) dataset into per-shard
+//! *sections* that each shard encodes on its own thread; the writer only
+//! merges the near-constant-size state (template stores, address lists)
+//! and concatenates section payloads behind an index.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ "FZC2" magic + version byte                                      │
+//! │ preamble: #short-templates, #long-templates, #addresses, #sections│
+//! │ short-flows-template dataset   (global, merged — near-constant)  │
+//! │ address dataset                (global, deduped — near-constant) │
+//! │ section index: per section                                       │
+//! │   payload length, flow count, long-template count,               │
+//! │   short-template remap (local→global), address remap             │
+//! │ section payloads, concatenated; each self-contained:             │
+//! │   long-flows-template slice + time-seq slice (local indices,     │
+//! │   locally time-sorted, delta timestamps restart per section)     │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Equivalence guarantee.** Reading a v2 archive reconstructs the
+//! *identical* [`CompressedTrace`] the v1 path would have produced from
+//! the same shards: template stores merge in shard order under the same
+//! Eq. 4 rule, addresses dedupe in the same first-appearance order, and
+//! the per-section time-sorted slices are k-way merged with ties broken
+//! by section index — exactly the stable sort v1 applies to the
+//! concatenated records. Decompression output is therefore
+//! packet-identical across formats, which the engine equivalence suite
+//! pins for shard counts 1, 2 and 8.
+
+use crate::cluster::TemplateStore;
+use crate::datasets::{
+    get_varint, put_varint, CodecError, CompressedTrace, DatasetSizes, FlowRecord, LongTemplate,
+    MAGIC, RTT_SHIFT,
+};
+use crate::Params;
+use flowzip_trace::{Duration, Timestamp};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Container v2 magic: "FZC2".
+pub const MAGIC_V2: [u8; 4] = *b"FZC2";
+/// Container v2 version byte.
+pub const VERSION_V2: u8 = 2;
+
+/// Which container layout an archive uses (or should use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArchiveFormat {
+    /// The original single-blob layout (magic `FZC1`).
+    V1,
+    /// Sectioned layout with a section index (magic `FZC2`), the default.
+    #[default]
+    V2,
+}
+
+impl ArchiveFormat {
+    /// Detects the container format from the leading magic bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadHeader`] when the bytes start with neither magic.
+    pub fn detect(data: &[u8]) -> Result<ArchiveFormat, CodecError> {
+        if data.len() >= 4 && data[0..4] == MAGIC_V2 {
+            Ok(ArchiveFormat::V2)
+        } else if data.len() >= 4 && data[0..4] == MAGIC {
+            Ok(ArchiveFormat::V1)
+        } else {
+            Err(CodecError::BadHeader)
+        }
+    }
+
+    /// Parses a CLI-style name (`"v1"` / `"v2"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized name.
+    pub fn parse(name: &str) -> Result<ArchiveFormat, String> {
+        match name {
+            "v1" | "1" => Ok(ArchiveFormat::V1),
+            "v2" | "2" => Ok(ArchiveFormat::V2),
+            other => Err(format!("unknown archive format `{other}` (want v1 or v2)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ArchiveFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveFormat::V1 => write!(f, "v1"),
+            ArchiveFormat::V2 => write!(f, "v2"),
+        }
+    }
+}
+
+/// One shard's finished, self-contained archive section: the encoded
+/// O(trace) payload plus the small shard-local state the writer's index
+/// assembly still needs (template store to merge, address list to
+/// dedupe, counters for the report).
+///
+/// Produced by [`FlowAssembler::into_section`](crate::FlowAssembler::into_section)
+/// — on the shard's own thread, which is the point.
+#[derive(Debug)]
+pub struct ShardSection {
+    /// The shard-local template store, awaiting the Eq. 4 merge.
+    pub store: TemplateStore,
+    /// Shard-local destination addresses in first-appearance order.
+    pub addresses: Vec<Ipv4Addr>,
+    /// Encoded long-template + time-seq slice (local indices).
+    pub payload: Vec<u8>,
+    /// Flow records in the payload.
+    pub flow_count: u64,
+    /// Long templates in the payload.
+    pub long_count: u64,
+    /// Packets this shard consumed.
+    pub packets: u64,
+    /// Short flows this shard consumed.
+    pub short_flows: u64,
+    /// Long flows this shard consumed.
+    pub long_flows: u64,
+    /// Bytes of the payload's long-template slice.
+    pub long_template_bytes: u64,
+    /// Bytes of the payload's time-seq slice.
+    pub time_seq_bytes: u64,
+}
+
+/// Appends one long template in the shared record encoding (identical to
+/// v1's, so the formats cannot drift — the cross-version tests compare
+/// decoded archives for equality).
+pub(crate) fn put_long_template(t: &LongTemplate, out: &mut Vec<u8>) {
+    put_varint(t.entries.len() as u64, out);
+    for &(m, ipt) in &t.entries {
+        put_varint(m as u64, out);
+        put_varint(ipt.as_micros(), out);
+    }
+}
+
+/// Appends one time-seq record (shared with v1's encoding; `last_ts`
+/// carries the delta-coding state).
+pub(crate) fn put_time_seq_record(r: &FlowRecord, last_ts: &mut u64, out: &mut Vec<u8>) {
+    put_varint((r.template_idx as u64) << 1 | r.is_long as u64, out);
+    put_varint(r.addr_idx as u64, out);
+    let ts = r.first_ts.as_micros();
+    put_varint(ts.saturating_sub(*last_ts), out);
+    *last_ts = ts;
+    if !r.is_long {
+        put_varint(r.rtt.as_micros() >> RTT_SHIFT, out);
+    }
+}
+
+/// One parsed section-index entry.
+struct SectionEntry {
+    payload_len: usize,
+    flow_count: usize,
+    long_count: usize,
+    /// Local short-template index → global index.
+    short_remap: Vec<u32>,
+    /// Local address index → global index.
+    addr_remap: Vec<u32>,
+    /// Global index of this section's first long template.
+    long_base: u32,
+}
+
+/// What the index-assembly merge learned — the clustering figures that
+/// only exist after shard stores fold together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionMergeStats {
+    /// Cluster centers in the merged `short-flows-template` dataset.
+    pub clusters: u64,
+    /// Flows that joined an existing cluster, post-merge.
+    pub matched_flows: u64,
+    /// Unique destination addresses, globally deduped.
+    pub addresses: u64,
+}
+
+/// Serializes per-shard sections into a v2 archive, returning the bytes,
+/// the per-dataset footprint (index bytes count as `header`), and the
+/// post-merge clustering stats. This is the engine's entire serial
+/// serialization tail: merge the near-constant template stores and
+/// address lists, write the small global datasets and the index, and
+/// memcpy the payloads the shards already encoded — O(shards + clusters
+/// + addresses), not O(trace).
+///
+/// # Panics
+///
+/// Panics if shard stores were built with different parameters (the same
+/// contract as [`TemplateStore::merge`]).
+pub fn write_sections(
+    params: &Params,
+    sections: Vec<ShardSection>,
+) -> (Vec<u8>, DatasetSizes, SectionMergeStats) {
+    let mut merged = TemplateStore::new(params.clone());
+    let mut addresses: Vec<Ipv4Addr> = Vec::new();
+    let mut addr_index: HashMap<Ipv4Addr, u32> = HashMap::new();
+    let mut short_remaps: Vec<Vec<u32>> = Vec::with_capacity(sections.len());
+    let mut addr_remaps: Vec<Vec<u32>> = Vec::with_capacity(sections.len());
+    let mut long_total = 0u64;
+
+    let sections: Vec<ShardSection> = sections
+        .into_iter()
+        .map(|mut section| {
+            let store = std::mem::replace(&mut section.store, TemplateStore::new(params.clone()));
+            short_remaps.push(merged.merge(store));
+            let remap = section
+                .addresses
+                .iter()
+                .map(|&a| {
+                    *addr_index.entry(a).or_insert_with(|| {
+                        addresses.push(a);
+                        (addresses.len() - 1) as u32
+                    })
+                })
+                .collect();
+            addr_remaps.push(remap);
+            long_total += section.long_count;
+            section
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC_V2);
+    out.push(VERSION_V2);
+    put_varint(merged.len() as u64, &mut out);
+    put_varint(long_total, &mut out);
+    put_varint(addresses.len() as u64, &mut out);
+    put_varint(sections.len() as u64, &mut out);
+    let preamble = out.len() as u64;
+
+    let mark = out.len();
+    for t in merged.templates() {
+        put_varint(t.vector.len() as u64, &mut out);
+        for &m in &t.vector {
+            put_varint(m as u64, &mut out);
+        }
+    }
+    let short_templates = (out.len() - mark) as u64;
+
+    let mark = out.len();
+    for a in &addresses {
+        out.extend_from_slice(&a.octets());
+    }
+    let addr_bytes = (out.len() - mark) as u64;
+
+    let mark = out.len();
+    for (i, section) in sections.iter().enumerate() {
+        put_varint(section.payload.len() as u64, &mut out);
+        put_varint(section.flow_count, &mut out);
+        put_varint(section.long_count, &mut out);
+        put_varint(short_remaps[i].len() as u64, &mut out);
+        for &g in &short_remaps[i] {
+            put_varint(g as u64, &mut out);
+        }
+        put_varint(addr_remaps[i].len() as u64, &mut out);
+        for &g in &addr_remaps[i] {
+            put_varint(g as u64, &mut out);
+        }
+    }
+    let index_bytes = (out.len() - mark) as u64;
+
+    let mut long_template_bytes = 0u64;
+    let mut time_seq_bytes = 0u64;
+    for section in sections.iter() {
+        out.extend_from_slice(&section.payload);
+        long_template_bytes += section.long_template_bytes;
+        time_seq_bytes += section.time_seq_bytes;
+    }
+
+    let sizes = DatasetSizes {
+        header: preamble + index_bytes,
+        short_templates,
+        long_templates: long_template_bytes,
+        addresses: addr_bytes,
+        time_seq: time_seq_bytes,
+    };
+    debug_assert_eq!(sizes.total(), out.len() as u64);
+    let stats = SectionMergeStats {
+        clusters: merged.len() as u64,
+        matched_flows: merged.matched_count(),
+        addresses: addresses.len() as u64,
+    };
+    (out, sizes, stats)
+}
+
+/// Caps an element count read from untrusted input before it reaches
+/// `Vec::with_capacity`: every decoded element consumes at least one
+/// input byte, so a count exceeding the bytes still unread is certainly
+/// malformed — reserve no more than that and let the per-element bounds
+/// checks reject the file, instead of aborting on a huge allocation.
+fn clamped_capacity(count: usize, remaining: usize) -> usize {
+    count.min(remaining)
+}
+
+/// Decodes one section payload into globally-indexed datasets.
+fn decode_section(
+    payload: &[u8],
+    entry: &SectionEntry,
+    n_short: usize,
+    n_addr: usize,
+) -> Result<(Vec<LongTemplate>, Vec<FlowRecord>), CodecError> {
+    let mut pos = 0usize;
+    let mut long_templates = Vec::with_capacity(clamped_capacity(entry.long_count, payload.len()));
+    for _ in 0..entry.long_count {
+        let n = get_varint(payload, &mut pos)? as usize;
+        let mut entries = Vec::with_capacity(clamped_capacity(n, payload.len() - pos));
+        for _ in 0..n {
+            let m = get_varint(payload, &mut pos)? as u16;
+            let ipt = Duration::from_micros(get_varint(payload, &mut pos)?);
+            entries.push((m, ipt));
+        }
+        long_templates.push(LongTemplate { entries });
+    }
+
+    let mut time_seq = Vec::with_capacity(clamped_capacity(entry.flow_count, payload.len() - pos));
+    let mut last_ts = 0u64;
+    for _ in 0..entry.flow_count {
+        let key = get_varint(payload, &mut pos)?;
+        let is_long = key & 1 == 1;
+        let local_idx = (key >> 1) as usize;
+        let template_idx = if is_long {
+            if local_idx >= entry.long_count {
+                return Err(CodecError::IndexOutOfRange(
+                    "long template",
+                    local_idx as u64,
+                ));
+            }
+            entry.long_base + local_idx as u32
+        } else {
+            let global = *entry
+                .short_remap
+                .get(local_idx)
+                .ok_or(CodecError::IndexOutOfRange(
+                    "short template",
+                    local_idx as u64,
+                ))?;
+            if global as usize >= n_short {
+                return Err(CodecError::IndexOutOfRange("short template", global as u64));
+            }
+            global
+        };
+        let local_addr = get_varint(payload, &mut pos)? as usize;
+        let addr_idx = *entry
+            .addr_remap
+            .get(local_addr)
+            .ok_or(CodecError::IndexOutOfRange("address", local_addr as u64))?;
+        if addr_idx as usize >= n_addr {
+            return Err(CodecError::IndexOutOfRange("address", addr_idx as u64));
+        }
+        last_ts += get_varint(payload, &mut pos)?;
+        let rtt = if is_long {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(get_varint(payload, &mut pos)? << RTT_SHIFT)
+        };
+        time_seq.push(FlowRecord {
+            first_ts: Timestamp::from_micros(last_ts),
+            is_long,
+            template_idx,
+            addr_idx,
+            rtt,
+        });
+    }
+    if pos != payload.len() {
+        return Err(CodecError::Truncated);
+    }
+    Ok((long_templates, time_seq))
+}
+
+/// Parses a v2 archive into the same global [`CompressedTrace`] the v1
+/// path would produce. Sections decode in parallel (chunked across at
+/// most `available_parallelism` threads); the time-seq slices then
+/// k-way merge stably by `(first_ts, section index)`.
+///
+/// # Errors
+///
+/// [`CodecError`] for malformed input; the result additionally passes
+/// [`CompressedTrace::validate`].
+pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
+    if data.len() < 5 || data[0..4] != MAGIC_V2 || data[4] != VERSION_V2 {
+        return Err(CodecError::BadHeader);
+    }
+    let mut pos = 5usize;
+    let n_short = get_varint(data, &mut pos)? as usize;
+    let n_long = get_varint(data, &mut pos)? as usize;
+    let n_addr = get_varint(data, &mut pos)? as usize;
+    let n_sections = get_varint(data, &mut pos)? as usize;
+
+    let mut short_templates = Vec::with_capacity(clamped_capacity(n_short, data.len() - pos));
+    for _ in 0..n_short {
+        let n = get_varint(data, &mut pos)? as usize;
+        let mut v = Vec::with_capacity(clamped_capacity(n, data.len() - pos));
+        for _ in 0..n {
+            v.push(get_varint(data, &mut pos)? as u16);
+        }
+        short_templates.push(v);
+    }
+
+    let mut addresses = Vec::with_capacity(clamped_capacity(n_addr, data.len() - pos));
+    for _ in 0..n_addr {
+        if pos + 4 > data.len() {
+            return Err(CodecError::Truncated);
+        }
+        addresses.push(Ipv4Addr::new(
+            data[pos],
+            data[pos + 1],
+            data[pos + 2],
+            data[pos + 3],
+        ));
+        pos += 4;
+    }
+
+    let mut entries = Vec::with_capacity(clamped_capacity(n_sections, data.len() - pos));
+    let mut long_base = 0u64;
+    for _ in 0..n_sections {
+        let payload_len = get_varint(data, &mut pos)? as usize;
+        let flow_count = get_varint(data, &mut pos)? as usize;
+        let long_count = get_varint(data, &mut pos)? as usize;
+        let n_short_local = get_varint(data, &mut pos)? as usize;
+        let mut short_remap = Vec::with_capacity(clamped_capacity(n_short_local, data.len() - pos));
+        for _ in 0..n_short_local {
+            short_remap.push(get_varint(data, &mut pos)? as u32);
+        }
+        let n_addr_local = get_varint(data, &mut pos)? as usize;
+        let mut addr_remap = Vec::with_capacity(clamped_capacity(n_addr_local, data.len() - pos));
+        for _ in 0..n_addr_local {
+            addr_remap.push(get_varint(data, &mut pos)? as u32);
+        }
+        entries.push(SectionEntry {
+            payload_len,
+            flow_count,
+            long_count,
+            short_remap,
+            addr_remap,
+            long_base: u32::try_from(long_base).map_err(|_| CodecError::Truncated)?,
+        });
+        long_base += long_count as u64;
+    }
+    if long_base != n_long as u64 {
+        return Err(CodecError::SectionLength(n_sections));
+    }
+
+    // Slice out each payload; the index byte-lengths must tile the rest
+    // of the file exactly.
+    let mut payloads = Vec::with_capacity(entries.len());
+    for entry in &entries {
+        let end = pos
+            .checked_add(entry.payload_len)
+            .filter(|&e| e <= data.len())
+            .ok_or(CodecError::Truncated)?;
+        payloads.push(&data[pos..end]);
+        pos = end;
+    }
+    if pos != data.len() {
+        return Err(CodecError::SectionLength(n_sections));
+    }
+
+    // Section-parallel decode: each payload is self-contained, so this
+    // is embarrassingly parallel; outputs are collected in section order
+    // to keep the merge deterministic. Worker count is capped at the
+    // host's parallelism — the section count comes from the (untrusted)
+    // archive, so one-thread-per-section would let a crafted file with
+    // millions of empty sections exhaust the OS thread limit.
+    let pairs: Vec<(&SectionEntry, &[u8])> = entries.iter().zip(payloads).collect();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(pairs.len())
+        .max(1);
+    let decoded: Vec<(Vec<LongTemplate>, Vec<FlowRecord>)> = if workers > 1 {
+        let chunk_len = pairs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(entry, payload)| decode_section(payload, entry, n_short, n_addr))
+                            .collect::<Result<Vec<_>, CodecError>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("section decode thread panicked"))
+                .collect::<Result<Vec<Vec<_>>, CodecError>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        pairs
+            .iter()
+            .map(|(entry, payload)| decode_section(payload, entry, n_short, n_addr))
+            .collect::<Result<Vec<_>, CodecError>>()?
+    };
+
+    let mut long_templates = Vec::with_capacity(clamped_capacity(n_long, data.len()));
+    let mut slices = Vec::with_capacity(entries.len());
+    for (longs, seq) in decoded {
+        long_templates.extend(longs);
+        slices.push(seq);
+    }
+
+    let ct = CompressedTrace {
+        short_templates,
+        long_templates,
+        addresses,
+        time_seq: merge_time_seq(slices),
+    };
+    ct.validate()?;
+    Ok(ct)
+}
+
+/// Stable k-way merge of per-section time-sorted slices: equal
+/// timestamps resolve to the lower section index, which reproduces v1's
+/// stable sort over the shard-order concatenation exactly.
+fn merge_time_seq(slices: Vec<Vec<FlowRecord>>) -> Vec<FlowRecord> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let total = slices.len();
+    if total == 1 {
+        return slices.into_iter().next().unwrap_or_default();
+    }
+    let mut out = Vec::with_capacity(slices.iter().map(Vec::len).sum());
+    let mut cursors = vec![0usize; total];
+    let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = slices
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(i, s)| Reverse((s[0].first_ts, i)))
+        .collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let rec = slices[i][cursors[i]];
+        out.push(rec);
+        cursors[i] += 1;
+        if cursors[i] < slices[i].len() {
+            heap.push(Reverse((slices[i][cursors[i]].first_ts, i)));
+        }
+    }
+    out
+}
+
+/// Reads only the v2 preamble: `(short templates, long templates,
+/// addresses, sections)` — what `flowzip info` shows without decoding
+/// payloads.
+///
+/// # Errors
+///
+/// [`CodecError::BadHeader`] when `data` is not a v2 archive.
+pub fn v2_counts(data: &[u8]) -> Result<(u64, u64, u64, u64), CodecError> {
+    if data.len() < 5 || data[0..4] != MAGIC_V2 || data[4] != VERSION_V2 {
+        return Err(CodecError::BadHeader);
+    }
+    let mut pos = 5usize;
+    let n_short = get_varint(data, &mut pos)?;
+    let n_long = get_varint(data, &mut pos)?;
+    let n_addr = get_varint(data, &mut pos)?;
+    let n_sections = get_varint(data, &mut pos)?;
+    Ok((n_short, n_long, n_addr, n_sections))
+}
+
+/// Measures the per-dataset byte footprint of an existing v2 archive by
+/// walking its real layout (preamble + index count as `header`; each
+/// section payload splits at the long-template/time-seq boundary). This
+/// is what `flowzip info` reports — unlike a re-encode, it agrees with
+/// the file on disk even for multi-section archives, whose index and
+/// per-section delta restarts a single-section re-encode can't see.
+///
+/// # Errors
+///
+/// [`CodecError`] when `data` is not a well-formed v2 archive.
+pub fn v2_sizes(data: &[u8]) -> Result<DatasetSizes, CodecError> {
+    if data.len() < 5 || data[0..4] != MAGIC_V2 || data[4] != VERSION_V2 {
+        return Err(CodecError::BadHeader);
+    }
+    let mut pos = 5usize;
+    let n_short = get_varint(data, &mut pos)? as usize;
+    let _n_long = get_varint(data, &mut pos)?;
+    let n_addr = get_varint(data, &mut pos)? as usize;
+    let n_sections = get_varint(data, &mut pos)? as usize;
+    let preamble = pos as u64;
+
+    let mark = pos;
+    for _ in 0..n_short {
+        let n = get_varint(data, &mut pos)? as usize;
+        for _ in 0..n {
+            get_varint(data, &mut pos)?;
+        }
+    }
+    let short_templates = (pos - mark) as u64;
+
+    let addr_bytes = n_addr
+        .checked_mul(4)
+        .filter(|&b| b <= data.len() - pos)
+        .ok_or(CodecError::Truncated)?;
+    pos += addr_bytes;
+    let addr_bytes = addr_bytes as u64;
+
+    let mark = pos;
+    let mut section_meta = Vec::with_capacity(clamped_capacity(n_sections, data.len() - pos));
+    for _ in 0..n_sections {
+        let payload_len = get_varint(data, &mut pos)? as usize;
+        let _flow_count = get_varint(data, &mut pos)?;
+        let long_count = get_varint(data, &mut pos)? as usize;
+        let n_short_local = get_varint(data, &mut pos)? as usize;
+        for _ in 0..n_short_local {
+            get_varint(data, &mut pos)?;
+        }
+        let n_addr_local = get_varint(data, &mut pos)? as usize;
+        for _ in 0..n_addr_local {
+            get_varint(data, &mut pos)?;
+        }
+        section_meta.push((payload_len, long_count));
+    }
+    let index_bytes = (pos - mark) as u64;
+
+    let mut long_template_bytes = 0u64;
+    let mut time_seq_bytes = 0u64;
+    for (payload_len, long_count) in section_meta {
+        let end = pos
+            .checked_add(payload_len)
+            .filter(|&e| e <= data.len())
+            .ok_or(CodecError::Truncated)?;
+        let payload = &data[pos..end];
+        // Walk the long-template slice to find where time-seq starts.
+        let mut p = 0usize;
+        for _ in 0..long_count {
+            let n = get_varint(payload, &mut p)? as usize;
+            for _ in 0..n {
+                get_varint(payload, &mut p)?;
+                get_varint(payload, &mut p)?;
+            }
+        }
+        long_template_bytes += p as u64;
+        time_seq_bytes += (payload_len - p) as u64;
+        pos = end;
+    }
+    if pos != data.len() {
+        return Err(CodecError::SectionLength(n_sections));
+    }
+
+    Ok(DatasetSizes {
+        header: preamble + index_bytes,
+        short_templates,
+        long_templates: long_template_bytes,
+        addresses: addr_bytes,
+        time_seq: time_seq_bytes,
+    })
+}
+
+impl CompressedTrace {
+    /// Serializes this archive as a single-section v2 container. The
+    /// batch compressor's v2 path — and byte-identical to what the
+    /// streaming engine writes with one shard, since a lone shard's
+    /// store merges into an empty global store as the identity.
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        self.encode_v2().0
+    }
+
+    /// [`CompressedTrace::to_bytes_v2`] plus the per-dataset footprint.
+    pub fn encode_v2(&self) -> (Vec<u8>, DatasetSizes) {
+        let mut payload = Vec::new();
+        for t in &self.long_templates {
+            put_long_template(t, &mut payload);
+        }
+        let long_template_bytes = payload.len() as u64;
+        let mut last_ts = 0u64;
+        for r in &self.time_seq {
+            put_time_seq_record(r, &mut last_ts, &mut payload);
+        }
+        let time_seq_bytes = payload.len() as u64 - long_template_bytes;
+
+        // Identity remaps: the single section's locals are the globals.
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC_V2);
+        out.push(VERSION_V2);
+        put_varint(self.short_templates.len() as u64, &mut out);
+        put_varint(self.long_templates.len() as u64, &mut out);
+        put_varint(self.addresses.len() as u64, &mut out);
+        put_varint(1, &mut out);
+        let preamble = out.len() as u64;
+
+        let mark = out.len();
+        for t in &self.short_templates {
+            put_varint(t.len() as u64, &mut out);
+            for &m in t {
+                put_varint(m as u64, &mut out);
+            }
+        }
+        let short_templates = (out.len() - mark) as u64;
+
+        let mark = out.len();
+        for a in &self.addresses {
+            out.extend_from_slice(&a.octets());
+        }
+        let addr_bytes = (out.len() - mark) as u64;
+
+        let mark = out.len();
+        put_varint(payload.len() as u64, &mut out);
+        put_varint(self.time_seq.len() as u64, &mut out);
+        put_varint(self.long_templates.len() as u64, &mut out);
+        put_varint(self.short_templates.len() as u64, &mut out);
+        for i in 0..self.short_templates.len() as u64 {
+            put_varint(i, &mut out);
+        }
+        put_varint(self.addresses.len() as u64, &mut out);
+        for i in 0..self.addresses.len() as u64 {
+            put_varint(i, &mut out);
+        }
+        let index_bytes = (out.len() - mark) as u64;
+
+        out.extend_from_slice(&payload);
+        let sizes = DatasetSizes {
+            header: preamble + index_bytes,
+            short_templates,
+            long_templates: long_template_bytes,
+            addresses: addr_bytes,
+            time_seq: time_seq_bytes,
+        };
+        debug_assert_eq!(sizes.total(), out.len() as u64);
+        (out, sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn web_archive(flows: usize, seed: u64) -> CompressedTrace {
+        let trace = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate();
+        Compressor::new(Params::paper()).compress(&trace).0
+    }
+
+    #[test]
+    fn format_detection() {
+        let ct = web_archive(40, 1);
+        assert_eq!(ArchiveFormat::detect(&ct.to_bytes()), Ok(ArchiveFormat::V1));
+        assert_eq!(
+            ArchiveFormat::detect(&ct.to_bytes_v2()),
+            Ok(ArchiveFormat::V2)
+        );
+        assert_eq!(ArchiveFormat::detect(b"junk"), Err(CodecError::BadHeader));
+        assert_eq!(ArchiveFormat::parse("v1"), Ok(ArchiveFormat::V1));
+        assert_eq!(ArchiveFormat::parse("v2"), Ok(ArchiveFormat::V2));
+        assert!(ArchiveFormat::parse("v3").is_err());
+        assert_eq!(ArchiveFormat::V2.to_string(), "v2");
+        assert_eq!(ArchiveFormat::default(), ArchiveFormat::V2);
+    }
+
+    #[test]
+    fn v2_roundtrip_equals_v1_decode() {
+        let ct = web_archive(200, 2);
+        let via_v1 = CompressedTrace::from_bytes(&ct.to_bytes()).unwrap();
+        let via_v2 = CompressedTrace::from_bytes(&ct.to_bytes_v2()).unwrap();
+        assert_eq!(via_v1, via_v2);
+    }
+
+    #[test]
+    fn v2_counts_match_preamble() {
+        let ct = web_archive(120, 3);
+        let bytes = ct.to_bytes_v2();
+        let (s, l, a, sections) = v2_counts(&bytes).unwrap();
+        assert_eq!(s, ct.short_templates.len() as u64);
+        assert_eq!(l, ct.long_templates.len() as u64);
+        assert_eq!(a, ct.addresses.len() as u64);
+        assert_eq!(sections, 1);
+        assert!(v2_counts(&ct.to_bytes()).is_err(), "v1 bytes are not v2");
+    }
+
+    #[test]
+    fn v2_sizes_tile_the_file() {
+        let ct = web_archive(150, 4);
+        let (bytes, sizes) = ct.encode_v2();
+        assert_eq!(sizes.total(), bytes.len() as u64);
+        assert!(sizes.header > 0 && sizes.time_seq > 0);
+        // Measuring the written file recovers the writer's breakdown.
+        assert_eq!(v2_sizes(&bytes).unwrap(), sizes);
+        assert!(v2_sizes(&ct.to_bytes()).is_err(), "v1 bytes are not v2");
+    }
+
+    #[test]
+    fn empty_archive_v2_roundtrips() {
+        let ct = CompressedTrace::default();
+        let back = CompressedTrace::from_bytes(&ct.to_bytes_v2()).unwrap();
+        assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn v2_truncation_rejected() {
+        let bytes = web_archive(60, 5).to_bytes_v2();
+        for cut in 5..bytes.len() {
+            assert!(
+                CompressedTrace::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_trailing_garbage_rejected() {
+        let mut bytes = web_archive(60, 6).to_bytes_v2();
+        bytes.push(0);
+        assert!(matches!(
+            CompressedTrace::from_bytes(&bytes),
+            Err(CodecError::SectionLength(_))
+        ));
+    }
+
+    #[test]
+    fn v2_huge_declared_counts_rejected_not_crashed() {
+        // A tiny crafted file declaring absurd element counts must come
+        // back as CodecError — never a capacity-overflow abort. Each
+        // preamble slot in turn gets a near-u64::MAX varint.
+        for slot in 0..4 {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC_V2);
+            bytes.push(VERSION_V2);
+            for i in 0..4 {
+                if i == slot {
+                    put_varint(u64::MAX >> 2, &mut bytes);
+                } else {
+                    put_varint(1, &mut bytes);
+                }
+            }
+            assert!(
+                CompressedTrace::from_bytes(&bytes).is_err(),
+                "slot {slot} should error"
+            );
+        }
+        // Huge per-section counts inside an otherwise plausible index.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_V2);
+        bytes.push(VERSION_V2);
+        for v in [0u64, 0, 0, 1] {
+            put_varint(v, &mut bytes); // no templates/addresses, 1 section
+        }
+        put_varint(0, &mut bytes); // payload_len
+        put_varint(u64::MAX >> 2, &mut bytes); // flow_count
+        put_varint(u64::MAX >> 2, &mut bytes); // long_count
+        assert!(CompressedTrace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn v2_many_empty_sections_decode_with_bounded_threads() {
+        // 10k zero-payload sections: must decode (to an empty archive)
+        // without trying to spawn 10k threads.
+        let n = 10_000u64;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_V2);
+        bytes.push(VERSION_V2);
+        for v in [0, 0, 0, n] {
+            put_varint(v, &mut bytes);
+        }
+        for _ in 0..n {
+            for v in [0u64, 0, 0, 0, 0] {
+                put_varint(v, &mut bytes); // empty index entry
+            }
+        }
+        let ct = CompressedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(ct, CompressedTrace::default());
+    }
+
+    #[test]
+    fn v2_bad_version_rejected() {
+        let mut bytes = web_archive(30, 7).to_bytes_v2();
+        bytes[4] = 9;
+        assert_eq!(
+            CompressedTrace::from_bytes(&bytes),
+            Err(CodecError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn merge_time_seq_is_stable_across_sections() {
+        let rec = |us: u64, idx: u32| FlowRecord {
+            first_ts: Timestamp::from_micros(us),
+            is_long: false,
+            template_idx: idx,
+            addr_idx: 0,
+            rtt: Duration::ZERO,
+        };
+        // Two sections with interleaved and *equal* timestamps: ties must
+        // resolve to the earlier section, like v1's stable sort.
+        let merged = merge_time_seq(vec![
+            vec![rec(10, 0), rec(20, 1), rec(20, 2)],
+            vec![rec(5, 3), rec(20, 4), rec(30, 5)],
+        ]);
+        let order: Vec<u32> = merged.iter().map(|r| r.template_idx).collect();
+        assert_eq!(order, vec![3, 0, 1, 2, 4, 5]);
+
+        let mut concat = vec![
+            rec(10, 0),
+            rec(20, 1),
+            rec(20, 2),
+            rec(5, 3),
+            rec(20, 4),
+            rec(30, 5),
+        ];
+        concat.sort_by_key(|r| r.first_ts);
+        assert_eq!(merged, concat, "k-way merge == stable sort of concat");
+    }
+}

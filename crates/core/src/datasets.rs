@@ -110,6 +110,9 @@ pub enum CodecError {
     IndexOutOfRange(&'static str, u64),
     /// `time-seq` violated its sort invariant.
     UnsortedTimeSeq,
+    /// A v2 section payload decoded to a different byte length than its
+    /// index entry promised.
+    SectionLength(usize),
 }
 
 impl fmt::Display for CodecError {
@@ -121,6 +124,9 @@ impl fmt::Display for CodecError {
                 write!(f, "{what} index {idx} out of range")
             }
             CodecError::UnsortedTimeSeq => write!(f, "time-seq dataset not sorted"),
+            CodecError::SectionLength(s) => {
+                write!(f, "section {s} payload length disagrees with index")
+            }
         }
     }
 }
@@ -247,13 +253,18 @@ impl CompressedTrace {
         )
     }
 
-    /// Parses a container produced by [`CompressedTrace::to_bytes`].
+    /// Parses a container produced by [`CompressedTrace::to_bytes`] or
+    /// [`CompressedTrace::to_bytes_v2`] — the format is detected from the
+    /// magic, so v1 archives keep reading back forever.
     ///
     /// # Errors
     ///
     /// Returns [`CodecError`] for malformed input; the result additionally
     /// passes [`CompressedTrace::validate`].
     pub fn from_bytes(data: &[u8]) -> Result<CompressedTrace, CodecError> {
+        if data.len() >= 4 && data[0..4] == crate::container::MAGIC_V2 {
+            return crate::container::read_v2(data);
+        }
         if data.len() < 5 || data[0..4] != MAGIC || data[4] != VERSION {
             return Err(CodecError::BadHeader);
         }
@@ -332,7 +343,7 @@ impl CompressedTrace {
     }
 }
 
-fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+pub(crate) fn put_varint(mut v: u64, out: &mut Vec<u8>) {
     loop {
         let b = (v & 0x7f) as u8;
         v >>= 7;
@@ -344,7 +355,7 @@ fn put_varint(mut v: u64, out: &mut Vec<u8>) {
     }
 }
 
-fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+pub(crate) fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -373,10 +384,7 @@ mod tests {
                     .map(|i| (((i * 3) % 54) as u16, Duration::from_micros(i as u64 * 17)))
                     .collect(),
             }],
-            addresses: vec![
-                Ipv4Addr::new(193, 1, 2, 3),
-                Ipv4Addr::new(172, 16, 99, 4),
-            ],
+            addresses: vec![Ipv4Addr::new(193, 1, 2, 3), Ipv4Addr::new(172, 16, 99, 4)],
             time_seq: vec![
                 FlowRecord {
                     first_ts: Timestamp::from_micros(1_000),
@@ -467,7 +475,10 @@ mod tests {
         );
         let mut bytes = sample().to_bytes();
         bytes[4] = 9; // wrong version
-        assert_eq!(CompressedTrace::from_bytes(&bytes), Err(CodecError::BadHeader));
+        assert_eq!(
+            CompressedTrace::from_bytes(&bytes),
+            Err(CodecError::BadHeader)
+        );
     }
 
     #[test]

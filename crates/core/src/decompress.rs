@@ -96,6 +96,20 @@ impl Decompressor {
         Trace::from_packets(packets)
     }
 
+    /// Parses serialized archive bytes — either container format, v1 or
+    /// v2, detected from the magic — and expands them. The format never
+    /// changes the output: a v2 read reconstructs the identical
+    /// [`CompressedTrace`] the v1 path yields, so the synthesized trace
+    /// is packet-identical too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`](crate::datasets::CodecError) for malformed
+    /// input.
+    pub fn decompress_bytes(&self, data: &[u8]) -> Result<Trace, crate::datasets::CodecError> {
+        Ok(self.decompress(&CompressedTrace::from_bytes(data)?))
+    }
+
     fn expand_flow(
         &self,
         entries: impl Iterator<Item = (u16, Option<Duration>)>,
@@ -111,21 +125,27 @@ impl Decompressor {
         let mut client_seq: u32 = 1_000;
         let mut server_seq: u32 = 5_000;
         for (i, (m, stored_ipt)) in entries.enumerate() {
-            let (class, dep, f3) = weights
-                .decompose(m as u32)
-                .unwrap_or((crate::characterize::FlagClass::Ack, Dependence::NotDependent, 0));
+            let (class, dep, f3) = weights.decompose(m as u32).unwrap_or((
+                crate::characterize::FlagClass::Ack,
+                Dependence::NotDependent,
+                0,
+            ));
             if i > 0 {
                 // Timing: stored gap for long flows; synthesized for short.
                 now += stored_ipt.unwrap_or(match dep {
-                        Dependence::Dependent => rtt,
-                        Dependence::NotDependent => self.config.backtoback_gap,
-                    });
+                    Dependence::Dependent => rtt,
+                    Dependence::NotDependent => self.config.backtoback_gap,
+                });
                 // Direction: dependent packets answer the opposite node.
                 if dep == Dependence::Dependent {
                     dir_client_to_server = !dir_client_to_server;
                 }
             }
-            let tuple = if dir_client_to_server { c2s } else { c2s.reversed() };
+            let tuple = if dir_client_to_server {
+                c2s
+            } else {
+                c2s.reversed()
+            };
             let len = size_class_representative(f3, edge);
             let (seq, ack) = if dir_client_to_server {
                 let s = client_seq;
@@ -254,9 +274,8 @@ mod tests {
     fn flag_sequence_structure_survives() {
         let orig = web_trace(150, 5);
         let dec = roundtrip(&orig);
-        let count = |t: &Trace, pred: fn(TcpFlags) -> bool| {
-            t.iter().filter(|p| pred(p.flags())).count()
-        };
+        let count =
+            |t: &Trace, pred: fn(TcpFlags) -> bool| t.iter().filter(|p| pred(p.flags())).count();
         // SYN and SYN+ACK counts survive exactly (every flow keeps its
         // handshake classes through template clustering within d_sim).
         let syn_orig = count(&orig, |f| f.is_syn_only());
@@ -290,8 +309,7 @@ mod tests {
         let orig = web_trace(80, 7);
         let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
         let dec = Decompressor::default().decompress(&ct);
-        let servers: std::collections::HashSet<Ipv4Addr> =
-            ct.addresses.iter().copied().collect();
+        let servers: std::collections::HashSet<Ipv4Addr> = ct.addresses.iter().copied().collect();
         // Every c2s packet's destination is a stored address.
         for p in &dec {
             if p.tuple().dst_port == 80 {

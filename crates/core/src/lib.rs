@@ -49,6 +49,7 @@ pub mod accumulate;
 pub mod characterize;
 pub mod cluster;
 pub mod compress;
+pub mod container;
 pub mod datasets;
 pub mod decompress;
 pub mod model;
@@ -57,7 +58,10 @@ pub mod synth;
 pub use accumulate::{FinishedFlow, FlowAccumulator};
 pub use characterize::{Dependence, DistanceMetric, FlagClass, FlagClassifier, Weights};
 pub use cluster::{SearchIndex, TemplateStore};
-pub use compress::{assemble_shards, CompressionReport, Compressor, FlowAssembler};
+pub use compress::{
+    assemble_sections, assemble_shards, CompressionReport, Compressor, FlowAssembler,
+};
+pub use container::{read_v2, ArchiveFormat, SectionMergeStats, ShardSection};
 pub use datasets::{CompressedTrace, DatasetSizes, FlowRecord};
 pub use decompress::{DecompressParams, Decompressor};
 pub use synth::{synthesize, ArchiveModel, SynthConfig, SynthGenerator};

@@ -27,6 +27,31 @@ pub fn ratio_for_flow_len(n: u64) -> f64 {
     PER_FLOW_BYTES / (FULL_HEADER_BYTES * n as f64)
 }
 
+/// Eq. (8) with an explicit container-overhead term: the paper treats
+/// the template/address/index structures as "almost constant with the
+/// packet trace length", and this makes that claim checkable. For a
+/// trace of `flows` flows whose container carries `overhead_bytes` of
+/// near-constant state (v1: header; v2: header + section index + global
+/// datasets), the overall ratio is Eq. (8)'s per-flow ratio plus the
+/// amortized overhead — which vanishes as `flows` grows, so v2's
+/// per-section index cost is asymptotically free.
+pub fn expected_ratio_with_overhead(pmf: &[f64], flows: u64, overhead_bytes: u64) -> f64 {
+    if flows == 0 {
+        return 0.0;
+    }
+    let mut original_per_flow = 0.0;
+    for (n, &p) in pmf.iter().enumerate().skip(1) {
+        if p > 0.0 {
+            original_per_flow += p * FULL_HEADER_BYTES * n as f64;
+        }
+    }
+    if original_per_flow == 0.0 {
+        return 0.0;
+    }
+    let compressed = flows as f64 * PER_FLOW_BYTES + overhead_bytes as f64;
+    compressed / (flows as f64 * original_per_flow)
+}
+
 /// Eq. (8): overall ratio under a flow-length pmf (`pmf[n]` is the
 /// probability of an n-packet flow; index 0 ignored).
 pub fn expected_ratio(pmf: &[f64]) -> f64 {
@@ -82,5 +107,29 @@ mod tests {
     #[test]
     fn empty_pmf_is_zero() {
         assert_eq!(expected_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn overhead_amortizes_away() {
+        let mut pmf = vec![0.0; 21];
+        pmf[10] = 1.0; // E[n] = 10 → base ratio 8/400 = 2%
+        let base = expected_ratio(&pmf);
+        // 4 KiB of container/index overhead is visible at 100 flows...
+        let small = expected_ratio_with_overhead(&pmf, 100, 4096);
+        assert!(
+            small > base * 1.5,
+            "overhead dominates small traces: {small}"
+        );
+        // ...and vanishes at a million flows.
+        let large = expected_ratio_with_overhead(&pmf, 1_000_000, 4096);
+        assert!(
+            (large - base).abs() / base < 0.01,
+            "amortized: {large} vs {base}"
+        );
+        // With zero overhead the two models agree exactly.
+        let zero = expected_ratio_with_overhead(&pmf, 1_000, 0);
+        assert!((zero - base).abs() < 1e-12);
+        assert_eq!(expected_ratio_with_overhead(&pmf, 0, 4096), 0.0);
+        assert_eq!(expected_ratio_with_overhead(&[], 10, 4096), 0.0);
     }
 }

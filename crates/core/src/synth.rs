@@ -72,10 +72,8 @@ impl ArchiveModel {
                 rtts_us.push(r.rtt.as_micros());
             }
         }
-        let mut template_weights: Vec<(bool, u32, u64)> = counts
-            .into_iter()
-            .map(|((l, i), c)| (l, i, c))
-            .collect();
+        let mut template_weights: Vec<(bool, u32, u64)> =
+            counts.into_iter().map(|((l, i), c)| (l, i, c)).collect();
         template_weights.sort(); // deterministic order
         let span = archive
             .time_seq
@@ -152,10 +150,9 @@ impl SynthGenerator {
                 &mut rng,
             );
             let (is_long, template_idx, _) = model.template_weights[t];
-            let addr_idx = ArchiveModel::sample_weighted(
-                model.address_weights.iter().copied(),
-                &mut rng,
-            ) as u32;
+            let addr_idx =
+                ArchiveModel::sample_weighted(model.address_weights.iter().copied(), &mut rng)
+                    as u32;
             let rtt = if model.rtts_us.is_empty() {
                 Duration::ZERO
             } else {
@@ -254,7 +251,10 @@ mod tests {
         };
         // 4x more flows, same shape.
         let d = flowzip_analysis::ks_distance(&lens(&small), &lens(&big));
-        assert!(d < 0.12, "flow-length shape should survive scaling, ks = {d}");
+        assert!(
+            d < 0.12,
+            "flow-length shape should survive scaling, ks = {d}"
+        );
     }
 
     #[test]

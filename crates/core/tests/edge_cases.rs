@@ -62,7 +62,10 @@ fn simultaneous_close_is_one_flow() {
         pkt(t, 40, TcpFlags::ACK, 0),
     ]);
     let (_, report) = Compressor::new(Params::paper()).compress(&trace);
-    assert_eq!(report.flows, 1, "simultaneous close must not split the flow");
+    assert_eq!(
+        report.flows, 1,
+        "simultaneous close must not split the flow"
+    );
     assert_eq!(report.packets, 5);
 }
 
@@ -141,7 +144,12 @@ fn very_large_trace_of_identical_flows_uses_one_template() {
         let t = tuple(3000 + f as u16, 9);
         let base = f * 1_000_000;
         pkts.push(pkt(t, base, TcpFlags::SYN, 0));
-        pkts.push(pkt(t.reversed(), base + 100, TcpFlags::SYN | TcpFlags::ACK, 0));
+        pkts.push(pkt(
+            t.reversed(),
+            base + 100,
+            TcpFlags::SYN | TcpFlags::ACK,
+            0,
+        ));
         pkts.push(pkt(t, base + 200, TcpFlags::RST, 0));
     }
     let trace = Trace::from_packets(pkts);
@@ -187,7 +195,9 @@ fn corrupted_archive_bytes_never_panic() {
         let mut bad = bytes.clone();
         bad[i] ^= 0xA5;
         if let Ok(parsed) = CompressedTrace::from_bytes(&bad) {
-            parsed.validate().expect("from_bytes output always validates");
+            parsed
+                .validate()
+                .expect("from_bytes output always validates");
         }
     }
 }

@@ -34,7 +34,7 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                 } else if i + 1 == n {
                     (t, TcpFlags::FIN | TcpFlags::ACK, 0)
                 } else if i % 2 == 0 {
-                    (t, TcpFlags::ACK, (seed % 700) )
+                    (t, TcpFlags::ACK, (seed % 700))
                 } else {
                     (t.reversed(), TcpFlags::PSH | TcpFlags::ACK, 1460)
                 };
@@ -75,6 +75,52 @@ proptest! {
         prop_assert_eq!(back.short_templates, ct.short_templates);
         prop_assert_eq!(back.long_templates, ct.long_templates);
         prop_assert_eq!(back.addresses, ct.addresses);
+    }
+
+    #[test]
+    fn v2_container_roundtrip_agrees_with_v1(trace in arb_trace()) {
+        // Whatever trace we compress, serializing the archive through
+        // the v1 blob and through v2 sections must decode to the same
+        // `CompressedTrace` (the lossy RTT quantization is identical in
+        // both containers).
+        let (ct, _) = Compressor::new(Params::paper()).compress(&trace);
+        let from_v1 = CompressedTrace::from_bytes(&ct.to_bytes()).unwrap();
+        let from_v2 = CompressedTrace::from_bytes(&ct.to_bytes_v2()).unwrap();
+        prop_assert_eq!(from_v1, from_v2);
+    }
+
+    #[test]
+    fn v2_multi_section_roundtrip(trace in arb_trace(), shards in 1usize..7) {
+        // Hand-shard the finished flows across assemblers, write a
+        // multi-section v2 archive, and require the decoded archive to
+        // match the v1 merge path exactly — the container is equivalent
+        // for *every* section count, not just one per CPU.
+        use flowzip_core::{assemble_sections, assemble_shards, FlowAccumulator, FlowAssembler};
+        let params = Params::paper();
+        let mut acc = FlowAccumulator::new(params.clone());
+        for p in &trace {
+            acc.push(p);
+        }
+        let flows = acc.finish();
+        let build = || {
+            let mut asms: Vec<FlowAssembler> =
+                (0..shards).map(|_| FlowAssembler::new(params.clone())).collect();
+            for (i, flow) in flows.iter().enumerate() {
+                asms[i % shards].consume(flow);
+            }
+            asms
+        };
+        let tsh = flowzip_trace::tsh::file_size(&trace);
+        let hdr = trace.header_bytes();
+        let (ct_v1, _, _) = assemble_shards(&params, build(), tsh, hdr);
+        let sections = build().into_iter().map(FlowAssembler::into_section).collect();
+        let (bytes_v2, _) = assemble_sections(&params, sections, tsh, hdr);
+        let from_v1 = CompressedTrace::from_bytes(&ct_v1.to_bytes()).unwrap();
+        let from_v2 = CompressedTrace::from_bytes(&bytes_v2).unwrap();
+        prop_assert_eq!(from_v1, from_v2);
+        // Measuring the real multi-section file tiles it exactly.
+        let sizes = flowzip_core::container::v2_sizes(&bytes_v2).unwrap();
+        prop_assert_eq!(sizes.total(), bytes_v2.len() as u64);
     }
 
     #[test]

@@ -60,7 +60,11 @@ fn table() -> &'static [u32; 256] {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { (c >> 1) ^ POLYNOMIAL } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    (c >> 1) ^ POLYNOMIAL
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -76,7 +80,10 @@ mod tests {
     fn known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
     }
 

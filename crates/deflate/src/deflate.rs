@@ -20,8 +20,8 @@ pub const END_OF_BLOCK: usize = 256;
 
 /// Base match length for each length symbol (257 + index).
 pub const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 /// Extra bits for each length symbol.
 pub const LENGTH_EXTRA: [u8; 29] = [
@@ -34,8 +34,8 @@ pub const DIST_BASE: [u16; 30] = [
 ];
 /// Extra bits for each distance symbol.
 pub const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 /// Transmission order of code-length-code lengths (RFC 1951 §3.2.7).
 pub const CL_ORDER: [usize; 19] = [
@@ -54,11 +54,7 @@ pub fn length_symbol(len: u16) -> (u16, u8, u16) {
         Ok(i) => i,
         Err(i) => i - 1,
     };
-    (
-        257 + idx as u16,
-        LENGTH_EXTRA[idx],
-        len - LENGTH_BASE[idx],
-    )
+    (257 + idx as u16, LENGTH_EXTRA[idx], len - LENGTH_BASE[idx])
 }
 
 /// Maps a distance (1–32768) to `(symbol, extra_bits, extra_value)`.
@@ -178,7 +174,8 @@ fn emit_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) {
         dist_lengths[0] = 1;
     }
 
-    let dynamic_cost = dynamic_block_cost(tokens, &lit_lengths, &dist_lengths, &lit_freq, &dist_freq);
+    let dynamic_cost =
+        dynamic_block_cost(tokens, &lit_lengths, &dist_lengths, &lit_freq, &dist_freq);
     let fixed_cost = fixed_block_cost(&lit_freq, &dist_freq);
     let stored_cost = 8 * (5 + raw.len() as u64) + 2; // header-ish estimate in bits
 

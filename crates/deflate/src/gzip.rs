@@ -50,7 +50,10 @@ impl fmt::Display for GzipError {
             GzipError::UnsupportedFlags(fl) => write!(f, "unsupported gzip flags {fl:#x}"),
             GzipError::Inflate(e) => write!(f, "gzip body: {e}"),
             GzipError::CrcMismatch { expected, actual } => {
-                write!(f, "gzip crc mismatch: expected {expected:#10x}, got {actual:#10x}")
+                write!(
+                    f,
+                    "gzip crc mismatch: expected {expected:#10x}, got {actual:#10x}"
+                )
             }
             GzipError::LengthMismatch { expected, actual } => {
                 write!(f, "gzip length mismatch: expected {expected}, got {actual}")

@@ -35,7 +35,10 @@ pub fn code_lengths(freqs: &[u64], max_bits: u32) -> Vec<u8> {
     match used {
         0 => return lengths,
         1 => {
-            let idx = freqs.iter().position(|&f| f > 0).expect("one symbol in use");
+            let idx = freqs
+                .iter()
+                .position(|&f| f > 0)
+                .expect("one symbol in use");
             lengths[idx] = 1;
             return lengths;
         }
@@ -167,9 +170,7 @@ pub fn validate_lengths(lengths: &[u8], max_bits: u32) -> Result<(), String> {
         }
     }
     if kraft > unit {
-        return Err(format!(
-            "oversubscribed: kraft sum {kraft} exceeds {unit}"
-        ));
+        return Err(format!("oversubscribed: kraft sum {kraft} exceeds {unit}"));
     }
     Ok(())
 }
@@ -270,7 +271,10 @@ mod tests {
         // yield codes 010,011,100,101,110,00,1110,1111.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]
@@ -373,8 +377,7 @@ mod tests {
                 }
                 let len = l as u32;
                 let code = codes[sym];
-                let mut msb: Vec<u32> =
-                    (0..len).map(|i| (code >> (len - 1 - i)) & 1).collect();
+                let mut msb: Vec<u32> = (0..len).map(|i| (code >> (len - 1 - i)) & 1).collect();
                 let mut it = msb.drain(..);
                 assert_eq!(dec.decode(|| it.next()), Some(sym as u16));
             }

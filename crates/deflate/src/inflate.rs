@@ -165,7 +165,8 @@ fn inflate_coded(
                 let idx = (sym - 257) as usize;
                 let extra = LENGTH_EXTRA[idx] as u32;
                 let len = LENGTH_BASE[idx] as usize
-                    + r.read_bits(extra).map_err(|_| InflateError::UnexpectedEof)? as usize;
+                    + r.read_bits(extra)
+                        .map_err(|_| InflateError::UnexpectedEof)? as usize;
                 let dsym = dist
                     .decode(|| r.read_bit().ok())
                     .ok_or(InflateError::UnexpectedEof)?;
@@ -174,7 +175,8 @@ fn inflate_coded(
                 }
                 let dextra = DIST_EXTRA[dsym as usize] as u32;
                 let d = DIST_BASE[dsym as usize] as usize
-                    + r.read_bits(dextra).map_err(|_| InflateError::UnexpectedEof)? as usize;
+                    + r.read_bits(dextra)
+                        .map_err(|_| InflateError::UnexpectedEof)? as usize;
                 if d == 0 || d > out.len() {
                     return Err(InflateError::BadDistance {
                         distance: d,
@@ -232,7 +234,10 @@ mod tests {
 
     #[test]
     fn truncated_stream_is_eof() {
-        let z = deflate_compress(b"some reasonably long test data for truncation", Level::Default);
+        let z = deflate_compress(
+            b"some reasonably long test data for truncation",
+            Level::Default,
+        );
         for cut in 1..z.len().min(8) {
             let r = inflate(&z[..z.len() - cut]);
             assert!(r.is_err(), "cut {cut} should fail");
@@ -255,7 +260,10 @@ mod tests {
         w.write_bits(0, 5);
         let stream = w.finish();
         match inflate(&stream) {
-            Err(InflateError::BadDistance { distance: 1, have: 0 }) => {}
+            Err(InflateError::BadDistance {
+                distance: 1,
+                have: 0,
+            }) => {}
             other => panic!("expected BadDistance, got {other:?}"),
         }
     }
@@ -268,7 +276,10 @@ mod tests {
             InflateError::StoredLenMismatch,
             InflateError::BadCodeTable("x".into()),
             InflateError::BadSymbol(300),
-            InflateError::BadDistance { distance: 9, have: 1 },
+            InflateError::BadDistance {
+                distance: 9,
+                have: 1,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

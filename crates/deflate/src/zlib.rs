@@ -37,7 +37,10 @@ impl fmt::Display for ZlibError {
             ZlibError::BadHeader => write!(f, "bad zlib header"),
             ZlibError::Inflate(e) => write!(f, "zlib body: {e}"),
             ZlibError::ChecksumMismatch { expected, actual } => {
-                write!(f, "adler32 mismatch: expected {expected:#10x}, got {actual:#10x}")
+                write!(
+                    f,
+                    "adler32 mismatch: expected {expected:#10x}, got {actual:#10x}"
+                )
             }
         }
     }

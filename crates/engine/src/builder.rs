@@ -2,7 +2,7 @@
 //! idle-flow eviction policy.
 
 use crate::engine::StreamingEngine;
-use flowzip_core::Params;
+use flowzip_core::{ArchiveFormat, Params};
 use flowzip_trace::Duration;
 
 /// Resolved engine configuration (what [`EngineBuilder::build`] produces).
@@ -10,6 +10,11 @@ use flowzip_trace::Duration;
 pub struct EngineConfig {
     /// Compression parameters shared by every shard.
     pub params: Params,
+    /// Container format [`StreamingEngine::compress_stream_to_bytes`]
+    /// writes. v2 (the default) lets every shard serialize its own
+    /// archive section in parallel; v1 keeps the original single-blob
+    /// layout with its serial O(trace) serialization tail.
+    pub format: ArchiveFormat,
     /// Worker threads; flows are partitioned across them by flow-key
     /// hash. One shard reproduces batch output byte-for-byte.
     pub shards: usize,
@@ -71,12 +76,19 @@ impl EngineBuilder {
         EngineBuilder {
             config: EngineConfig {
                 params: Params::paper(),
+                format: ArchiveFormat::V2,
                 shards: cpus.min(8),
                 batch_size: 1024,
                 channel_capacity: 4,
                 idle_timeout: None,
             },
         }
+    }
+
+    /// Container format for serialized output (default: v2).
+    pub fn format(mut self, format: ArchiveFormat) -> EngineBuilder {
+        self.config.format = format;
+        self
     }
 
     /// Compression parameters (default: [`Params::paper`]).
@@ -133,6 +145,7 @@ mod tests {
         assert!(c.channel_capacity >= 1);
         assert_eq!(c.idle_timeout, None);
         assert_eq!(c.params, Params::paper());
+        assert_eq!(c.format, ArchiveFormat::V2);
     }
 
     #[test]
@@ -158,7 +171,9 @@ mod tests {
             .batch_size(77)
             .channel_capacity(2)
             .idle_timeout(Some(Duration::from_secs(30)))
+            .format(ArchiveFormat::V1)
             .build();
+        assert_eq!(e.config().format, ArchiveFormat::V1);
         assert_eq!(e.config().shards, 3);
         assert_eq!(e.config().batch_size, 77);
         assert_eq!(e.config().channel_capacity, 2);

@@ -17,15 +17,35 @@
 use crate::builder::{EngineBuilder, EngineConfig};
 use crate::report::EngineReport;
 use flowzip_core::datasets::CompressedTrace;
-use flowzip_core::{assemble_shards, FlowAccumulator, FlowAssembler, Params};
+use flowzip_core::{
+    assemble_sections, assemble_shards, ArchiveFormat, CompressionReport, FlowAccumulator,
+    FlowAssembler, Params, ShardSection,
+};
 use flowzip_trace::prelude::*;
 use flowzip_trace::TraceError;
 use std::sync::mpsc;
 use std::time::Instant;
 
+/// What a shard's assembler became when its channel closed: the raw
+/// state (in-memory merge path) or an already-encoded container-v2
+/// section (the shard did its own O(trace) serialization in parallel).
+enum ShardResult {
+    State(FlowAssembler),
+    Section(ShardSection),
+}
+
+impl ShardResult {
+    fn packets(&self) -> u64 {
+        match self {
+            ShardResult::State(asm) => asm.packets(),
+            ShardResult::Section(s) => s.packets,
+        }
+    }
+}
+
 /// Everything a shard hands back when its channel closes.
 struct ShardOutput {
-    asm: FlowAssembler,
+    result: ShardResult,
     peak_active: u64,
     evicted: u64,
 }
@@ -50,8 +70,7 @@ impl ShardWorker {
             acc: FlowAccumulator::new(params.clone()),
             asm: FlowAssembler::new(params),
             idle_timeout,
-            scan_interval: idle_timeout
-                .map(|t| Duration::from_micros((t.as_micros() / 4).max(1))),
+            scan_interval: idle_timeout.map(|t| Duration::from_micros((t.as_micros() / 4).max(1))),
             next_scan: None,
         }
     }
@@ -77,14 +96,22 @@ impl ShardWorker {
         }
     }
 
-    fn finish(mut self) -> ShardOutput {
+    /// Finalizes the shard. With `encode` set the assembler serializes
+    /// itself into a container-v2 section *here, on the shard's thread*
+    /// — the work that used to be the writer's serial tail.
+    fn finish(mut self, encode: bool) -> ShardOutput {
         let peak_active = self.acc.peak_active_flows() as u64;
         let evicted = self.acc.evicted_flows();
         for flow in self.acc.finish() {
             self.asm.consume(&flow);
         }
+        let result = if encode {
+            ShardResult::Section(self.asm.into_section())
+        } else {
+            ShardResult::State(self.asm)
+        };
         ShardOutput {
-            asm: self.asm,
+            result,
             peak_active,
             evicted,
         }
@@ -96,12 +123,13 @@ fn run_shard(
     rx: mpsc::Receiver<Vec<PacketRecord>>,
     params: Params,
     idle_timeout: Option<Duration>,
+    encode: bool,
 ) -> ShardOutput {
     let mut worker = ShardWorker::new(params, idle_timeout);
     while let Ok(batch) = rx.recv() {
         worker.process_batch(&batch);
     }
-    worker.finish()
+    worker.finish(encode)
 }
 
 /// Which shard owns a packet: a cheap direction-free FNV-1a over the
@@ -172,8 +200,90 @@ impl StreamingEngine {
     where
         I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
     {
-        let config = &self.config;
         let started = Instant::now();
+        let outputs = self.run_pipeline(input, false)?;
+        let (compressed, _, report) = self.merge(outputs, started.elapsed().as_secs_f64());
+        Ok((compressed, report))
+    }
+
+    /// Compresses a fallible packet stream straight to serialized archive
+    /// bytes in the configured [`ArchiveFormat`]. With v2 (the default)
+    /// every shard encodes its own archive section on its own thread and
+    /// the serial tail collapses to index assembly — O(shards), not
+    /// O(trace); with v1 this is the legacy single-threaded
+    /// serialization, kept for byte-compatible output.
+    ///
+    /// # Errors
+    ///
+    /// The first reader error aborts the run and is returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads.
+    pub fn compress_stream_to_bytes<I>(
+        &self,
+        input: I,
+    ) -> Result<(Vec<u8>, EngineReport), TraceError>
+    where
+        I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
+    {
+        let started = Instant::now();
+        match self.config.format {
+            ArchiveFormat::V1 => {
+                let outputs = self.run_pipeline(input, false)?;
+                let elapsed = started.elapsed().as_secs_f64();
+                // merge() already encodes the archive (the report's
+                // dataset sizes need it), so the serial tail — shard
+                // merge, time-seq sort, encode — runs exactly once.
+                let ser = Instant::now();
+                let (_, bytes, mut report) = self.merge(outputs, elapsed);
+                report.serialize_secs = ser.elapsed().as_secs_f64();
+                report.sections = 1;
+                report.archive_bytes = bytes.len() as u64;
+                Ok((bytes, report))
+            }
+            ArchiveFormat::V2 => {
+                let outputs = self.run_pipeline(input, true)?;
+                let elapsed = started.elapsed().as_secs_f64();
+                let agg = ShardAggregates::fold(&outputs);
+                let sections: Vec<ShardSection> = outputs
+                    .into_iter()
+                    .map(|o| match o.result {
+                        ShardResult::Section(s) => s,
+                        ShardResult::State(_) => unreachable!("v2 pipeline encodes in-worker"),
+                    })
+                    .collect();
+                let n_sections = sections.len();
+
+                // The entire serial serialization tail: template-store
+                // merge + address dedupe + index + payload concat.
+                let ser = Instant::now();
+                let (bytes, mut report) = assemble_sections(
+                    &self.config.params,
+                    sections,
+                    agg.tsh_bytes,
+                    agg.header_bytes,
+                );
+                let serialize_secs = ser.elapsed().as_secs_f64();
+                report.peak_active_flows = agg.peak_active;
+
+                let mut engine_report = self.engine_report(&agg, elapsed, report);
+                engine_report.serialize_secs = serialize_secs;
+                engine_report.sections = n_sections;
+                engine_report.archive_bytes = bytes.len() as u64;
+                Ok((bytes, engine_report))
+            }
+        }
+    }
+
+    /// Runs the read → route → shard pipeline, returning per-shard
+    /// outputs in shard order. `encode` makes each worker serialize its
+    /// assembler into a v2 section before handing it back.
+    fn run_pipeline<I>(&self, input: I, encode: bool) -> Result<Vec<ShardOutput>, TraceError>
+    where
+        I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
+    {
+        let config = &self.config;
         if config.shards == 1 {
             // Single shard: run everything inline. No channel, no second
             // thread — this is the honest sequential baseline the
@@ -192,10 +302,9 @@ impl StreamingEngine {
             if !buf.is_empty() {
                 worker.process_batch(&buf);
             }
-            let outputs = vec![worker.finish()];
-            return Ok(self.merge(outputs, started.elapsed().as_secs_f64()));
+            return Ok(vec![worker.finish(encode)]);
         }
-        let outputs = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(config.shards);
             let mut handles = Vec::with_capacity(config.shards);
             for _ in 0..config.shards {
@@ -203,11 +312,12 @@ impl StreamingEngine {
                 let params = config.params.clone();
                 let idle_timeout = config.idle_timeout;
                 senders.push(tx);
-                handles.push(scope.spawn(move || run_shard(rx, params, idle_timeout)));
+                handles.push(scope.spawn(move || run_shard(rx, params, idle_timeout, encode)));
             }
 
-            let mut buffers: Vec<Vec<PacketRecord>> =
-                (0..config.shards).map(|_| Vec::with_capacity(config.batch_size)).collect();
+            let mut buffers: Vec<Vec<PacketRecord>> = (0..config.shards)
+                .map(|_| Vec::with_capacity(config.batch_size))
+                .collect();
             let mut input_err = None;
             'route: for item in input {
                 match item {
@@ -253,8 +363,7 @@ impl StreamingEngine {
                 Some(e) => Err(e),
                 None => Ok(outputs),
             }
-        })?;
-        Ok(self.merge(outputs, started.elapsed().as_secs_f64()))
+        })
     }
 
     /// Convenience: compresses an infallible packet sequence.
@@ -285,37 +394,96 @@ impl StreamingEngine {
         self.compress_packets(trace.iter().cloned())
     }
 
+    /// Convenience: compresses an in-memory trace straight to archive
+    /// bytes in the configured format.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors
+    /// [`StreamingEngine::compress_stream_to_bytes`].
+    pub fn compress_trace_to_bytes(
+        &self,
+        trace: &Trace,
+    ) -> Result<(Vec<u8>, EngineReport), TraceError> {
+        self.compress_stream_to_bytes(trace.iter().cloned().map(Ok))
+    }
+
     /// Folds per-shard outputs into one archive plus the aggregate
     /// report. The dataset assembly itself is `flowzip-core`'s
     /// [`assemble_shards`] — the same code the batch compressor runs —
     /// so only the throughput/memory bookkeeping lives here.
-    fn merge(&self, outputs: Vec<ShardOutput>, elapsed_secs: f64) -> (CompressedTrace, EngineReport) {
-        let packets: u64 = outputs.iter().map(|o| o.asm.packets()).sum();
-        let peak_active: u64 = outputs.iter().map(|o| o.peak_active).sum();
-        let evicted: u64 = outputs.iter().map(|o| o.evicted).sum();
-
-        // Every packet costs 44 B as a TSH record and 40 B of bare
-        // headers — the §5 baselines, computable without the trace.
-        let tsh_bytes = packets * flowzip_trace::tsh::RECORD_BYTES as u64;
-        let header_bytes = packets * flowzip_trace::packet::HEADER_BYTES as u64;
-        let (compressed, mut report) = assemble_shards(
+    fn merge(
+        &self,
+        outputs: Vec<ShardOutput>,
+        elapsed_secs: f64,
+    ) -> (CompressedTrace, Vec<u8>, EngineReport) {
+        let agg = ShardAggregates::fold(&outputs);
+        let (compressed, mut report, encoded) = assemble_shards(
             &self.config.params,
-            outputs.into_iter().map(|o| o.asm).collect(),
-            tsh_bytes,
-            header_bytes,
+            outputs
+                .into_iter()
+                .map(|o| match o.result {
+                    ShardResult::State(asm) => asm,
+                    ShardResult::Section(_) => {
+                        unreachable!("in-memory merge never requests encoded sections")
+                    }
+                })
+                .collect(),
+            agg.tsh_bytes,
+            agg.header_bytes,
         );
-        report.peak_active_flows = peak_active;
+        report.peak_active_flows = agg.peak_active;
+        let engine_report = self.engine_report(&agg, elapsed_secs, report);
+        (compressed, encoded, engine_report)
+    }
 
+    /// Builds the aggregate [`EngineReport`] from folded shard counters.
+    /// Serialization fields (`serialize_secs`, `sections`,
+    /// `archive_bytes`) start zeroed; the to-bytes paths fill them in.
+    fn engine_report(
+        &self,
+        agg: &ShardAggregates,
+        elapsed_secs: f64,
+        report: CompressionReport,
+    ) -> EngineReport {
         let elapsed = elapsed_secs.max(f64::EPSILON);
-        let engine_report = EngineReport {
+        EngineReport {
             shards: self.config.shards,
             elapsed_secs,
-            packets_per_sec: packets as f64 / elapsed,
-            mb_per_sec: tsh_bytes as f64 / elapsed / 1e6,
-            evicted_flows: evicted,
+            packets_per_sec: agg.packets as f64 / elapsed,
+            mb_per_sec: agg.tsh_bytes as f64 / elapsed / 1e6,
+            evicted_flows: agg.evicted,
+            serialize_secs: 0.0,
+            sections: 0,
+            archive_bytes: 0,
             report,
-        };
-        (compressed, engine_report)
+        }
+    }
+}
+
+/// Throughput/memory counters folded over per-shard outputs — computed
+/// once and shared by the v1 merge and v2 section-assembly paths so the
+/// two report pipelines cannot drift.
+struct ShardAggregates {
+    packets: u64,
+    peak_active: u64,
+    evicted: u64,
+    /// Every packet costs 44 B as a TSH record and 40 B of bare
+    /// headers — the §5 baselines, computable without the trace.
+    tsh_bytes: u64,
+    header_bytes: u64,
+}
+
+impl ShardAggregates {
+    fn fold(outputs: &[ShardOutput]) -> ShardAggregates {
+        let packets: u64 = outputs.iter().map(|o| o.result.packets()).sum();
+        ShardAggregates {
+            packets,
+            peak_active: outputs.iter().map(|o| o.peak_active).sum(),
+            evicted: outputs.iter().map(|o| o.evicted).sum(),
+            tsh_bytes: packets * flowzip_trace::tsh::RECORD_BYTES as u64,
+            header_bytes: packets * flowzip_trace::packet::HEADER_BYTES as u64,
+        }
     }
 }
 
@@ -351,7 +519,10 @@ mod tests {
             Ok(pkt(4001, 10, TcpFlags::SYN)),
         ];
         let err = engine.compress_stream(input).unwrap_err();
-        assert!(matches!(err, TraceError::TruncatedRecord { got: 3, need: 44 }));
+        assert!(matches!(
+            err,
+            TraceError::TruncatedRecord { got: 3, need: 44 }
+        ));
     }
 
     #[test]
@@ -381,7 +552,10 @@ mod tests {
         }
         let (_, batch) = Compressor::new(Params::paper()).compress(&trace);
         for shards in [1usize, 2, 5] {
-            let engine = StreamingEngine::builder().shards(shards).batch_size(4).build();
+            let engine = StreamingEngine::builder()
+                .shards(shards)
+                .batch_size(4)
+                .build();
             let (ct, streamed) = engine.compress_trace(&trace).unwrap();
             assert_eq!(streamed.report.packets, batch.packets);
             assert_eq!(streamed.report.flows, batch.flows);
@@ -394,6 +568,62 @@ mod tests {
     }
 
     #[test]
+    fn v2_bytes_decode_to_the_same_archive_as_v1() {
+        let mut trace = Trace::new();
+        for (i, port) in (4000u16..4040).enumerate() {
+            let base = i as u64 * 1_000;
+            trace.push(pkt(port, base, TcpFlags::SYN));
+            trace.push(pkt(port, base + 10, TcpFlags::ACK));
+            trace.push(pkt(port, base + 20, TcpFlags::FIN));
+        }
+        for shards in [1usize, 2, 5] {
+            let v1_engine = StreamingEngine::builder()
+                .shards(shards)
+                .batch_size(8)
+                .format(ArchiveFormat::V1)
+                .build();
+            let v2_engine = StreamingEngine::builder()
+                .shards(shards)
+                .batch_size(8)
+                .format(ArchiveFormat::V2)
+                .build();
+            let (v1_bytes, v1_report) = v1_engine.compress_trace_to_bytes(&trace).unwrap();
+            let (v2_bytes, v2_report) = v2_engine.compress_trace_to_bytes(&trace).unwrap();
+
+            assert_eq!(ArchiveFormat::detect(&v1_bytes).unwrap(), ArchiveFormat::V1);
+            assert_eq!(ArchiveFormat::detect(&v2_bytes).unwrap(), ArchiveFormat::V2);
+            // Same shard states → the decoded global archives are equal,
+            // whichever container carried them.
+            let from_v1 = CompressedTrace::from_bytes(&v1_bytes).unwrap();
+            let from_v2 = CompressedTrace::from_bytes(&v2_bytes).unwrap();
+            assert_eq!(from_v1, from_v2, "{shards} shards");
+
+            assert_eq!(v1_report.sections, 1);
+            assert_eq!(v2_report.sections, shards);
+            assert_eq!(v1_report.archive_bytes, v1_bytes.len() as u64);
+            assert_eq!(v2_report.archive_bytes, v2_bytes.len() as u64);
+            assert_eq!(v2_report.report.packets, v1_report.report.packets);
+            assert_eq!(v2_report.report.clusters, v1_report.report.clusters);
+            // v2 report sizes describe the actual v2 file.
+            assert_eq!(v2_report.report.sizes.total(), v2_bytes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn single_shard_v2_bytes_match_batch_to_bytes_v2() {
+        let mut trace = Trace::new();
+        for (i, port) in (5000u16..5016).enumerate() {
+            let base = i as u64 * 2_000;
+            trace.push(pkt(port, base, TcpFlags::SYN));
+            trace.push(pkt(port, base + 15, TcpFlags::RST));
+        }
+        let (batch_archive, _) = Compressor::new(Params::paper()).compress(&trace);
+        let engine = StreamingEngine::builder().shards(1).build();
+        let (bytes, _) = engine.compress_trace_to_bytes(&trace).unwrap();
+        assert_eq!(bytes, batch_archive.to_bytes_v2());
+    }
+
+    #[test]
     fn idle_eviction_bounds_active_flows_and_loses_none() {
         // 2_000 flows that never terminate, spread 10 ms apart: without
         // eviction every one stays open; with a 1 s idle timeout the
@@ -402,7 +632,10 @@ mod tests {
         for i in 0..2_000u64 {
             packets.push(
                 PacketRecord::builder()
-                    .src(Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1), 1024 + (i % 30_000) as u16)
+                    .src(
+                        Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                        1024 + (i % 30_000) as u16,
+                    )
                     .dst(Ipv4Addr::new(192, 0, 2, 1), 80)
                     .timestamp(Timestamp::from_micros(i * 10_000))
                     .flags(TcpFlags::SYN)
@@ -415,7 +648,10 @@ mod tests {
             .idle_timeout(Some(Duration::from_secs(1)))
             .build();
         let (_, with_eviction) = bounded.compress_packets(packets.clone()).unwrap();
-        assert_eq!(with_eviction.report.flows, 2_000, "every flow still reported");
+        assert_eq!(
+            with_eviction.report.flows, 2_000,
+            "every flow still reported"
+        );
         assert_eq!(with_eviction.report.packets, 2_000);
         assert!(
             with_eviction.peak_active_flows() < 500,
@@ -426,7 +662,11 @@ mod tests {
 
         let unbounded = StreamingEngine::builder().shards(2).batch_size(64).build();
         let (_, without) = unbounded.compress_packets(packets).unwrap();
-        assert_eq!(without.peak_active_flows(), 2_000, "no eviction → all open at once");
+        assert_eq!(
+            without.peak_active_flows(),
+            2_000,
+            "no eviction → all open at once"
+        );
         assert_eq!(without.evicted_flows, 0);
     }
 }

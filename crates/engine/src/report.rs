@@ -21,6 +21,17 @@ pub struct EngineReport {
     pub mb_per_sec: f64,
     /// Flows force-closed by idle-timeout eviction.
     pub evicted_flows: u64,
+    /// Wall-clock seconds of the *serial* tail: the whole
+    /// single-threaded shard merge + time-seq sort + encode for v1
+    /// output, but only store merge + index assembly + payload
+    /// concatenation for v2 (per-shard payload encoding happens on the
+    /// worker threads and overlaps compute). Zero for in-memory runs
+    /// that never serialized.
+    pub serialize_secs: f64,
+    /// Archive sections written (v2: one per shard; v1: 1; in-memory: 0).
+    pub sections: usize,
+    /// Serialized archive size in bytes (0 for in-memory runs).
+    pub archive_bytes: u64,
 }
 
 impl EngineReport {
@@ -45,7 +56,15 @@ impl fmt::Display for EngineReport {
             self.mb_per_sec,
             self.peak_active_flows(),
             self.evicted_flows
-        )
+        )?;
+        if self.sections > 0 {
+            write!(
+                f,
+                "; {} section archive, {} B, serial tail {:.4}s",
+                self.sections, self.archive_bytes, self.serialize_secs
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -76,10 +95,23 @@ mod tests {
             packets_per_sec: 20.0,
             mb_per_sec: 0.00088,
             evicted_flows: 0,
+            serialize_secs: 0.0,
+            sections: 0,
+            archive_bytes: 0,
         };
         let s = r.to_string();
         assert!(s.contains("4 shards"));
         assert!(s.contains("packets/s"));
         assert!(s.contains("peak 2 active flows"));
+        // In-memory runs don't claim an archive...
+        assert!(!s.contains("section archive"));
+        // ...serialized ones do.
+        let mut ser = r.clone();
+        ser.sections = 4;
+        ser.archive_bytes = 1234;
+        ser.serialize_secs = 0.001;
+        let s = ser.to_string();
+        assert!(s.contains("4 section archive"));
+        assert!(s.contains("serial tail"));
     }
 }

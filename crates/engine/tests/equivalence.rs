@@ -15,9 +15,9 @@
 //!   ±max(4, 25%) of batch and total size to ±25%, and keep the
 //!   `matched = short − clusters` accounting identity exact.
 
-use flowzip_core::{Compressor, Params};
+use flowzip_core::{ArchiveFormat, CompressedTrace, Compressor, Decompressor, Params};
 use flowzip_engine::StreamingEngine;
-use flowzip_trace::Trace;
+use flowzip_trace::{Duration, Trace};
 use flowzip_traffic::p2p::{P2pTrafficConfig, P2pTrafficGenerator};
 use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
 use proptest::prelude::*;
@@ -91,7 +91,74 @@ fn assert_equivalent(trace: &Trace, shards: usize) -> Result<(), TestCaseError> 
     Ok(())
 }
 
+/// Container-v2 output must be *packet-identical* to v1 after
+/// decompression: same shard states serialized through either container
+/// reconstruct the same global archive, so the §4 synthesis (one RNG
+/// walked in time-seq order) produces the same trace byte for byte.
+fn assert_v2_packet_identical(
+    trace: &Trace,
+    shards: usize,
+    idle_secs: Option<u64>,
+) -> Result<(), TestCaseError> {
+    let build = |format: ArchiveFormat| {
+        StreamingEngine::builder()
+            .shards(shards)
+            .batch_size(128)
+            .idle_timeout(idle_secs.map(Duration::from_secs))
+            .format(format)
+            .build()
+    };
+    let (v1_bytes, _) = build(ArchiveFormat::V1)
+        .compress_trace_to_bytes(trace)
+        .unwrap();
+    let (v2_bytes, v2_report) = build(ArchiveFormat::V2)
+        .compress_trace_to_bytes(trace)
+        .unwrap();
+    prop_assert_eq!(ArchiveFormat::detect(&v2_bytes).unwrap(), ArchiveFormat::V2);
+    prop_assert_eq!(v2_report.sections, shards);
+
+    // The reconstructed archives agree exactly...
+    let from_v1 = CompressedTrace::from_bytes(&v1_bytes).unwrap();
+    let from_v2 = CompressedTrace::from_bytes(&v2_bytes).unwrap();
+    prop_assert_eq!(&from_v1, &from_v2);
+
+    // ...and so do the synthesized traces.
+    let dec = Decompressor::default();
+    let restored_v1 = dec.decompress(&from_v1);
+    let restored_v2 = dec.decompress(&from_v2);
+    prop_assert_eq!(restored_v1, restored_v2);
+    Ok(())
+}
+
+/// The acceptance pin: shard counts 1, 2 and 8, with and without idle
+/// eviction, on a fixed trace.
+#[test]
+fn v2_is_packet_identical_to_v1_for_pinned_shard_counts() {
+    let trace = web_trace(300, 2005);
+    for shards in [1usize, 2, 8] {
+        for idle_secs in [None, Some(1u64)] {
+            assert_v2_packet_identical(&trace, shards, idle_secs)
+                .unwrap_or_else(|e| panic!("shards {shards}, idle {idle_secs:?}: {e}"));
+        }
+    }
+}
+
 proptest! {
+    #[test]
+    fn v2_matches_v1_across_shards_and_eviction(
+        flows in 20usize..100,
+        seed in 0u64..1_000,
+        shards in 1usize..9,
+        idle_secs in 0u64..30,
+    ) {
+        // idle_secs == 0 → eviction disabled, like the CLI flag.
+        assert_v2_packet_identical(
+            &web_trace(flows, seed),
+            shards,
+            (idle_secs > 0).then_some(idle_secs),
+        )?;
+    }
+
     #[test]
     fn web_traffic_matches_batch(
         flows in 30usize..120,

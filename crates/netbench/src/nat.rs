@@ -10,7 +10,7 @@ use crate::runner::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
 use crate::{parse_header, MeterSink};
 use flowzip_cachesim::PacketCostMeter;
 use flowzip_radix::{RadixTable, TableGen};
-use flowzip_trace::{Trace, TcpFlags};
+use flowzip_trace::{TcpFlags, Trace};
 use std::net::Ipv4Addr;
 
 /// Translation entry: the external address and port a client is mapped to.
@@ -106,9 +106,11 @@ impl PacketProcessor for NatBench {
 
             // Flow teardown releases the translation ("memory released").
             if pkt.flags().terminates_flow() {
-                let removed = self
-                    .translations
-                    .traced_remove(pkt.src_ip(), 32, &mut MeterSink::new(&mut meter));
+                let removed = self.translations.traced_remove(
+                    pkt.src_ip(),
+                    32,
+                    &mut MeterSink::new(&mut meter),
+                );
                 if removed.is_some() {
                     self.active -= 1;
                 }

@@ -82,7 +82,9 @@ impl PacketProcessor for RouteBench {
                 .traced_lookup(pkt.dst_ip(), &mut MeterSink::new(&mut meter));
             nodes_visited += visited as u64;
             // Store the forwarding decision back into the packet buffer.
-            meter.access(crate::PKT_BUF_BASE + (i as u64 % crate::PKT_BUF_SLOTS) * crate::PKT_BUF_SIZE + 80);
+            meter.access(
+                crate::PKT_BUF_BASE + (i as u64 % crate::PKT_BUF_SLOTS) * crate::PKT_BUF_SIZE + 80,
+            );
             meter.checkpoint();
         }
         let cache = meter.cache_stats();
@@ -136,8 +138,7 @@ mod tests {
             ..BenchConfig::default()
         })
         .run(&trace);
-        let covering_run =
-            RouteBench::covering(&BenchConfig::default(), &trace).run(&trace);
+        let covering_run = RouteBench::covering(&BenchConfig::default(), &trace).run(&trace);
         assert!(
             covering_run.mean_accesses() > default_run.mean_accesses(),
             "specific routes mean longer walks: {} vs {}",

@@ -2,8 +2,9 @@
 //! locality difference between a Web trace and its destination-randomized
 //! twin — the effect §6 of the paper builds its validation on.
 
-use flowzip_netbench::{nat::NatBench, route::RouteBench, rtr::RtrBench, BenchConfig, BenchKind,
-    PacketProcessor};
+use flowzip_netbench::{
+    nat::NatBench, route::RouteBench, rtr::RtrBench, BenchConfig, BenchKind, PacketProcessor,
+};
 use flowzip_traffic::randomize_destinations;
 use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
 
@@ -29,8 +30,12 @@ fn every_kernel_detects_randomized_destinations() {
     let runs: Vec<(BenchKind, f64, f64)> = vec![
         (
             BenchKind::Route,
-            RouteBench::covering_servers(&cfg, &web).run(&web).mean_miss_rate(),
-            RouteBench::covering_servers(&cfg, &web).run(&random).mean_miss_rate(),
+            RouteBench::covering_servers(&cfg, &web)
+                .run(&web)
+                .mean_miss_rate(),
+            RouteBench::covering_servers(&cfg, &web)
+                .run(&random)
+                .mean_miss_rate(),
         ),
         (
             BenchKind::Nat,
@@ -39,8 +44,12 @@ fn every_kernel_detects_randomized_destinations() {
         ),
         (
             BenchKind::Rtr,
-            RtrBench::covering_servers(&cfg, &web).run(&web).mean_miss_rate(),
-            RtrBench::covering_servers(&cfg, &web).run(&random).mean_miss_rate(),
+            RtrBench::covering_servers(&cfg, &web)
+                .run(&web)
+                .mean_miss_rate(),
+            RtrBench::covering_servers(&cfg, &web)
+                .run(&random)
+                .mean_miss_rate(),
         ),
     ];
     for (kind, web_miss, random_miss) in runs {

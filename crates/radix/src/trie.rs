@@ -261,10 +261,7 @@ impl<T> RadixTable<T> {
                 None => break,
             }
         }
-        (
-            best.and_then(|id| self.node(id).value.as_ref()),
-            visited,
-        )
+        (best.and_then(|id| self.node(id).value.as_ref()), visited)
     }
 
     /// Exact-match fetch of a route's value.
@@ -346,10 +343,7 @@ impl<T> RadixTable<T> {
         while target != 0 {
             let (kids, has_value) = {
                 let n = self.node(target);
-                (
-                    n.children.iter().flatten().count(),
-                    n.value.is_some(),
-                )
+                (n.children.iter().flatten().count(), n.value.is_some())
             };
             if has_value || kids > 1 {
                 break;
@@ -358,13 +352,7 @@ impl<T> RadixTable<T> {
                 Some(pb) => pb,
                 None => break,
             };
-            let only_child = self
-                .node(target)
-                .children
-                .iter()
-                .flatten()
-                .next()
-                .copied();
+            let only_child = self.node(target).children.iter().flatten().next().copied();
             sink.access(AccessKind::Write, Self::addr(parent, OFF_CHILD[branch]));
             self.node_mut(parent).children[branch] = only_child;
             self.nodes[target as usize] = None;
@@ -540,14 +528,18 @@ mod tests {
     #[test]
     fn iter_yields_all_routes() {
         let mut t = RadixTable::new();
-        let routes = [("10.0.0.0", 8u8), ("10.1.0.0", 16), ("192.168.0.0", 16), ("0.0.0.0", 0)];
+        let routes = [
+            ("10.0.0.0", 8u8),
+            ("10.1.0.0", 16),
+            ("192.168.0.0", 16),
+            ("0.0.0.0", 0),
+        ];
         for (i, (p, l)) in routes.iter().enumerate() {
             t.insert(ip(p), *l, i);
         }
         let mut got: Vec<(Ipv4Addr, u8)> = t.iter().map(|(p, l, _)| (p, l)).collect();
         got.sort();
-        let mut want: Vec<(Ipv4Addr, u8)> =
-            routes.iter().map(|(p, l)| (ip(p), *l)).collect();
+        let mut want: Vec<(Ipv4Addr, u8)> = routes.iter().map(|(p, l)| (ip(p), *l)).collect();
         want.sort();
         assert_eq!(got, want);
     }

@@ -65,7 +65,10 @@ mod tests {
         let errs: Vec<TraceError> = vec![
             TraceError::Io(std::io::Error::other("x")),
             TraceError::TruncatedRecord { got: 3, need: 44 },
-            TraceError::FieldOutOfRange { field: "ts", value: 9 },
+            TraceError::FieldOutOfRange {
+                field: "ts",
+                value: 9,
+            },
             TraceError::InvalidTrace("out of order".into()),
         ];
         for e in errs {

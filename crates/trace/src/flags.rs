@@ -220,8 +220,7 @@ impl From<TcpFlags> for u8 {
 
 impl FromIterator<TcpFlags> for TcpFlags {
     fn from_iter<I: IntoIterator<Item = TcpFlags>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(TcpFlags::EMPTY, |acc, f| acc | f)
+        iter.into_iter().fold(TcpFlags::EMPTY, |acc, f| acc | f)
     }
 }
 

@@ -154,18 +154,26 @@ impl Flow {
 
     /// Total bytes on the wire (headers + payload) both ways.
     pub fn wire_bytes(&self) -> u64 {
-        self.packets.iter().map(|(p, _)| p.ip_total_len() as u64).sum()
+        self.packets
+            .iter()
+            .map(|(p, _)| p.ip_total_len() as u64)
+            .sum()
     }
 
     /// Sum of payload bytes both ways.
     pub fn payload_bytes(&self) -> u64 {
-        self.packets.iter().map(|(p, _)| p.payload_len() as u64).sum()
+        self.packets
+            .iter()
+            .map(|(p, _)| p.payload_len() as u64)
+            .sum()
     }
 
     /// `true` when any packet carries FIN or RST (the compressor's
     /// finalization signal).
     pub fn saw_termination(&self) -> bool {
-        self.packets.iter().any(|(p, _)| p.flags().terminates_flow())
+        self.packets
+            .iter()
+            .any(|(p, _)| p.flags().terminates_flow())
     }
 
     /// Estimates the flow's round-trip time as the gap between the first

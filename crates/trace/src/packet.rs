@@ -342,12 +342,20 @@ mod tests {
         assert!(p.flags().is_syn_only());
         assert_eq!(p.payload_len(), 100);
         assert_eq!(p.ip_total_len(), 140);
-        assert_eq!((p.seq(), p.ack(), p.window(), p.ip_id(), p.ttl()), (11, 22, 33, 44, 55));
+        assert_eq!(
+            (p.seq(), p.ack(), p.window(), p.ip_id(), p.ttl()),
+            (11, 22, 33, 44, 55)
+        );
     }
 
     #[test]
     fn tuple_builder_matches_endpoint_builder() {
-        let t = FiveTuple::tcp(Ipv4Addr::new(3, 3, 3, 3), 999, Ipv4Addr::new(4, 4, 4, 4), 80);
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(3, 3, 3, 3),
+            999,
+            Ipv4Addr::new(4, 4, 4, 4),
+            80,
+        );
         let a = PacketRecord::builder().tuple(t).build();
         let b = PacketRecord::builder()
             .src(Ipv4Addr::new(3, 3, 3, 3), 999)

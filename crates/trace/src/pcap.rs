@@ -22,6 +22,13 @@ use std::net::Ipv4Addr;
 pub const MAGIC_LE: u32 = 0xA1B2_C3D4;
 /// Byte-swapped magic (big-endian writer).
 pub const MAGIC_BE: u32 = 0xD4C3_B2A1;
+/// Nanosecond-timestamp magic (`tcpdump --nano`), little-endian. Not a
+/// supported input — recognized only so format sniffers can route the
+/// file to the pcap reader's clear "bad pcap magic" error instead of
+/// misparsing it as TSH records.
+pub const MAGIC_NS_LE: u32 = 0xA1B2_3C4D;
+/// Byte-swapped nanosecond magic. See [`MAGIC_NS_LE`].
+pub const MAGIC_NS_BE: u32 = 0x4D3C_B2A1;
 /// Link type: Ethernet.
 pub const LINKTYPE_ETHERNET: u32 = 1;
 /// Captured bytes per packet: Ethernet (14) + IPv4 (20) + TCP (20).
@@ -316,7 +323,6 @@ fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], need: usize) -> Result<(), 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
@@ -324,9 +330,16 @@ mod tests {
             t.push(
                 PacketRecord::builder()
                     .timestamp(Timestamp::from_micros(i * 1000 + 5))
-                    .src(Ipv4Addr::new(10, 0, 0, (i % 250 + 1) as u8), 1024 + i as u16)
+                    .src(
+                        Ipv4Addr::new(10, 0, 0, (i % 250 + 1) as u8),
+                        1024 + i as u16,
+                    )
                     .dst(Ipv4Addr::new(192, 0, 2, 80), 80)
-                    .flags(if i % 9 == 0 { TcpFlags::SYN } else { TcpFlags::PSH | TcpFlags::ACK })
+                    .flags(if i % 9 == 0 {
+                        TcpFlags::SYN
+                    } else {
+                        TcpFlags::PSH | TcpFlags::ACK
+                    })
                     .payload_len((i * 31 % 1400) as u16)
                     .seq(i as u32 * 1000)
                     .ack(77)
@@ -357,8 +370,14 @@ mod tests {
             MAGIC_LE
         );
         // snaplen and linktype in the global header
-        assert_eq!(u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]), 54);
-        assert_eq!(u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]), 1);
+        assert_eq!(
+            u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]),
+            54
+        );
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            1
+        );
     }
 
     #[test]

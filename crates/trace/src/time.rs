@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn construction_equivalences() {
         assert_eq!(Timestamp::from_secs(2), Timestamp::from_micros(2_000_000));
-        assert_eq!(Timestamp::from_secs_f64(0.5), Timestamp::from_micros(500_000));
+        assert_eq!(
+            Timestamp::from_secs_f64(0.5),
+            Timestamp::from_micros(500_000)
+        );
         assert_eq!(Duration::from_millis(3), Duration::from_micros(3_000));
         assert_eq!(Duration::from_secs(1), Duration::from_micros(1_000_000));
     }

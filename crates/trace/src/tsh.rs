@@ -273,7 +273,6 @@ fn ipv4_checksum(header: &[u8]) -> u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn sample_packet() -> PacketRecord {
         PacketRecord::builder()
@@ -319,7 +318,10 @@ mod tests {
     fn truncated_record_is_detected() {
         let rec = encode_record(&sample_packet(), 0).unwrap();
         let err = decode_record(&rec[..20]).unwrap_err();
-        assert!(matches!(err, TraceError::TruncatedRecord { got: 20, need: 44 }));
+        assert!(matches!(
+            err,
+            TraceError::TruncatedRecord { got: 20, need: 44 }
+        ));
     }
 
     #[test]
@@ -329,7 +331,10 @@ mod tests {
             t.push(
                 PacketRecord::builder()
                     .timestamp(Timestamp::from_micros(i * 10))
-                    .src(Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8), 1024 + i as u16)
+                    .src(
+                        Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8),
+                        1024 + i as u16,
+                    )
                     .dst(Ipv4Addr::new(192, 168, 0, 1), 80)
                     .flags(if i == 0 { TcpFlags::SYN } else { TcpFlags::ACK })
                     .payload_len((i * 7 % 1400) as u16)

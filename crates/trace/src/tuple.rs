@@ -108,7 +108,12 @@ pub struct FiveTuple {
 
 impl FiveTuple {
     /// Creates a TCP five-tuple.
-    pub const fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
+    pub const fn tcp(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+    ) -> FiveTuple {
         FiveTuple {
             src_ip,
             dst_ip,

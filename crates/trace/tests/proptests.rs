@@ -12,13 +12,13 @@ fn arb_packet() -> impl Strategy<Value = PacketRecord> {
         any::<[u8; 4]>(),
         any::<u16>(),
         any::<u16>(),
-        any::<u8>(),   // flags byte
-        0u16..=1460,   // payload
-        any::<u32>(),  // seq
-        any::<u32>(),  // ack
-        any::<u16>(),  // window
-        any::<u16>(),  // ip id
-        any::<u8>(),   // ttl
+        any::<u8>(),  // flags byte
+        0u16..=1460,  // payload
+        any::<u32>(), // seq
+        any::<u32>(), // ack
+        any::<u16>(), // window
+        any::<u16>(), // ip id
+        any::<u8>(),  // ttl
     )
         .prop_map(
             |(ts, sip, dip, sp, dp, flags, len, seq, ack, win, id, ttl)| {

@@ -11,9 +11,16 @@ fn sample_trace(packets: u64) -> Trace {
         t.push(
             PacketRecord::builder()
                 .timestamp(Timestamp::from_micros(i * 100))
-                .src(Ipv4Addr::new(10, 0, 0, (i % 200 + 1) as u8), 2000 + i as u16)
+                .src(
+                    Ipv4Addr::new(10, 0, 0, (i % 200 + 1) as u8),
+                    2000 + i as u16,
+                )
                 .dst(Ipv4Addr::new(192, 0, 2, 1), 80)
-                .flags(if i % 5 == 0 { TcpFlags::SYN } else { TcpFlags::ACK })
+                .flags(if i % 5 == 0 {
+                    TcpFlags::SYN
+                } else {
+                    TcpFlags::ACK
+                })
                 .payload_len((i % 1400) as u16)
                 .seq(i as u32)
                 .window(4096)
@@ -92,7 +99,13 @@ fn tsh_reader_rejects_unnormalized_micros_field() {
     let (packets, err) = drain(TshReader::new(&bytes[..]));
     assert!(packets.is_empty());
     assert!(
-        matches!(err, Some(TraceError::FieldOutOfRange { field: "micros", .. })),
+        matches!(
+            err,
+            Some(TraceError::FieldOutOfRange {
+                field: "micros",
+                ..
+            })
+        ),
         "got {err:?}"
     );
 }
@@ -124,7 +137,10 @@ fn pcap_reader_rejects_bad_magic() {
 #[test]
 fn pcap_reader_rejects_short_global_header() {
     let err = PcapReader::new(&[0u8; 7][..]).unwrap_err();
-    assert!(matches!(err, TraceError::TruncatedRecord { got: 7, need: 24 }));
+    assert!(matches!(
+        err,
+        TraceError::TruncatedRecord { got: 7, need: 24 }
+    ));
 }
 
 #[test]
@@ -135,7 +151,10 @@ fn pcap_reader_mid_record_eof_is_clean_error() {
     let cut = 24 + 2 * (16 + 54) + 16 + 20;
     let (packets, err) = drain(PcapReader::new(&bytes[..cut]).unwrap());
     assert_eq!(packets.len(), 2);
-    assert!(matches!(err, Some(TraceError::TruncatedRecord { got: 20, need: 54 })));
+    assert!(matches!(
+        err,
+        Some(TraceError::TruncatedRecord { got: 20, need: 54 })
+    ));
 }
 
 #[test]
@@ -145,7 +164,10 @@ fn pcap_reader_mid_header_eof_is_clean_error() {
     let cut = 24 + (16 + 54) + 9; // inside the second record header
     let (packets, err) = drain(PcapReader::new(&bytes[..cut]).unwrap());
     assert_eq!(packets.len(), 1);
-    assert!(matches!(err, Some(TraceError::TruncatedRecord { got: 9, need: 16 })));
+    assert!(matches!(
+        err,
+        Some(TraceError::TruncatedRecord { got: 9, need: 16 })
+    ));
 }
 
 #[test]

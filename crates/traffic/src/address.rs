@@ -113,7 +113,10 @@ impl LruStackModel {
     /// Panics if `max_depth == 0` or `reuse_prob` is not a probability.
     pub fn new(max_depth: usize, s: f64, reuse_prob: f64) -> LruStackModel {
         assert!(max_depth > 0, "stack depth must be positive");
-        assert!((0.0..=1.0).contains(&reuse_prob), "reuse_prob is a probability");
+        assert!(
+            (0.0..=1.0).contains(&reuse_prob),
+            "reuse_prob is a probability"
+        );
         LruStackModel {
             stack: Vec::with_capacity(max_depth),
             depth_dist: Zipf::new(max_depth, s),
@@ -166,7 +169,10 @@ mod tests {
         }
         let top = counts.values().max().copied().unwrap();
         let total: u32 = counts.values().sum();
-        assert!(top as f64 / total as f64 > 0.10, "top server should dominate");
+        assert!(
+            top as f64 / total as f64 > 0.10,
+            "top server should dominate"
+        );
         assert_eq!(pool.servers().len(), 50);
     }
 
@@ -185,7 +191,9 @@ mod tests {
     fn fractal_addresses_cluster_in_prefixes() {
         let mut r = rng();
         let model = FractalAddressModel::new(&mut r, 0.75);
-        let addrs: Vec<u32> = (0..8_000).map(|_| u32::from(model.sample(&mut r))).collect();
+        let addrs: Vec<u32> = (0..8_000)
+            .map(|_| u32::from(model.sample(&mut r)))
+            .collect();
         // Concentration: the 10 most popular /8s must hold far more mass
         // than the uniform 10/256 ≈ 4%.
         let mut counts = std::collections::HashMap::new();
@@ -226,7 +234,10 @@ mod tests {
             }
             seen.push(a);
         }
-        assert!(reuses > 2_000, "strong temporal locality expected, got {reuses}");
+        assert!(
+            reuses > 2_000,
+            "strong temporal locality expected, got {reuses}"
+        );
         assert!(model.depth() <= 64);
     }
 

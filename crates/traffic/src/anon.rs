@@ -44,11 +44,8 @@ impl Anonymizer {
     /// Keyed PRF bit: pseudo-random function of (key, prefix value,
     /// prefix length) → one flip bit.
     fn prf_bit(&self, prefix: u32, len: u32) -> u32 {
-        let mut x = self
-            .key
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ ((prefix as u64) << 8)
-            ^ len as u64;
+        let mut x =
+            self.key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((prefix as u64) << 8) ^ len as u64;
         // splitmix64 finalizer — avalanche so each prefix flips
         // independently.
         x ^= x >> 30;
@@ -152,7 +149,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 990, "nearly all addresses must move, got {changed}");
+        assert!(
+            changed > 990,
+            "nearly all addresses must move, got {changed}"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
 ///
 /// Used for RTTs: medians of tens of milliseconds with a long tail.
 pub fn lognormal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
-    assert!(median > 0.0 && sigma >= 0.0, "median positive, sigma non-negative");
+    assert!(
+        median > 0.0 && sigma >= 0.0,
+        "median positive, sigma non-negative"
+    );
     let n = standard_normal(rng);
     median * (sigma * n).exp()
 }
@@ -37,7 +40,10 @@ fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
 /// Samples a bounded Pareto (power-law) value in `[min, max]` with shape
 /// `alpha` — the classic heavy tail for elephant flows.
 pub fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, min: f64, max: f64) -> f64 {
-    assert!(alpha > 0.0 && min > 0.0 && max > min, "invalid pareto parameters");
+    assert!(
+        alpha > 0.0 && min > 0.0 && max > min,
+        "invalid pareto parameters"
+    );
     let u: f64 = rng.gen_range(0.0..1.0);
     let la = min.powf(alpha);
     let ha = max.powf(alpha);

@@ -237,13 +237,17 @@ mod tests {
             let fwd_data: u64 = flow
                 .packets()
                 .iter()
-                .filter(|(p, d)| *d == flowzip_trace::FlowDirection::FromInitiator && p.has_payload())
+                .filter(|(p, d)| {
+                    *d == flowzip_trace::FlowDirection::FromInitiator && p.has_payload()
+                })
                 .map(|(p, _)| p.payload_len() as u64)
                 .sum();
             let rev_data: u64 = flow
                 .packets()
                 .iter()
-                .filter(|(p, d)| *d == flowzip_trace::FlowDirection::FromResponder && p.has_payload())
+                .filter(|(p, d)| {
+                    *d == flowzip_trace::FlowDirection::FromResponder && p.has_payload()
+                })
                 .map(|(p, _)| p.payload_len() as u64)
                 .sum();
             if fwd_data > 10_000 && rev_data > 10_000 {

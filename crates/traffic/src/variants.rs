@@ -185,7 +185,10 @@ mod tests {
                 recent.pop_front();
             }
         }
-        assert!(repeats > 2_000, "LRU model should produce re-references, got {repeats}");
+        assert!(
+            repeats > 2_000,
+            "LRU model should produce re-references, got {repeats}"
+        );
     }
 
     #[test]

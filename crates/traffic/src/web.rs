@@ -134,14 +134,14 @@ impl WebTrafficGenerator {
         let server_ttl = self.rng.gen_range(48u8..=64);
 
         let push = |ts: Timestamp,
-                        tuple: FiveTuple,
-                        flags: TcpFlags,
-                        len: u16,
-                        seq: &mut u32,
-                        ack: u32,
-                        id: &mut u16,
-                        ttl: u8,
-                        out: &mut Vec<PacketRecord>| {
+                    tuple: FiveTuple,
+                    flags: TcpFlags,
+                    len: u16,
+                    seq: &mut u32,
+                    ack: u32,
+                    id: &mut u16,
+                    ttl: u8,
+                    out: &mut Vec<PacketRecord>| {
             out.push(
                 PacketRecord::builder()
                     .timestamp(ts)
@@ -154,14 +154,24 @@ impl WebTrafficGenerator {
                     .ttl(ttl)
                     .build(),
             );
-            *seq = seq.wrapping_add(len as u32).wrapping_add(
-                u32::from(flags.contains(TcpFlags::SYN) || flags.contains(TcpFlags::FIN)),
-            );
+            *seq = seq.wrapping_add(len as u32).wrapping_add(u32::from(
+                flags.contains(TcpFlags::SYN) || flags.contains(TcpFlags::FIN),
+            ));
             *id = id.wrapping_add(1);
         };
 
         // Three-way handshake.
-        push(now, c2s, TcpFlags::SYN, 0, &mut client_seq, 0, &mut client_id, client_ttl, out);
+        push(
+            now,
+            c2s,
+            TcpFlags::SYN,
+            0,
+            &mut client_seq,
+            0,
+            &mut client_id,
+            client_ttl,
+            out,
+        );
         now += rtt;
         push(
             now,
@@ -203,8 +213,9 @@ impl WebTrafficGenerator {
 
         // Response segments: first one waits a full RTT (dependent), the
         // rest stream back-to-back.
-        let response_total: u64 =
-            self.rng.gen_range(cfg.mss as u64 / 2..cfg.mss as u64 * data_segments as u64 + 1);
+        let response_total: u64 = self
+            .rng
+            .gen_range(cfg.mss as u64 / 2..cfg.mss as u64 * data_segments as u64 + 1);
         for i in 0..data_segments {
             now += if i == 0 { rtt } else { jitter(&mut self.rng) };
             let remaining = response_total.saturating_sub(i as u64 * cfg.mss as u64);
@@ -369,8 +380,14 @@ mod tests {
         let sp = stats.short_packet_fraction();
         let sb = stats.short_byte_fraction();
         assert!((0.95..=1.0).contains(&sf), "≈98% short flows, got {sf}");
-        assert!((0.55..=0.95).contains(&sp), "≈75% packets in short flows, got {sp}");
-        assert!((0.5..=0.98).contains(&sb), "≈80% bytes in short flows, got {sb}");
+        assert!(
+            (0.55..=0.95).contains(&sp),
+            "≈75% packets in short flows, got {sp}"
+        );
+        assert!(
+            (0.5..=0.98).contains(&sb),
+            "≈80% bytes in short flows, got {sb}"
+        );
     }
 
     #[test]
@@ -399,11 +416,17 @@ mod tests {
         for flow in table.flows().take(10) {
             let pkts = flow.packets();
             // SYN -> SYN+ACK gap ≈ flow RTT ≥ 1 ms by construction.
-            let gap = pkts[1].0.timestamp().saturating_since(pkts[0].0.timestamp());
+            let gap = pkts[1]
+                .0
+                .timestamp()
+                .saturating_since(pkts[0].0.timestamp());
             assert!(gap.as_micros() >= 1_000);
             // Back-to-back server segments are far tighter than RTT gaps.
             if flow.len() > 9 {
-                let g2 = pkts[5].0.timestamp().saturating_since(pkts[4].0.timestamp());
+                let g2 = pkts[5]
+                    .0
+                    .timestamp()
+                    .saturating_since(pkts[4].0.timestamp());
                 if pkts[5].1 == pkts[4].1 {
                     assert!(g2 < gap, "same-direction gap should be below RTT");
                 }

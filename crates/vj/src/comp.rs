@@ -495,7 +495,11 @@ mod tests {
                     .timestamp(Timestamp::from_micros(i * 1000))
                     .tuple(tuple(port))
                     .seq(i as u32 * 9)
-                    .flags(if i % 5 == 0 { TcpFlags::PSH | TcpFlags::ACK } else { TcpFlags::ACK })
+                    .flags(if i % 5 == 0 {
+                        TcpFlags::PSH | TcpFlags::ACK
+                    } else {
+                        TcpFlags::ACK
+                    })
                     .payload_len((i % 7) as u16 * 100)
                     .build(),
             );
@@ -507,7 +511,12 @@ mod tests {
     fn bidirectional_flow_uses_two_cids() {
         let t = tuple(4200);
         let mut trace = Trace::new();
-        trace.push(PacketRecord::builder().tuple(t).flags(TcpFlags::SYN).build());
+        trace.push(
+            PacketRecord::builder()
+                .tuple(t)
+                .flags(TcpFlags::SYN)
+                .build(),
+        );
         trace.push(
             PacketRecord::builder()
                 .timestamp(Timestamp::from_micros(10))
@@ -593,7 +602,10 @@ mod tests {
         let bytes = VjCompressor::new().compress_trace(&trace);
         let tsh = flowzip_trace::tsh::file_size(&trace);
         let ratio = bytes.len() as f64 / tsh as f64;
-        assert!(ratio < 0.30, "vj ratio {ratio} should beat 30% on a long flow");
+        assert!(
+            ratio < 0.30,
+            "vj ratio {ratio} should beat 30% on a long flow"
+        );
     }
 
     #[test]

@@ -9,14 +9,14 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
     // (flow-select, ts-gap, seq/ack/win/ipid/len/flags deltas)
     prop::collection::vec(
         (
-            0u8..6,            // which of up to 6 connections
-            0u64..200_000,     // gap to previous packet (µs)
-            any::<u32>(),      // seq
-            any::<u32>(),      // ack
-            any::<u16>(),      // window
-            any::<u16>(),      // ip id
-            0u16..1461,        // payload
-            any::<u8>(),       // flags byte
+            0u8..6,        // which of up to 6 connections
+            0u64..200_000, // gap to previous packet (µs)
+            any::<u32>(),  // seq
+            any::<u32>(),  // ack
+            any::<u16>(),  // window
+            any::<u16>(),  // ip id
+            0u16..1461,    // payload
+            any::<u8>(),   // flags byte
         ),
         1..200,
     )

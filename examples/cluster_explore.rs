@@ -26,7 +26,11 @@ fn main() {
         acc.push(p);
     }
     let flows = acc.finish();
-    println!("{} flows accumulated from {} packets", flows.len(), trace.len());
+    println!(
+        "{} flows accumulated from {} packets",
+        flows.len(),
+        trace.len()
+    );
 
     // Cluster at the paper's threshold.
     let mut store = TemplateStore::new(Params::paper());

@@ -49,8 +49,12 @@ fn main() {
     let rf = run("fractal", &fractal);
 
     // Figure-2 style comparison: KS distance between access distributions.
-    let accesses =
-        |r: &BenchReport| r.costs.iter().map(|c| c.accesses as f64).collect::<Vec<_>>();
+    let accesses = |r: &BenchReport| {
+        r.costs
+            .iter()
+            .map(|c| c.accesses as f64)
+            .collect::<Vec<_>>()
+    };
     let a0 = accesses(&ro);
     println!("\nKS distance of per-packet access distributions vs original:");
     for (name, r) in [("decompressed", &rd), ("random", &rr), ("fractal", &rf)] {

@@ -4,23 +4,32 @@
 //! flowzip generate   --flows 2000 --secs 60 --seed 42 -o web.tsh
 //! flowzip stats      web.tsh
 //! flowzip compress   web.tsh -o web.fzc
-//! flowzip compress   web.tsh -o web.fzc --streaming --threads 4 --idle-timeout 60
+//! flowzip compress   web.pcap -o web.fzc --streaming --threads 4 --idle-timeout 60
+//! flowzip compress   web.tsh -o web.fzc --format v1
 //! flowzip info       web.fzc
 //! flowzip decompress web.fzc -o web-restored.tsh
 //! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
 //! ```
 //!
-//! TSH files are the NLANR 44-byte-record format; `.fzc` is the archive
-//! format of `flowzip_core::datasets` (magic `FZC1`). `--streaming` runs
-//! the sharded `flowzip-engine` pipeline: the input file is never loaded
-//! whole, flows are accumulated across `--threads` workers, and
-//! `--idle-timeout` (seconds of trace time, 0 = off) bounds open-flow
-//! memory on long captures.
+//! Compression input is TSH (the NLANR 44-byte-record format) or pcap,
+//! auto-detected from the file magic; pcap streams through `PcapReader`
+//! without loading the capture whole. `.fzc` archives are written in
+//! container v2 by default (magic `FZC2`, per-shard sections) —
+//! `--format v1` keeps the original single-blob layout, and reading
+//! (`info` / `decompress` / `synth`) transparently accepts both.
+//! `--streaming` runs the sharded `flowzip-engine` pipeline: the input
+//! file is never loaded whole, flows are accumulated across `--threads`
+//! workers, and `--idle-timeout` (seconds of trace time, 0 = off) bounds
+//! open-flow memory on long captures.
 
-use flowzip::core::{synthesize, CompressedTrace, Compressor, Decompressor, Params};
+use flowzip::core::{container, synthesize, CompressedTrace, Compressor, Decompressor, Params};
 use flowzip::engine::StreamingEngine;
 use flowzip::prelude::*;
+use flowzip::trace::packet::HEADER_BYTES;
+use flowzip::trace::pcap::{self, PcapReader};
 use flowzip::trace::tsh::{self, TshReader};
+use flowzip::trace::TraceError;
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -40,7 +49,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   flowzip generate   [--flows N] [--secs S] [--seed K] -o OUT.tsh
   flowzip stats      IN.tsh
-  flowzip compress   IN.tsh  -o OUT.fzc
+  flowzip compress   IN.{tsh|pcap}  -o OUT.fzc   (input format auto-detected)
+                     [--format v1|v2] (default v2: per-shard archive sections)
                      [--streaming] [--threads N] [--idle-timeout SECS] [--batch-size N]
                      (any engine flag implies --streaming)
   flowzip info       IN.fzc
@@ -148,8 +158,62 @@ fn read_tsh(path: &str) -> Result<Trace, String> {
     Ok(trace)
 }
 
+/// An incremental packet reader over either capture format, detected
+/// from the file magic (TSH records have none; pcap leads with
+/// `0xA1B2C3D4` in either byte order).
+enum PacketFile {
+    Tsh(TshReader<std::io::BufReader<std::fs::File>>),
+    Pcap(PcapReader<std::io::BufReader<std::fs::File>>),
+}
+
+impl Iterator for PacketFile {
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            PacketFile::Tsh(r) => r.next(),
+            PacketFile::Pcap(r) => r.next(),
+        }
+    }
+}
+
+/// Sniffs the capture format and opens a streaming reader — pcap input
+/// flows through `PcapReader` without ever loading the file whole.
+fn open_packets(path: &str) -> Result<PacketFile, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let is_pcap = {
+        let head = reader.fill_buf().map_err(|e| format!("read {path}: {e}"))?;
+        head.len() >= 4
+            && matches!(
+                u32::from_le_bytes([head[0], head[1], head[2], head[3]]),
+                // ns-timestamp captures are routed to PcapReader too, so
+                // the user sees its "bad pcap magic" rejection rather
+                // than a baffling TSH record-parse error.
+                pcap::MAGIC_LE | pcap::MAGIC_BE | pcap::MAGIC_NS_LE | pcap::MAGIC_NS_BE
+            )
+    };
+    if is_pcap {
+        Ok(PacketFile::Pcap(
+            PcapReader::new(reader).map_err(|e| format!("parse {path}: {e}"))?,
+        ))
+    } else {
+        Ok(PacketFile::Tsh(TshReader::new(reader)))
+    }
+}
+
+/// Collects either capture format into memory (the batch path).
+fn read_packets(path: &str) -> Result<Trace, String> {
+    let mut trace = Trace::new();
+    for pkt in open_packets(path)? {
+        trace.push(pkt.map_err(|e| format!("parse {path}: {e}"))?);
+    }
+    Ok(trace)
+}
+
 fn write_tsh(path: &PathBuf, trace: &Trace) -> Result<u64, String> {
-    let file = std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
     tsh::write_trace(std::io::BufWriter::new(file), trace)
         .map_err(|e| format!("write {}: {e}", path.display()))
 }
@@ -195,6 +259,10 @@ fn stats(opts: &Opts) -> Result<(), String> {
 fn compress(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let out = opts.out()?;
+    let format = match opts.get("format") {
+        None => ArchiveFormat::V2,
+        Some(name) => ArchiveFormat::parse(name)?,
+    };
     // Any engine knob implies streaming — silently falling back to the
     // whole-file batch path would be exactly the OOM the engine prevents.
     let streaming = opts.get_bool("streaming")
@@ -207,41 +275,78 @@ fn compress(opts: &Opts) -> Result<(), String> {
         let batch = opts.get_u64("batch-size", 1024)? as usize;
         let mut builder = StreamingEngine::builder()
             .batch_size(batch)
+            .format(format)
             .idle_timeout((idle_secs > 0).then(|| Duration::from_secs(idle_secs)));
         if threads > 0 {
             builder = builder.shards(threads);
         }
         let engine = builder.build();
-        let (archive, report) = engine
-            .compress_stream(open_tsh(input)?)
+        let (bytes, report) = engine
+            .compress_stream_to_bytes(open_packets(input)?)
             .map_err(|e| format!("compress {input}: {e}"))?;
-        let bytes = archive.to_bytes();
         std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
         println!("{report}");
         bytes.len()
     } else {
-        let trace = read_tsh(input)?;
-        let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
-        let bytes = archive.to_bytes();
+        let trace = read_packets(input)?;
+        let (archive, mut report) = Compressor::new(Params::paper()).compress(&trace);
+        // The report's sizes/ratios must describe the container actually
+        // written, not the compressor's internal v1 encode.
+        let bytes = match format {
+            ArchiveFormat::V1 => archive.to_bytes(),
+            ArchiveFormat::V2 => {
+                let (bytes, sizes) = archive.encode_v2();
+                report.sizes = sizes;
+                if report.tsh_bytes > 0 {
+                    report.ratio_vs_tsh = sizes.total() as f64 / report.tsh_bytes as f64;
+                }
+                if report.packets > 0 {
+                    report.ratio_vs_headers =
+                        sizes.total() as f64 / (report.packets * HEADER_BYTES as u64) as f64;
+                }
+                bytes
+            }
+        };
         std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
         println!("{report}; peak {} active flows", report.peak_active_flows);
         bytes.len()
     };
-    println!("wrote {} ({bytes} bytes)", out.display());
+    println!(
+        "wrote {} ({format} container, {bytes} bytes)",
+        out.display()
+    );
     Ok(())
 }
 
 fn info(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let format = ArchiveFormat::detect(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
     let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
-    let (_, sizes) = archive.encode();
     println!("archive: {input}");
+    match format {
+        ArchiveFormat::V1 => println!("  format           : v1"),
+        ArchiveFormat::V2 => {
+            let (.., sections) =
+                container::v2_counts(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+            println!("  format           : v2 ({sections} sections)");
+        }
+    }
+    // Measure the real file's layout rather than re-encoding: a
+    // multi-section v2 archive's index and per-section delta restarts
+    // would not survive a single-section re-encode.
+    let sizes = match format {
+        ArchiveFormat::V1 => archive.encode().1,
+        ArchiveFormat::V2 => {
+            container::v2_sizes(&bytes).map_err(|e| format!("parse {input}: {e}"))?
+        }
+    };
     println!("  flows            : {}", archive.flow_count());
     println!("  packets          : {}", archive.packet_count());
     println!("  short templates  : {}", archive.short_templates.len());
     println!("  long templates   : {}", archive.long_templates.len());
     println!("  unique addresses : {}", archive.addresses.len());
+    println!("  file bytes       : {}", bytes.len());
     println!("  bytes            : {sizes}");
     Ok(())
 }

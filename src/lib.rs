@@ -58,8 +58,8 @@ pub mod prelude {
     pub use flowzip_analysis::{ks_distance, BucketedHistogram, Cdf, TextTable};
     pub use flowzip_cachesim::{Cache, CacheConfig, PacketCost, PacketCostMeter};
     pub use flowzip_core::{
-        synthesize, CompressedTrace, CompressionReport, Compressor, DecompressParams,
-        Decompressor, Params, SynthConfig, SynthGenerator,
+        synthesize, ArchiveFormat, CompressedTrace, CompressionReport, Compressor,
+        DecompressParams, Decompressor, Params, SynthConfig, SynthGenerator,
     };
     pub use flowzip_engine::{EngineBuilder, EngineReport, StreamingEngine};
     pub use flowzip_netbench::{BenchConfig, BenchKind, BenchReport, PacketProcessor};

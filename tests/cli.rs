@@ -25,11 +25,17 @@ fn full_file_workflow() {
 
     // generate
     let out = bin()
-        .args(["generate", "--flows", "300", "--secs", "20", "--seed", "7", "-o"])
+        .args([
+            "generate", "--flows", "300", "--secs", "20", "--seed", "7", "-o",
+        ])
         .arg(&tsh)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let tsh_len = std::fs::metadata(&tsh).unwrap().len();
     assert!(tsh_len > 0);
     assert_eq!(tsh_len % 44, 0, "TSH files are 44-byte records");
@@ -41,8 +47,18 @@ fn full_file_workflow() {
     assert!(text.contains("300 flows"), "stats output: {text}");
 
     // compress
-    let out = bin().arg("compress").arg(&tsh).arg("-o").arg(&fzc).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .arg("-o")
+        .arg(&fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let fzc_len = std::fs::metadata(&fzc).unwrap().len();
     assert!(
         (fzc_len as f64) < tsh_len as f64 * 0.10,
@@ -53,7 +69,10 @@ fn full_file_workflow() {
     let out = bin().arg("info").arg(&fzc).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("flows            : 300"), "info output: {text}");
+    assert!(
+        text.contains("flows            : 300"),
+        "info output: {text}"
+    );
 
     // decompress
     let out = bin()
@@ -63,7 +82,11 @@ fn full_file_workflow() {
         .arg(&restored)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(
         std::fs::metadata(&restored).unwrap().len(),
         tsh_len,
@@ -78,7 +101,11 @@ fn full_file_workflow() {
         .arg(&scaled)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let scaled_len = std::fs::metadata(&scaled).unwrap().len();
     assert!(
         scaled_len > tsh_len * 2,
@@ -123,7 +150,142 @@ fn corrupt_archive_is_rejected() {
 
 #[test]
 fn missing_file_is_reported() {
-    let out = bin().arg("stats").arg("/nonexistent/nope.tsh").output().unwrap();
+    let out = bin()
+        .arg("stats")
+        .arg("/nonexistent/nope.tsh")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("open"));
+}
+
+/// `--format` selects the container; both formats decompress to the
+/// identical TSH output, and `info` reports the layout.
+#[test]
+fn format_flag_selects_container_and_output_is_identical() {
+    let dir = tmpdir("format");
+    let tsh = dir.join("web.tsh");
+    let out = bin()
+        .args([
+            "generate", "--flows", "150", "--secs", "15", "--seed", "9", "-o",
+        ])
+        .arg(&tsh)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mut restored = Vec::new();
+    for format in ["v1", "v2"] {
+        let fzc = dir.join(format!("web-{format}.fzc"));
+        let out = bin()
+            .arg("compress")
+            .arg(&tsh)
+            .args(["--format", format, "--streaming", "--threads", "3", "-o"])
+            .arg(&fzc)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(&format!("{format} container")),
+            "compress should announce the container"
+        );
+
+        let out = bin().arg("info").arg(&fzc).output().unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(
+            text.contains(&format!("format           : {format}")),
+            "info: {text}"
+        );
+        if format == "v2" {
+            assert!(
+                text.contains("3 sections"),
+                "v2 info shows sections: {text}"
+            );
+        }
+
+        let back = dir.join(format!("restored-{format}.tsh"));
+        let out = bin()
+            .arg("decompress")
+            .arg(&fzc)
+            .arg("-o")
+            .arg(&back)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        restored.push(std::fs::read(&back).unwrap());
+    }
+    assert_eq!(
+        restored[0], restored[1],
+        "v1 and v2 decompress packet-identically"
+    );
+
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--format", "v9", "-o"])
+        .arg(dir.join("bad.fzc"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown archive format"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// pcap input is auto-detected and streamed through `PcapReader` — the
+/// archive matches what the same packets compress to from TSH.
+#[test]
+fn pcap_input_is_auto_detected() {
+    use flowzip::prelude::*;
+    use flowzip::trace::pcap;
+
+    let dir = tmpdir("pcap");
+    let trace = WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows: 120,
+            duration_secs: 15.0,
+            ..WebTrafficConfig::default()
+        },
+        11,
+    )
+    .generate();
+    let pcap_path = dir.join("web.pcap");
+    std::fs::write(&pcap_path, pcap::to_bytes(&trace)).unwrap();
+    let tsh_path = dir.join("web.tsh");
+    std::fs::write(&tsh_path, flowzip::trace::tsh::to_bytes(&trace)).unwrap();
+
+    for (input, tag) in [(&pcap_path, "pcap"), (&tsh_path, "tsh")] {
+        for streaming in [true, false] {
+            let fzc = dir.join(format!("{tag}-{streaming}.fzc"));
+            let mut cmd = bin();
+            cmd.arg("compress").arg(input);
+            if streaming {
+                cmd.args(["--streaming", "--threads", "2"]);
+            }
+            let out = cmd.arg("-o").arg(&fzc).output().unwrap();
+            assert!(
+                out.status.success(),
+                "{tag} streaming={streaming}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+    }
+    // Same packets, same pipeline → same archive regardless of capture format.
+    assert_eq!(
+        std::fs::read(dir.join("pcap-true.fzc")).unwrap(),
+        std::fs::read(dir.join("tsh-true.fzc")).unwrap()
+    );
+    assert_eq!(
+        std::fs::read(dir.join("pcap-false.fzc")).unwrap(),
+        std::fs::read(dir.join("tsh-false.fzc")).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -56,3 +56,34 @@ fn compressed_archive_is_smaller_than_any_capture_format() {
     assert!(fzc * 10 < tsh::file_size(&trace));
     assert!(fzc * 10 < pcap::to_bytes(&trace).len() as u64);
 }
+
+#[test]
+fn archive_containers_interconvert_losslessly() {
+    // v1 bytes → archive → v2 bytes → archive → v1 bytes: first and last
+    // v1 images must be identical (the container never loses data).
+    let trace = web_trace(250, 5);
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let v1 = archive.to_bytes();
+    let decoded = CompressedTrace::from_bytes(&v1).unwrap();
+    let v2 = decoded.to_bytes_v2();
+    let back = CompressedTrace::from_bytes(&v2).unwrap();
+    assert_eq!(back.to_bytes(), v1);
+}
+
+#[test]
+fn v2_container_overhead_is_near_constant() {
+    // The section index and global datasets must not grow with the
+    // trace: doubling the flows should grow the v2-over-v1 byte overhead
+    // sublinearly (it is mostly identity-remap varints per template).
+    let small = Compressor::new(Params::paper())
+        .compress(&web_trace(200, 6))
+        .0;
+    let large = Compressor::new(Params::paper())
+        .compress(&web_trace(800, 6))
+        .0;
+    let overhead =
+        |ct: &CompressedTrace| ct.to_bytes_v2().len() as i64 - ct.to_bytes().len() as i64;
+    let (o_small, o_large) = (overhead(&small), overhead(&large));
+    assert!(o_small.abs() < 1_000, "small-trace overhead {o_small} B");
+    assert!(o_large.abs() < 2_000, "large-trace overhead {o_large} B");
+}

@@ -39,11 +39,18 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/web120_seed20050320.fzc")
 }
 
+fn fixture_path_v2() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/web120_seed20050320.fzc2")
+}
+
 #[test]
 fn archive_bytes_are_identical_across_runs() {
     let (_, first) = golden_archive_bytes();
     let (_, second) = golden_archive_bytes();
-    assert_eq!(first, second, "generate → compress → to_bytes must be deterministic");
+    assert_eq!(
+        first, second,
+        "generate → compress → to_bytes must be deterministic"
+    );
 }
 
 // Trace generation samples lognormal/exponential distributions through
@@ -61,13 +68,64 @@ fn archive_bytes_match_checked_in_fixture() {
         std::fs::write(&path, &bytes).unwrap();
         return;
     }
-    let golden = std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with FLOWZIP_BLESS=1", path.display()));
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with FLOWZIP_BLESS=1",
+            path.display()
+        )
+    });
     assert_eq!(
         bytes,
         golden,
         "archive bytes diverge from {}; if the change is intentional, re-bless the fixture",
         path.display()
+    );
+}
+
+// Same platform caveat as the v1 fixture above.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn v2_archive_bytes_match_checked_in_fixture() {
+    let trace = golden_trace();
+    let (archive, _) = Compressor::new(Params::paper()).compress(&trace);
+    let bytes = archive.to_bytes_v2();
+    let path = fixture_path_v2();
+    if std::env::var_os("FLOWZIP_BLESS").is_some() {
+        std::fs::write(&path, &bytes).unwrap();
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with FLOWZIP_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        bytes,
+        golden,
+        "v2 archive bytes diverge from {}; if the change is intentional, re-bless the fixture",
+        path.display()
+    );
+}
+
+/// Cross-version read-back: the checked-in v1 and v2 fixtures hold the
+/// same logical archive, decode to equal `CompressedTrace`s through the
+/// same auto-detecting entry point, and decompress identically.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn v1_and_v2_fixtures_decode_identically() {
+    if std::env::var_os("FLOWZIP_BLESS").is_some() {
+        return; // fixtures may be mid-rewrite
+    }
+    let v1 = std::fs::read(fixture_path()).unwrap();
+    let v2 = std::fs::read(fixture_path_v2()).unwrap();
+    let from_v1 = CompressedTrace::from_bytes(&v1).unwrap();
+    let from_v2 = CompressedTrace::from_bytes(&v2).unwrap();
+    assert_eq!(from_v1, from_v2, "one logical archive, two containers");
+    assert_eq!(
+        Decompressor::default().decompress(&from_v1),
+        Decompressor::default().decompress(&from_v2),
+        "packet-identical across container versions"
     );
 }
 

@@ -91,7 +91,12 @@ fn decompressed_trace_drives_benchmarks_like_the_original() {
     let rd = bench.run(&decompressed);
     let rr = bench.run(&random);
 
-    let acc = |r: &BenchReport| r.costs.iter().map(|c| c.accesses as f64).collect::<Vec<_>>();
+    let acc = |r: &BenchReport| {
+        r.costs
+            .iter()
+            .map(|c| c.accesses as f64)
+            .collect::<Vec<_>>()
+    };
     let ks_dec = ks_distance(&acc(&ro), &acc(&rd));
     let ks_rand = ks_distance(&acc(&ro), &acc(&rr));
     assert!(

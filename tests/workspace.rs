@@ -11,13 +11,24 @@ fn every_facade_module_is_reachable() {
     assert!(flowzip::trace::TcpFlags::SYN.contains(flowzip::trace::TcpFlags::SYN));
     assert!(flowzip::traffic::WebTrafficConfig::default().flows > 0);
     assert_eq!(flowzip::core::Params::paper().short_max, 50);
-    assert!(flowzip::engine::StreamingEngine::builder().build().config().shards >= 1);
+    assert!(
+        flowzip::engine::StreamingEngine::builder()
+            .build()
+            .config()
+            .shards
+            >= 1
+    );
     assert_eq!(flowzip::deflate::ratio(50, 100), 0.5);
     assert!(flowzip::vj::model::ratio_for_flow_len(1) > 0.0);
     assert_eq!(&flowzip::peuhkuri::MAGIC, b"PKT1");
     assert!(flowzip::radix::RadixTable::<u32>::new().is_empty());
-    assert!(flowzip::cachesim::CacheConfig::netbench_l1().validate().is_ok());
-    assert_eq!(flowzip::netbench::BenchKind::Route, flowzip::netbench::BenchKind::Route);
+    assert!(flowzip::cachesim::CacheConfig::netbench_l1()
+        .validate()
+        .is_ok());
+    assert_eq!(
+        flowzip::netbench::BenchKind::Route,
+        flowzip::netbench::BenchKind::Route
+    );
     assert_eq!(flowzip::analysis::ks_distance(&[1.0], &[1.0]), 0.0);
 }
 
@@ -79,5 +90,9 @@ fn compressed_trace_serialization_api_is_stable() {
     let bytes = archive.to_bytes();
     let reloaded = CompressedTrace::from_bytes(&bytes).unwrap();
     assert_eq!(reloaded.packet_count(), archive.packet_count());
-    assert_eq!(reloaded.to_bytes(), bytes, "serialization must be canonical");
+    assert_eq!(
+        reloaded.to_bytes(),
+        bytes,
+        "serialization must be canonical"
+    );
 }

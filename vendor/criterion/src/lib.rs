@@ -158,7 +158,10 @@ impl BenchmarkGroup<'_> {
                 format!("  {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
             }
             Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
-                format!("  {:.3} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
             }
             _ => String::new(),
         };

@@ -73,7 +73,11 @@ impl Arbitrary for f64 {
                 // Finite doubles across a wide magnitude span.
                 let mantissa = (runner.random_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
                 let exp = (runner.random_u64() % 41) as i32 - 20;
-                let sign = if runner.random_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                let sign = if runner.random_u64() & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 sign * mantissa * 10f64.powi(exp)
             }
         }

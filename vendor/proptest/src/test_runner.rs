@@ -34,7 +34,10 @@ impl Config {
     }
 
     fn effective_cases(&self) -> u32 {
-        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
             Some(n) if n > 0 => n,
             _ => self.cases,
         }

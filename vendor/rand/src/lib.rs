@@ -81,8 +81,12 @@ impl<const N: usize> Standard for [u8; N] {
 /// `SampleUniform`). `half_open` selects `lo..hi` vs `lo..=hi`.
 pub trait SampleUniform: Copy {
     /// Draw one value from `[lo, hi)` or `[lo, hi]`.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, half_open: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        half_open: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_uint {
