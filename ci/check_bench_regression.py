@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate for the engine_throughput bench.
+"""Perf-trajectory gate for the machine-readable flowzip benches.
 
-Compares a freshly measured ``target/BENCH_engine.json`` against the
-checked-in baseline ``ci/BENCH_engine.baseline.json`` and exits non-zero
-when peak packets/s drops more than the tolerance (default 15%).
+Compares a freshly measured bench JSON (``target/BENCH_engine.json``,
+``target/BENCH_io.json``) against its checked-in baseline under ``ci/``
+and exits non-zero when the *peak* value of the gated metric drops more
+than the tolerance (default 15%).
 
-The gated metric is the *peak* packets/s across thread counts — the
-headline throughput — because individual thread-count points are noisy
-on shared CI runners while the peak is comparatively stable. Per-point
-deltas are still printed so the full trajectory is visible in the log.
+The gated metric is the peak across all result points — the headline
+throughput — because individual points are noisy on shared CI runners
+while the peak is comparatively stable. Per-point deltas are still
+printed so the full trajectory is visible in the log.
 
 Usage:
-    python3 ci/check_bench_regression.py CURRENT BASELINE [--bless]
+    python3 ci/check_bench_regression.py CURRENT BASELINE \\
+        [--metric KEY] [--bless]
 
-    --bless    copy CURRENT over BASELINE instead of comparing (run after
-               an intentional perf change or a CI-runner hardware change,
-               then commit the new baseline)
+    --metric KEY   result field to gate on (default: packets_per_sec;
+                   the io_throughput bench gates on mb_per_sec)
+    --bless        copy CURRENT over BASELINE instead of comparing (run
+                   after an intentional perf change or a CI-runner
+                   hardware change, then commit the new baseline)
 
 Environment:
     FLOWZIP_BENCH_TOLERANCE   allowed fractional drop (default 0.15)
@@ -27,8 +31,14 @@ import shutil
 import sys
 
 
-def peak(doc):
-    return max(r["packets_per_sec"] for r in doc["results"])
+def peak(doc, metric):
+    return max(r[metric] for r in doc["results"])
+
+
+def label(r):
+    # io_throughput points carry a label; engine points are keyed by
+    # thread count.
+    return r.get("label", str(r.get("threads", "?")))
 
 
 def main(argv):
@@ -36,8 +46,13 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     current_path, baseline_path = argv[1], argv[2]
+    extra = argv[3:]
 
-    if "--bless" in argv[3:]:
+    metric = "packets_per_sec"
+    if "--metric" in extra:
+        metric = extra[extra.index("--metric") + 1]
+
+    if "--bless" in extra:
         shutil.copyfile(current_path, baseline_path)
         print(f"blessed: {current_path} -> {baseline_path}")
         return 0
@@ -48,29 +63,27 @@ def main(argv):
         baseline = json.load(f)
 
     tolerance = float(os.environ.get("FLOWZIP_BENCH_TOLERANCE", "0.15"))
-    base_by_threads = {r["threads"]: r for r in baseline["results"]}
+    base_by_label = {label(r): r for r in baseline["results"]}
 
-    print(f"{'threads':>7} {'baseline pkt/s':>15} {'current pkt/s':>15} {'delta':>8}")
+    print(f"{'point':>12} {'baseline ' + metric:>20} {'current ' + metric:>20} {'delta':>8}")
     for r in current["results"]:
-        base = base_by_threads.get(r["threads"])
+        base = base_by_label.get(label(r))
         if base is None:
-            print(f"{r['threads']:>7} {'-':>15} {r['packets_per_sec']:>15,} {'new':>8}")
+            print(f"{label(r):>12} {'-':>20} {r[metric]:>20,} {'new':>8}")
             continue
-        delta = r["packets_per_sec"] / base["packets_per_sec"] - 1.0
-        print(
-            f"{r['threads']:>7} {base['packets_per_sec']:>15,}"
-            f" {r['packets_per_sec']:>15,} {delta:>+7.1%}"
-        )
+        delta = r[metric] / base[metric] - 1.0
+        print(f"{label(r):>12} {base[metric]:>20,} {r[metric]:>20,} {delta:>+7.1%}")
 
-    base_peak, cur_peak = peak(baseline), peak(current)
+    base_peak, cur_peak = peak(baseline, metric), peak(current, metric)
     peak_delta = cur_peak / base_peak - 1.0
-    print(f"\npeak packets/s: baseline {base_peak:,} -> current {cur_peak:,} ({peak_delta:+.1%})")
+    print(f"\npeak {metric}: baseline {base_peak:,} -> current {cur_peak:,} ({peak_delta:+.1%})")
 
     if peak_delta < -tolerance:
         print(
-            f"FAIL: peak packets/s dropped {-peak_delta:.1%} > {tolerance:.0%} tolerance.\n"
+            f"FAIL: peak {metric} dropped {-peak_delta:.1%} > {tolerance:.0%} tolerance.\n"
             f"If this regression is intentional, re-bless with:\n"
-            f"  python3 ci/check_bench_regression.py {current_path} {baseline_path} --bless",
+            f"  python3 ci/check_bench_regression.py {current_path} {baseline_path}"
+            f" --metric {metric} --bless",
             file=sys.stderr,
         )
         return 1

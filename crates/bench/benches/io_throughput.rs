@@ -1,0 +1,210 @@
+//! io_throughput — ingest throughput of the `flowzip-io` input
+//! subsystem on a synthetic pre-split TSH workload.
+//!
+//! Measures raw read+decode MB/s (no compression downstream — this
+//! isolates the input path the engine consumes) three ways:
+//!
+//! * `readers/N` — [`MultiFileSource`] over the split chunk set with N
+//!   parallel reader threads. `readers/1` is the single-reader baseline
+//!   the acceptance criterion scales against.
+//! * `prefetch/1` — a single [`FileSource`] over the unsplit file with a
+//!   prefetching I/O thread (reported for context, not part of the peak
+//!   scaling number's reader axis but included in the gated peak).
+//!
+//! Besides the console report it writes machine-readable
+//! `target/BENCH_io.json` (MB/s per configuration plus the peak) that CI
+//! gates against `ci/BENCH_io.baseline.json`.
+//!
+//! Knobs (environment):
+//!
+//! * `FLOWZIP_BENCH_PACKETS` — target trace size (default 1_000_000).
+//! * `FLOWZIP_BENCH_FILES` — chunk files to split into (default 8).
+//! * `FLOWZIP_BENCH_RUNS` — timed runs per point, best taken (default 3).
+//! * `FLOWZIP_BENCH_JSON` — output path override.
+
+use criterion::black_box;
+use flowzip_bench::original_trace;
+use flowzip_io::{FileSource, InputSource, MultiFileConfig, MultiFileSource, PrefetchConfig};
+use flowzip_trace::tsh;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const PACKETS_PER_FLOW_ESTIMATE: u64 = 18;
+const SEED: u64 = 0x10BE;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Point {
+    label: String,
+    readers: usize,
+    seconds: f64,
+    packets_per_sec: f64,
+    mb_per_sec: f64,
+}
+
+/// Drains a multi-file source batch-wise, returning the packet count.
+/// Batch hand-off keeps the consumer at O(1) work per batch, so the
+/// measured quantity is the reader threads' read+decode throughput —
+/// ingest, not compression and not iterator protocol.
+fn drain_batches(source: MultiFileSource) -> u64 {
+    let mut n = 0u64;
+    let mut iter = source.into_packets();
+    while let Some(batch) = iter.next_batch() {
+        let batch = batch.expect("bench input is well-formed");
+        n += batch.len() as u64;
+        black_box(&batch);
+    }
+    n
+}
+
+/// Drains a single-file source through the per-packet iterator (there is
+/// no batch boundary in a lone file's stream).
+fn drain_packets<S: InputSource>(source: S) -> u64 {
+    let mut n = 0u64;
+    for item in source.into_packets() {
+        black_box(item.expect("bench input is well-formed"));
+        n += 1;
+    }
+    n
+}
+
+fn time_best<F: FnMut() -> u64>(runs: u64, expected: u64, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let n = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(n, expected, "every run must see every packet");
+    }
+    best
+}
+
+fn main() {
+    let target = env_u64("FLOWZIP_BENCH_PACKETS", 1_000_000);
+    let n_files = env_u64("FLOWZIP_BENCH_FILES", 8).max(1) as usize;
+    let runs = env_u64("FLOWZIP_BENCH_RUNS", 3).max(1);
+    let flows = (target / PACKETS_PER_FLOW_ESTIMATE).max(1) as usize;
+    eprintln!("generating ~{target} packets ({flows} web flows, seed {SEED:#x})...");
+    let trace = original_trace(flows, 120.0, SEED);
+    let image = tsh::to_bytes(&trace);
+    let packets = trace.len() as u64;
+    let total_mb = image.len() as f64 / 1e6;
+    drop(trace);
+
+    // Lay the workload out as files: the unsplit image plus `n_files`
+    // record-aligned chunks, like an NLANR capture ships.
+    let data_dir = PathBuf::from(std::env::var("FLOWZIP_BENCH_DATA_DIR").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/io_bench_data").to_string()
+    }));
+    std::fs::create_dir_all(&data_dir).expect("create bench data dir");
+    let whole = data_dir.join("whole.tsh");
+    std::fs::write(&whole, &image).expect("write unsplit workload");
+    let per_file = (packets as usize).div_ceil(n_files);
+    let chunks: Vec<PathBuf> = tsh::split_record_chunks(&image, n_files)
+        .into_iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let path = data_dir.join(format!("chunk-{i:02}.tsh"));
+            std::fs::write(&path, chunk).expect("write chunk");
+            path
+        })
+        .collect();
+    drop(image);
+    eprintln!("workload ready: {packets} packets ({total_mb:.1} MB as TSH), {n_files} chunks");
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cpus < 2 {
+        eprintln!(
+            "note: only {cpus} CPU available — parallel readers cannot scale here; \
+             speedup_vs_1 is only meaningful on multi-core hosts"
+        );
+    }
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut push = |label: String, readers: usize, seconds: f64| {
+        let p = Point {
+            label,
+            readers,
+            seconds,
+            packets_per_sec: packets as f64 / seconds,
+            mb_per_sec: total_mb / seconds,
+        };
+        println!(
+            "io_throughput/{:<12}  best {:>8.3}s  {:>12.0} packets/s  {:>8.2} MB/s",
+            p.label, p.seconds, p.packets_per_sec, p.mb_per_sec
+        );
+        points.push(p);
+    };
+
+    for readers in [1usize, 2, 4] {
+        let chunks: &[PathBuf] = &chunks;
+        let best = time_best(runs, packets, || {
+            drain_batches(
+                MultiFileSource::open(
+                    chunks,
+                    MultiFileConfig {
+                        readers,
+                        batch_packets: 4096,
+                        // Deep queues: the drain consumer is infinitely
+                        // fast, so shallow back-pressure would serialize
+                        // the readers behind it file by file. Sizing each
+                        // queue to hold a whole decoded chunk lets N
+                        // readers actually run ahead — which is the
+                        // quantity this bench measures. (The engine keeps
+                        // its own queues shallow; there the *compressor*
+                        // is the slow side.)
+                        queue_batches: (per_file / 4096 + 2).max(4),
+                        prefetch: None,
+                    },
+                )
+                .expect("open chunk set"),
+            )
+        });
+        push(format!("readers/{readers}"), readers, best);
+    }
+
+    let whole_path: &Path = &whole;
+    let best = time_best(runs, packets, || {
+        drain_packets(
+            FileSource::open_prefetched(whole_path, PrefetchConfig::default())
+                .expect("open unsplit workload"),
+        )
+    });
+    push("prefetch/1".to_string(), 1, best);
+
+    let base = points[0].mb_per_sec;
+    let results: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"label\": \"{}\", \"readers\": {}, \"seconds\": {:.6}, \
+                 \"packets_per_sec\": {:.0}, \"mb_per_sec\": {:.2}, \"speedup_vs_1\": {:.3}}}",
+                p.label,
+                p.readers,
+                p.seconds,
+                p.packets_per_sec,
+                p.mb_per_sec,
+                p.mb_per_sec / base
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"io_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"files\": {n_files},\n  \"runs_per_point\": {runs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+
+    let path = std::env::var("FLOWZIP_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_io.json").to_string()
+    });
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_io.json");
+    eprintln!("wrote {path}");
+}

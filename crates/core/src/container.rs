@@ -459,45 +459,23 @@ pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
     }
 
     // Section-parallel decode: each payload is self-contained, so this
-    // is embarrassingly parallel; outputs are collected in section order
-    // to keep the merge deterministic. Worker count is capped at the
-    // host's parallelism — the section count comes from the (untrusted)
-    // archive, so one-thread-per-section would let a crafted file with
-    // millions of empty sections exhaust the OS thread limit.
+    // is embarrassingly parallel; results come back in section order, so
+    // the merge stays deterministic. The shared `WorkerPool` caps live
+    // threads at the host's parallelism — the section count comes from
+    // the (untrusted) archive, so one thread per section would let a
+    // crafted file with millions of empty sections exhaust the OS thread
+    // limit.
     let pairs: Vec<(&SectionEntry, &[u8])> = entries.iter().zip(payloads).collect();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(pairs.len())
-        .max(1);
-    let decoded: Vec<(Vec<LongTemplate>, Vec<FlowRecord>)> = if workers > 1 {
-        let chunk_len = pairs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(entry, payload)| decode_section(payload, entry, n_short, n_addr))
-                            .collect::<Result<Vec<_>, CodecError>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("section decode thread panicked"))
-                .collect::<Result<Vec<Vec<_>>, CodecError>>()
-        })?
-        .into_iter()
-        .flatten()
-        .collect()
-    } else {
-        pairs
-            .iter()
-            .map(|(entry, payload)| decode_section(payload, entry, n_short, n_addr))
-            .collect::<Result<Vec<_>, CodecError>>()?
-    };
+    let decoded: Vec<(Vec<LongTemplate>, Vec<FlowRecord>)> =
+        flowzip_io::WorkerPool::with_available_parallelism()
+            .run(
+                pairs
+                    .iter()
+                    .map(|(entry, payload)| move || decode_section(payload, entry, n_short, n_addr))
+                    .collect(),
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, CodecError>>()?;
 
     let mut long_templates = Vec::with_capacity(clamped_capacity(n_long, data.len()));
     let mut slices = Vec::with_capacity(entries.len());

@@ -21,6 +21,7 @@ use flowzip_core::{
     assemble_sections, assemble_shards, ArchiveFormat, CompressionReport, FlowAccumulator,
     FlowAssembler, Params, ShardSection,
 };
+use flowzip_io::{InputSource, WorkerPool};
 use flowzip_trace::prelude::*;
 use flowzip_trace::TraceError;
 use std::sync::mpsc;
@@ -304,17 +305,24 @@ impl StreamingEngine {
             }
             return Ok(vec![worker.finish(encode)]);
         }
-        std::thread::scope(|scope| {
-            let mut senders = Vec::with_capacity(config.shards);
-            let mut handles = Vec::with_capacity(config.shards);
-            for _ in 0..config.shards {
-                let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
-                let params = config.params.clone();
-                let idle_timeout = config.idle_timeout;
-                senders.push(tx);
-                handles.push(scope.spawn(move || run_shard(rx, params, idle_timeout, encode)));
-            }
+        // One pool worker per shard: every shard loop must run
+        // concurrently with the router (bounded channels would deadlock
+        // a queued shard), so the pool is sized to the task count —
+        // shards use the same shared `WorkerPool` abstraction as the
+        // multi-file readers and the v2 section decoder, not a bespoke
+        // spawn loop.
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut tasks = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
+            let params = config.params.clone();
+            let idle_timeout = config.idle_timeout;
+            senders.push(tx);
+            tasks.push(move || run_shard(rx, params, idle_timeout, encode));
+        }
 
+        let pool = WorkerPool::new(config.shards);
+        let (outputs, input_err) = pool.run_with(tasks, move || {
             let mut buffers: Vec<Vec<PacketRecord>> = (0..config.shards)
                 .map(|_| Vec::with_capacity(config.batch_size))
                 .collect();
@@ -330,8 +338,8 @@ impl StreamingEngine {
                                 Vec::with_capacity(config.batch_size),
                             );
                             if senders[s].send(batch).is_err() {
-                                // Worker gone: stop routing and surface its
-                                // panic from join below.
+                                // Worker gone: stop routing and surface
+                                // its panic from the pool's join.
                                 break 'route;
                             }
                         }
@@ -345,25 +353,63 @@ impl StreamingEngine {
             if input_err.is_none() {
                 for (s, buf) in buffers.into_iter().enumerate() {
                     if !buf.is_empty() {
-                        // A send can only fail if the worker died; join
-                        // below re-raises its panic.
+                        // A send can only fail if the worker died; the
+                        // pool's join re-raises its panic.
                         let _ = senders[s].send(buf);
                     }
                 }
             }
-            drop(senders);
-            let outputs: Vec<ShardOutput> = handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(out) => out,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect();
-            match input_err {
-                Some(e) => Err(e),
-                None => Ok(outputs),
-            }
-        })
+            // Senders drop here, closing every shard channel.
+            input_err
+        });
+        match input_err {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
+    }
+
+    /// Compresses a pluggable [`InputSource`] — a
+    /// [`FileSource`](flowzip_io::FileSource) (optionally prefetched) or
+    /// a [`MultiFileSource`](flowzip_io::MultiFileSource) over a
+    /// pre-split capture set — and fills the report's
+    /// read-wait vs. compute split from the source's
+    /// [`IoStats`](flowzip_io::IoStats).
+    ///
+    /// # Errors
+    ///
+    /// The first reader error aborts the run and is returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads.
+    pub fn compress_source<S: InputSource>(
+        &self,
+        source: S,
+    ) -> Result<(CompressedTrace, EngineReport), TraceError> {
+        let stats = source.stats();
+        let (compressed, mut report) = self.compress_stream(source.into_packets())?;
+        fill_read_wait(&mut report, &stats);
+        Ok((compressed, report))
+    }
+
+    /// [`StreamingEngine::compress_source`] straight to serialized
+    /// archive bytes in the configured [`ArchiveFormat`].
+    ///
+    /// # Errors
+    ///
+    /// The first reader error aborts the run and is returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads.
+    pub fn compress_source_to_bytes<S: InputSource>(
+        &self,
+        source: S,
+    ) -> Result<(Vec<u8>, EngineReport), TraceError> {
+        let stats = source.stats();
+        let (bytes, mut report) = self.compress_stream_to_bytes(source.into_packets())?;
+        fill_read_wait(&mut report, &stats);
+        Ok((bytes, report))
     }
 
     /// Convenience: compresses an infallible packet sequence.
@@ -453,12 +499,24 @@ impl StreamingEngine {
             packets_per_sec: agg.packets as f64 / elapsed,
             mb_per_sec: agg.tsh_bytes as f64 / elapsed / 1e6,
             evicted_flows: agg.evicted,
+            // Raw-iterator runs carry no IoStats handle; the
+            // compress_source entry points overwrite the split.
+            read_wait_secs: 0.0,
+            compute_secs: elapsed_secs,
             serialize_secs: 0.0,
             sections: 0,
             archive_bytes: 0,
             report,
         }
     }
+}
+
+/// Fills a report's read-wait/compute split from a drained source's
+/// stats. The wait is clamped to elapsed (counters tick on reader
+/// threads and can race the last wall-clock read by microseconds).
+fn fill_read_wait(report: &mut EngineReport, stats: &flowzip_io::IoStats) {
+    report.read_wait_secs = stats.read_wait_secs().min(report.elapsed_secs);
+    report.compute_secs = (report.elapsed_secs - report.read_wait_secs).max(0.0);
 }
 
 /// Throughput/memory counters folded over per-shard outputs — computed

@@ -9,7 +9,13 @@
 //! * **Incremental input** — packets arrive from any
 //!   `Iterator<Item = Result<PacketRecord, TraceError>>`, e.g. the
 //!   streaming [`TshReader`](flowzip_trace::TshReader) /
-//!   [`PcapReader`](flowzip_trace::PcapReader).
+//!   [`PcapReader`](flowzip_trace::PcapReader). Pluggable
+//!   [`InputSource`](flowzip_io::InputSource)s go through
+//!   [`StreamingEngine::compress_source`]: a prefetched
+//!   [`FileSource`](flowzip_io::FileSource) or a parallel-reader
+//!   [`MultiFileSource`](flowzip_io::MultiFileSource) overlaps disk and
+//!   decode with compute, and the [`EngineReport`] then splits
+//!   wall-clock into read-wait vs. compute.
 //! * **Flow sharding** — each packet is routed by the hash of its
 //!   canonical flow key across N worker threads, so every packet of a
 //!   flow lands on the same shard and per-flow state never needs locks.

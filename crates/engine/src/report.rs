@@ -21,6 +21,17 @@ pub struct EngineReport {
     pub mb_per_sec: f64,
     /// Flows force-closed by idle-timeout eviction.
     pub evicted_flows: u64,
+    /// Wall-clock seconds the pipeline spent *waiting on input* — blocked
+    /// `read()` calls for plain file input, hand-off-channel waits for
+    /// prefetched/multi-file sources (whose disk time overlaps compute
+    /// and deliberately does not count). Zero for in-memory runs and for
+    /// raw-iterator entry points that carry no [`IoStats`] handle.
+    pub read_wait_secs: f64,
+    /// `elapsed_secs − read_wait_secs`, clamped at zero: the wall-clock
+    /// actually spent parsing, routing and compressing. When `read_wait`
+    /// dwarfs `compute`, the run is I/O-bound — add readers or prefetch;
+    /// the other way round, it is compute-bound — add shards.
+    pub compute_secs: f64,
     /// Wall-clock seconds of the *serial* tail: the whole
     /// single-threaded shard merge + time-seq sort + encode for v1
     /// output, but only store merge + index assembly + payload
@@ -42,6 +53,59 @@ impl EngineReport {
     pub fn peak_active_flows(&self) -> u64 {
         self.report.peak_active_flows
     }
+
+    /// Serializes the full report as a JSON object (hand-rolled — the
+    /// workspace is dependency-free) for `flowzip compress --json` and
+    /// machine consumers of bench output.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"packets\": {},\n",
+                "  \"flows\": {},\n",
+                "  \"short_flows\": {},\n",
+                "  \"long_flows\": {},\n",
+                "  \"clusters\": {},\n",
+                "  \"matched_flows\": {},\n",
+                "  \"addresses\": {},\n",
+                "  \"peak_active_flows\": {},\n",
+                "  \"evicted_flows\": {},\n",
+                "  \"tsh_bytes\": {},\n",
+                "  \"archive_bytes\": {},\n",
+                "  \"ratio_vs_tsh\": {:.6},\n",
+                "  \"shards\": {},\n",
+                "  \"sections\": {},\n",
+                "  \"elapsed_secs\": {:.6},\n",
+                "  \"read_wait_secs\": {:.6},\n",
+                "  \"compute_secs\": {:.6},\n",
+                "  \"serialize_secs\": {:.6},\n",
+                "  \"packets_per_sec\": {:.0},\n",
+                "  \"mb_per_sec\": {:.2}\n",
+                "}}"
+            ),
+            r.packets,
+            r.flows,
+            r.short_flows,
+            r.long_flows,
+            r.clusters,
+            r.matched_flows,
+            r.addresses,
+            r.peak_active_flows,
+            self.evicted_flows,
+            r.tsh_bytes,
+            self.archive_bytes,
+            r.ratio_vs_tsh,
+            self.shards,
+            self.sections,
+            self.elapsed_secs,
+            self.read_wait_secs,
+            self.compute_secs,
+            self.serialize_secs,
+            self.packets_per_sec,
+            self.mb_per_sec,
+        )
+    }
 }
 
 impl fmt::Display for EngineReport {
@@ -57,6 +121,13 @@ impl fmt::Display for EngineReport {
             self.peak_active_flows(),
             self.evicted_flows
         )?;
+        if self.read_wait_secs > 0.0 {
+            write!(
+                f,
+                "; read-wait {:.3}s / compute {:.3}s",
+                self.read_wait_secs, self.compute_secs
+            )?;
+        }
         if self.sections > 0 {
             write!(
                 f,
@@ -95,6 +166,8 @@ mod tests {
             packets_per_sec: 20.0,
             mb_per_sec: 0.00088,
             evicted_flows: 0,
+            read_wait_secs: 0.0,
+            compute_secs: 0.5,
             serialize_secs: 0.0,
             sections: 0,
             archive_bytes: 0,
@@ -105,13 +178,63 @@ mod tests {
         assert!(s.contains("peak 2 active flows"));
         // In-memory runs don't claim an archive...
         assert!(!s.contains("section archive"));
+        // ...or a read-wait split (nothing was read).
+        assert!(!s.contains("read-wait"));
         // ...serialized ones do.
         let mut ser = r.clone();
         ser.sections = 4;
         ser.archive_bytes = 1234;
         ser.serialize_secs = 0.001;
+        ser.read_wait_secs = 0.125;
+        ser.compute_secs = 0.375;
         let s = ser.to_string();
         assert!(s.contains("4 section archive"));
         assert!(s.contains("serial tail"));
+        assert!(s.contains("read-wait 0.125s / compute 0.375s"));
+    }
+
+    #[test]
+    fn json_round_is_well_formed_and_carries_the_split() {
+        let r = EngineReport {
+            report: CompressionReport {
+                packets: 7,
+                flows: 1,
+                short_flows: 1,
+                long_flows: 0,
+                matched_flows: 0,
+                clusters: 1,
+                addresses: 1,
+                peak_active_flows: 1,
+                sizes: DatasetSizes::default(),
+                tsh_bytes: 308,
+                ratio_vs_tsh: 0.05,
+                ratio_vs_headers: 0.06,
+            },
+            shards: 2,
+            elapsed_secs: 1.0,
+            packets_per_sec: 7.0,
+            mb_per_sec: 0.000308,
+            evicted_flows: 3,
+            read_wait_secs: 0.25,
+            compute_secs: 0.75,
+            serialize_secs: 0.01,
+            sections: 2,
+            archive_bytes: 99,
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for needle in [
+            "\"packets\": 7",
+            "\"read_wait_secs\": 0.250000",
+            "\"compute_secs\": 0.750000",
+            "\"evicted_flows\": 3",
+            "\"archive_bytes\": 99",
+            "\"shards\": 2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces and no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n}"));
     }
 }

@@ -15,6 +15,9 @@
 //! * [`trace::Trace`] — an ordered sequence of packet records.
 //! * [`tsh`] — 44-byte TSH record codec: incremental [`tsh::TshReader`]
 //!   for streaming, plus whole-trace read/write.
+//! * [`reader`] — capture-format sniffing ([`reader::CaptureFormat`]) and
+//!   the format-agnostic [`reader::CaptureReader`] behind the shared
+//!   [`reader::PacketRead`] iterator interface.
 //! * [`flow`] — grouping packets into bidirectional flows, flow statistics.
 //!
 //! # Example
@@ -37,6 +40,7 @@ pub mod flags;
 pub mod flow;
 pub mod packet;
 pub mod pcap;
+pub mod reader;
 pub mod time;
 pub mod trace;
 pub mod tsh;
@@ -47,6 +51,7 @@ pub use flags::TcpFlags;
 pub use flow::{Flow, FlowDirection, FlowKey, FlowStats, FlowTable};
 pub use packet::{PacketBuilder, PacketRecord};
 pub use pcap::PcapReader;
+pub use reader::{CaptureFormat, CaptureReader, PacketRead};
 pub use time::{Duration, Timestamp};
 pub use trace::Trace;
 pub use tsh::TshReader;

@@ -253,6 +253,25 @@ pub fn file_size(trace: &Trace) -> u64 {
     trace.len() as u64 * RECORD_BYTES as u64
 }
 
+/// Splits a TSH image into `n` record-aligned chunks, the way NLANR
+/// traces ship pre-split — for building multi-file workloads (benches,
+/// equivalence tests) from one serialized trace. Records distribute
+/// `ceil(records / n)` per chunk in order; trailing chunks may be empty
+/// when there are fewer records than chunks. Trailing partial-record
+/// bytes (a truncated image) are not assigned to any chunk.
+pub fn split_record_chunks(bytes: &[u8], n: usize) -> Vec<&[u8]> {
+    let n = n.max(1);
+    let records = bytes.len() / RECORD_BYTES;
+    let per_chunk = records.div_ceil(n).max(1);
+    (0..n)
+        .map(|i| {
+            let start = (i * per_chunk).min(records) * RECORD_BYTES;
+            let end = ((i + 1) * per_chunk).min(records) * RECORD_BYTES;
+            &bytes[start..end]
+        })
+        .collect()
+}
+
 /// RFC 1071 Internet checksum over an IPv4 header with its checksum field
 /// zeroed (bytes 10–11 ignored).
 fn ipv4_checksum(header: &[u8]) -> u16 {
@@ -370,6 +389,24 @@ mod tests {
         let rec = encode_record(&p, 0).unwrap();
         let (q, _) = decode_record(&rec).unwrap();
         assert_eq!(q.timestamp(), p.timestamp());
+    }
+
+    #[test]
+    fn split_record_chunks_tiles_the_image() {
+        let t = Trace::from_packets((0..10u64).map(|_| sample_packet()).collect());
+        let bytes = to_bytes(&t);
+        for n in [1usize, 3, 4, 10, 15] {
+            let chunks = split_record_chunks(&bytes, n);
+            assert_eq!(chunks.len(), n);
+            let rejoined: Vec<u8> = chunks.concat();
+            assert_eq!(rejoined, bytes, "{n} chunks");
+            for c in &chunks {
+                assert_eq!(c.len() % RECORD_BYTES, 0, "record-aligned");
+            }
+        }
+        // Zero chunks clamps to one; empty input splits into empties.
+        assert_eq!(split_record_chunks(&bytes, 0).concat(), bytes);
+        assert!(split_record_chunks(&[], 3).concat().is_empty());
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! flowzip stats      web.tsh
 //! flowzip compress   web.tsh -o web.fzc
 //! flowzip compress   web.pcap -o web.fzc --streaming --threads 4 --idle-timeout 60
+//! flowzip compress   chunk-00.tsh chunk-01.tsh chunk-02.tsh -o web.fzc --readers 3
+//! flowzip compress   'trace-*.tsh' -o web.fzc --readers 4 --prefetch-mb 4
 //! flowzip compress   web.tsh -o web.fzc --format v1
-//! flowzip info       web.fzc
+//! flowzip info       web.fzc [--json]
 //! flowzip decompress web.fzc -o web-restored.tsh
 //! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
 //! ```
@@ -21,15 +23,23 @@
 //! file is never loaded whole, flows are accumulated across `--threads`
 //! workers, and `--idle-timeout` (seconds of trace time, 0 = off) bounds
 //! open-flow memory on long captures.
+//!
+//! Multiple compress inputs (explicit list or a quoted `*`/`?` filename
+//! glob) stream as *one* logical trace in argument order through
+//! `--readers N` parallel reader threads — the `flowzip-io` overlapped
+//! ingest path; the archive is byte-identical to compressing the
+//! concatenated stream with one reader. `--prefetch-mb N` double-buffers
+//! file reads on a dedicated I/O thread for single-file runs too. The
+//! engine report splits wall-clock into read-wait vs. compute so I/O- and
+//! compute-bound runs are distinguishable at a glance.
 
 use flowzip::core::{container, synthesize, CompressedTrace, Compressor, Decompressor, Params};
 use flowzip::engine::StreamingEngine;
+use flowzip::io::{glob, FileSource, MultiFileConfig, MultiFileSource, PrefetchConfig};
 use flowzip::prelude::*;
 use flowzip::trace::packet::HEADER_BYTES;
-use flowzip::trace::pcap::{self, PcapReader};
-use flowzip::trace::tsh::{self, TshReader};
-use flowzip::trace::TraceError;
-use std::io::BufRead;
+use flowzip::trace::reader::CaptureReader;
+use flowzip::trace::tsh;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -49,16 +59,19 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   flowzip generate   [--flows N] [--secs S] [--seed K] -o OUT.tsh
   flowzip stats      IN.tsh
-  flowzip compress   IN.{tsh|pcap}  -o OUT.fzc   (input format auto-detected)
+  flowzip compress   IN...  -o OUT.fzc   (TSH or pcap, auto-detected; several
+                     files or a quoted glob stream as one trace in order)
                      [--format v1|v2] (default v2: per-shard archive sections)
                      [--streaming] [--threads N] [--idle-timeout SECS] [--batch-size N]
-                     (any engine flag implies --streaming)
-  flowzip info       IN.fzc
+                     [--readers N] [--prefetch-mb N] [--json]
+                     (any engine/reader flag implies --streaming;
+                      multiple inputs always stream)
+  flowzip info       IN.fzc [--json]
   flowzip decompress IN.fzc  -o OUT.tsh [--seed K]
   flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["streaming"];
+const BOOL_FLAGS: &[&str] = &["streaming", "json"];
 
 struct Opts {
     positional: Vec<String>,
@@ -145,9 +158,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Opens a TSH file as an incremental record reader; callers decide
 /// whether to stream it (engine) or collect it (batch, stats).
-fn open_tsh(path: &str) -> Result<TshReader<std::io::BufReader<std::fs::File>>, String> {
+fn open_tsh(path: &str) -> Result<tsh::TshReader<std::io::BufReader<std::fs::File>>, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    Ok(TshReader::new(std::io::BufReader::new(file)))
+    Ok(tsh::TshReader::new(std::io::BufReader::new(file)))
 }
 
 fn read_tsh(path: &str) -> Result<Trace, String> {
@@ -158,54 +171,33 @@ fn read_tsh(path: &str) -> Result<Trace, String> {
     Ok(trace)
 }
 
-/// An incremental packet reader over either capture format, detected
-/// from the file magic (TSH records have none; pcap leads with
-/// `0xA1B2C3D4` in either byte order).
-enum PacketFile {
-    Tsh(TshReader<std::io::BufReader<std::fs::File>>),
-    Pcap(PcapReader<std::io::BufReader<std::fs::File>>),
-}
-
-impl Iterator for PacketFile {
-    type Item = Result<PacketRecord, TraceError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        match self {
-            PacketFile::Tsh(r) => r.next(),
-            PacketFile::Pcap(r) => r.next(),
+/// Escapes a string for embedding in a JSON string literal (quote,
+/// backslash, control characters — `str::escape_default` is *not* JSON:
+/// it emits `\'` and `\u{…}`, which JSON parsers reject).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
         }
     }
+    out
 }
 
-/// Sniffs the capture format and opens a streaming reader — pcap input
-/// flows through `PcapReader` without ever loading the file whole.
-fn open_packets(path: &str) -> Result<PacketFile, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let mut reader = std::io::BufReader::new(file);
-    let is_pcap = {
-        let head = reader.fill_buf().map_err(|e| format!("read {path}: {e}"))?;
-        head.len() >= 4
-            && matches!(
-                u32::from_le_bytes([head[0], head[1], head[2], head[3]]),
-                // ns-timestamp captures are routed to PcapReader too, so
-                // the user sees its "bad pcap magic" rejection rather
-                // than a baffling TSH record-parse error.
-                pcap::MAGIC_LE | pcap::MAGIC_BE | pcap::MAGIC_NS_LE | pcap::MAGIC_NS_BE
-            )
-    };
-    if is_pcap {
-        Ok(PacketFile::Pcap(
-            PcapReader::new(reader).map_err(|e| format!("parse {path}: {e}"))?,
-        ))
-    } else {
-        Ok(PacketFile::Tsh(TshReader::new(reader)))
-    }
-}
-
-/// Collects either capture format into memory (the batch path).
+/// Collects either capture format into memory (the batch path). Format
+/// sniffing and reader selection live in `flowzip::trace::reader` — ns
+/// pcap magics route to `PcapReader`'s clear "bad pcap magic" rejection.
 fn read_packets(path: &str) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = CaptureReader::open(std::io::BufReader::new(file))
+        .map_err(|e| format!("parse {path}: {e}"))?;
     let mut trace = Trace::new();
-    for pkt in open_packets(path)? {
+    for pkt in reader {
         trace.push(pkt.map_err(|e| format!("parse {path}: {e}"))?);
     }
     Ok(trace)
@@ -257,18 +249,42 @@ fn stats(opts: &Opts) -> Result<(), String> {
 }
 
 fn compress(opts: &Opts) -> Result<(), String> {
-    let input = opts.input()?;
+    if opts.positional.is_empty() {
+        return Err("missing input file".into());
+    }
+    // Quoted globs expand here (unquoted ones the shell already did);
+    // each pattern's matches sort so numbered chunks keep capture order.
+    let inputs: Vec<PathBuf> = glob::expand_all(&opts.positional)?;
     let out = opts.out()?;
+    let json = opts.get_bool("json");
     let format = match opts.get("format") {
         None => ArchiveFormat::V2,
         Some(name) => ArchiveFormat::parse(name)?,
     };
-    // Any engine knob implies streaming — silently falling back to the
-    // whole-file batch path would be exactly the OOM the engine prevents.
+    let readers = opts.get_u64("readers", 0)? as usize;
+    let prefetch_mb = opts.get_u64("prefetch-mb", 0)?;
+    let prefetch = (prefetch_mb > 0).then(|| PrefetchConfig::with_chunk_mb(prefetch_mb));
+    // Any engine or reader knob implies streaming — silently falling
+    // back to the whole-file batch path would be exactly the OOM the
+    // engine prevents. Multiple inputs always stream: the multi-file
+    // source is the only path that treats them as one ordered trace.
     let streaming = opts.get_bool("streaming")
         || opts.get("threads").is_some()
         || opts.get("idle-timeout").is_some()
-        || opts.get("batch-size").is_some();
+        || opts.get("batch-size").is_some()
+        || opts.get("readers").is_some()
+        || opts.get("prefetch-mb").is_some()
+        // --json reports the engine's machine-readable run report, which
+        // only a streaming run produces.
+        || json
+        || inputs.len() > 1;
+    let input_names = || {
+        inputs
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     let bytes = if streaming {
         let threads = opts.get_u64("threads", 0)? as usize;
         let idle_secs = opts.get_u64("idle-timeout", 0)?;
@@ -281,14 +297,40 @@ fn compress(opts: &Opts) -> Result<(), String> {
             builder = builder.shards(threads);
         }
         let engine = builder.build();
-        let (bytes, report) = engine
-            .compress_stream_to_bytes(open_packets(input)?)
-            .map_err(|e| format!("compress {input}: {e}"))?;
+        let compress_err = |e| format!("compress {}: {e}", input_names());
+        // An explicit --readers on a single file still goes through the
+        // multi-file source: its reader thread moves decode off the
+        // router, which is what the flag asks for — silently falling
+        // back to inline reads would ignore it.
+        let (bytes, report) = if inputs.len() > 1 || readers > 0 {
+            let source = MultiFileSource::open(
+                &inputs,
+                MultiFileConfig {
+                    readers: if readers > 0 { readers } else { 2 },
+                    batch_packets: batch,
+                    queue_batches: 4,
+                    prefetch,
+                },
+            )
+            .map_err(compress_err)?;
+            engine
+                .compress_source_to_bytes(source)
+                .map_err(compress_err)?
+        } else {
+            let source = FileSource::open_with(&inputs[0], prefetch).map_err(compress_err)?;
+            engine
+                .compress_source_to_bytes(source)
+                .map_err(compress_err)?
+        };
         std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
-        println!("{report}");
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
         bytes.len()
     } else {
-        let trace = read_packets(input)?;
+        let trace = read_packets(inputs[0].to_str().ok_or("non-UTF-8 input path")?)?;
         let (archive, mut report) = Compressor::new(Params::paper()).compress(&trace);
         // The report's sizes/ratios must describe the container actually
         // written, not the compressor's internal v1 encode.
@@ -311,10 +353,17 @@ fn compress(opts: &Opts) -> Result<(), String> {
         println!("{report}; peak {} active flows", report.peak_active_flows);
         bytes.len()
     };
-    println!(
+    // With --json, stdout carries exactly one JSON object; the human
+    // notice moves to stderr so `flowzip ... --json | jq` works.
+    let notice = format!(
         "wrote {} ({format} container, {bytes} bytes)",
         out.display()
     );
+    if json {
+        eprintln!("{notice}");
+    } else {
+        println!("{notice}");
+    }
     Ok(())
 }
 
@@ -323,15 +372,14 @@ fn info(opts: &Opts) -> Result<(), String> {
     let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
     let format = ArchiveFormat::detect(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
     let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
-    println!("archive: {input}");
-    match format {
-        ArchiveFormat::V1 => println!("  format           : v1"),
+    let sections = match format {
+        ArchiveFormat::V1 => 1,
         ArchiveFormat::V2 => {
-            let (.., sections) =
-                container::v2_counts(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
-            println!("  format           : v2 ({sections} sections)");
+            container::v2_counts(&bytes)
+                .map_err(|e| format!("parse {input}: {e}"))?
+                .3
         }
-    }
+    };
     // Measure the real file's layout rather than re-encoding: a
     // multi-section v2 archive's index and per-section delta restarts
     // would not survive a single-section re-encode.
@@ -341,6 +389,50 @@ fn info(opts: &Opts) -> Result<(), String> {
             container::v2_sizes(&bytes).map_err(|e| format!("parse {input}: {e}"))?
         }
     };
+    if opts.get_bool("json") {
+        println!(
+            concat!(
+                "{{\n",
+                "  \"archive\": \"{}\",\n",
+                "  \"format\": \"{}\",\n",
+                "  \"sections\": {},\n",
+                "  \"flows\": {},\n",
+                "  \"packets\": {},\n",
+                "  \"short_templates\": {},\n",
+                "  \"long_templates\": {},\n",
+                "  \"addresses\": {},\n",
+                "  \"file_bytes\": {},\n",
+                "  \"dataset_bytes\": {{\n",
+                "    \"header\": {},\n",
+                "    \"short_templates\": {},\n",
+                "    \"long_templates\": {},\n",
+                "    \"addresses\": {},\n",
+                "    \"time_seq\": {}\n",
+                "  }}\n",
+                "}}"
+            ),
+            json_escape(input),
+            format,
+            sections,
+            archive.flow_count(),
+            archive.packet_count(),
+            archive.short_templates.len(),
+            archive.long_templates.len(),
+            archive.addresses.len(),
+            bytes.len(),
+            sizes.header,
+            sizes.short_templates,
+            sizes.long_templates,
+            sizes.addresses,
+            sizes.time_seq,
+        );
+        return Ok(());
+    }
+    println!("archive: {input}");
+    match format {
+        ArchiveFormat::V1 => println!("  format           : v1"),
+        ArchiveFormat::V2 => println!("  format           : v2 ({sections} sections)"),
+    }
     println!("  flows            : {}", archive.flow_count());
     println!("  packets          : {}", archive.packet_count());
     println!("  short templates  : {}", archive.short_templates.len());

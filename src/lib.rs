@@ -15,6 +15,7 @@
 //! | [`traffic`] | `flowzip-traffic` | synthetic Web/random/fractal traces |
 //! | [`core`] | `flowzip-core` | ★ the flow-clustering compressor (§2–§4) |
 //! | [`engine`] | `flowzip-engine` | sharded, bounded-memory streaming engine |
+//! | [`io`] | `flowzip-io` | overlapped-I/O input: prefetch, multi-file readers, worker pool |
 //! | [`deflate`] | `flowzip-deflate` | from-scratch DEFLATE/gzip baseline |
 //! | [`vj`] | `flowzip-vj` | Van Jacobson header compression baseline |
 //! | [`peuhkuri`] | `flowzip-peuhkuri` | Peuhkuri flow-based baseline |
@@ -46,6 +47,7 @@ pub use flowzip_cachesim as cachesim;
 pub use flowzip_core as core;
 pub use flowzip_deflate as deflate;
 pub use flowzip_engine as engine;
+pub use flowzip_io as io;
 pub use flowzip_netbench as netbench;
 pub use flowzip_peuhkuri as peuhkuri;
 pub use flowzip_radix as radix;
@@ -62,6 +64,10 @@ pub mod prelude {
         DecompressParams, Decompressor, Params, SynthConfig, SynthGenerator,
     };
     pub use flowzip_engine::{EngineBuilder, EngineReport, StreamingEngine};
+    pub use flowzip_io::{
+        FileSource, InputSource, MultiFileConfig, MultiFileSource, PrefetchConfig, PrefetchReader,
+        WorkerPool,
+    };
     pub use flowzip_netbench::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
     pub use flowzip_radix::{RadixTable, TableGen};
     pub use flowzip_trace::prelude::*;
@@ -76,6 +82,7 @@ mod tests {
         // Compile-time check that every re-export resolves.
         let _ = crate::core::Params::paper();
         let _ = crate::engine::StreamingEngine::builder();
+        let _ = crate::io::WorkerPool::new(2);
         let _ = crate::cachesim::CacheConfig::netbench_l1();
         let _ = crate::trace::TcpFlags::SYN;
         let _ = crate::netbench::BenchKind::Route;

@@ -240,6 +240,186 @@ fn format_flag_selects_container_and_output_is_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Multiple compress inputs stream as one ordered trace through parallel
+/// readers — and the archive is byte-identical to compressing the
+/// unsplit file, whatever the reader count. A quoted glob does the same.
+#[test]
+fn multi_file_compress_matches_single_file_archive() {
+    let dir = tmpdir("multifile");
+    let whole = dir.join("whole.tsh");
+    let out = bin()
+        .args([
+            "generate", "--flows", "200", "--secs", "20", "--seed", "13", "-o",
+        ])
+        .arg(&whole)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Split on record boundaries into three chunks.
+    let bytes = std::fs::read(&whole).unwrap();
+    let records = bytes.len() / 44;
+    let cut1 = records / 3 * 44;
+    let cut2 = records * 2 / 3 * 44;
+    let chunks = [
+        (dir.join("chunk-00.tsh"), &bytes[..cut1]),
+        (dir.join("chunk-01.tsh"), &bytes[cut1..cut2]),
+        (dir.join("chunk-02.tsh"), &bytes[cut2..]),
+    ];
+    for (path, slice) in &chunks {
+        std::fs::write(path, slice).unwrap();
+    }
+
+    // Reference: the unsplit file through the plain streaming path.
+    let ref_fzc = dir.join("ref.fzc");
+    let out = bin()
+        .arg("compress")
+        .arg(&whole)
+        .args(["--streaming", "--threads", "2", "-o"])
+        .arg(&ref_fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Explicit list.
+    let list_fzc = dir.join("list.fzc");
+    let out = bin()
+        .arg("compress")
+        .args(chunks.iter().map(|(p, _)| p.clone()))
+        .args(["--threads", "2", "--readers", "3", "-o"])
+        .arg(&list_fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("read-wait"),
+        "streaming output reports the read-wait/compute split: {text}"
+    );
+
+    // Quoted glob (the CLI expands it, sorted).
+    let glob_fzc = dir.join("glob.fzc");
+    let out = bin()
+        .arg("compress")
+        .arg(dir.join("chunk-*.tsh"))
+        .args(["--threads", "2", "--readers", "2", "-o"])
+        .arg(&glob_fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let want = std::fs::read(&ref_fzc).unwrap();
+    assert_eq!(std::fs::read(&list_fzc).unwrap(), want);
+    assert_eq!(std::fs::read(&glob_fzc).unwrap(), want);
+
+    // --prefetch-mb on the unsplit file: still byte-identical.
+    let pf_fzc = dir.join("prefetch.fzc");
+    let out = bin()
+        .arg("compress")
+        .arg(&whole)
+        .args(["--threads", "2", "--prefetch-mb", "1", "-o"])
+        .arg(&pf_fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&pf_fzc).unwrap(), want);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Mixing pcap and TSH files in one compress invocation is rejected with
+/// a message naming both offenders.
+#[test]
+fn mixed_format_inputs_are_rejected() {
+    use flowzip::prelude::*;
+    use flowzip::trace::{pcap, tsh};
+
+    let dir = tmpdir("mixedcli");
+    let trace = WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows: 20,
+            ..WebTrafficConfig::default()
+        },
+        3,
+    )
+    .generate();
+    std::fs::write(dir.join("a.tsh"), tsh::to_bytes(&trace)).unwrap();
+    std::fs::write(dir.join("b.pcap"), pcap::to_bytes(&trace)).unwrap();
+    let out = bin()
+        .arg("compress")
+        .arg(dir.join("a.tsh"))
+        .arg(dir.join("b.pcap"))
+        .arg("-o")
+        .arg(dir.join("out.fzc"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mixed capture formats"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `info --json` and `compress --json` emit machine-readable reports.
+#[test]
+fn json_output_modes() {
+    let dir = tmpdir("json");
+    let tsh = dir.join("web.tsh");
+    let fzc = dir.join("web.fzc");
+    let out = bin()
+        .args([
+            "generate", "--flows", "80", "--secs", "10", "--seed", "21", "-o",
+        ])
+        .arg(&tsh)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--streaming", "--threads", "2", "--json", "-o"])
+        .arg(&fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["\"read_wait_secs\"", "\"compute_secs\"", "\"packets\": "] {
+        assert!(text.contains(needle), "compress --json: {text}");
+    }
+
+    let out = bin().arg("info").arg(&fzc).arg("--json").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"format\": \"v2\"",
+        "\"sections\": 2",
+        "\"flows\": 80",
+        "\"dataset_bytes\"",
+    ] {
+        assert!(text.contains(needle), "info --json: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// pcap input is auto-detected and streamed through `PcapReader` — the
 /// archive matches what the same packets compress to from TSH.
 #[test]
