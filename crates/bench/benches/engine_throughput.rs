@@ -59,7 +59,9 @@ fn main() {
         let mut best = f64::INFINITY;
         for _ in 0..runs {
             let t0 = Instant::now();
-            let (archive, report) = engine.compress_trace(&trace).expect("in-memory run");
+            let (archive, report) = engine
+                .compress_stream(trace.iter().cloned().map(Ok))
+                .expect("in-memory run");
             best = best.min(t0.elapsed().as_secs_f64());
             black_box((archive, report));
         }

@@ -38,7 +38,43 @@ impl EngineConfig {
         self.channel_capacity = self.channel_capacity.max(1);
         self
     }
+
+    /// Checks every knob, returning a descriptive error for values that
+    /// would hang or starve the pipeline instead of clamping them.
+    fn checked(self) -> Result<EngineConfig, ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError(
+                "shards must be ≥ 1 (got 0; zero workers would hang the router)".to_string(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError(
+                "batch_size must be ≥ 1 (got 0; empty batches would never hand packets over)"
+                    .to_string(),
+            ));
+        }
+        if self.channel_capacity == 0 {
+            return Err(ConfigError(
+                "channel_capacity must be ≥ 1 (got 0; a zero-slot channel would deadlock)"
+                    .to_string(),
+            ));
+        }
+        Ok(self)
+    }
 }
+
+/// A rejected engine configuration, with a human-readable description of
+/// the offending knob (what [`EngineBuilder::try_build`] returns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
@@ -121,9 +157,23 @@ impl EngineBuilder {
         self
     }
 
-    /// Finalizes the configuration.
+    /// Finalizes the configuration, silently clamping zero-valued knobs
+    /// up to 1. Prefer [`EngineBuilder::try_build`] where a zero is more
+    /// likely a caller bug than a request for the minimum.
     pub fn build(self) -> StreamingEngine {
         StreamingEngine::new(self.config.validated())
+    }
+
+    /// Finalizes the configuration, rejecting nonsense (`shards == 0`,
+    /// `batch_size == 0`, `channel_capacity == 0`) with a descriptive
+    /// [`ConfigError`] instead of clamping — the validating entry point
+    /// `flowzip-pipeline` builds engines through.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending knob and why it is invalid.
+    pub fn try_build(self) -> Result<StreamingEngine, ConfigError> {
+        Ok(StreamingEngine::new(self.config.checked()?))
     }
 }
 
@@ -158,6 +208,39 @@ mod tests {
         assert_eq!(e.config().shards, 1);
         assert_eq!(e.config().batch_size, 1);
         assert_eq!(e.config().channel_capacity, 1);
+    }
+
+    #[test]
+    fn try_build_rejects_each_zero_knob_descriptively() {
+        let err = StreamingEngine::builder()
+            .shards(0)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("shards must be ≥ 1"), "{err}");
+
+        let err = StreamingEngine::builder()
+            .batch_size(0)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("batch_size must be ≥ 1"), "{err}");
+
+        let err = StreamingEngine::builder()
+            .channel_capacity(0)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("channel_capacity must be ≥ 1"),
+            "{err}"
+        );
+
+        // Sane configurations pass through unchanged.
+        let engine = StreamingEngine::builder()
+            .shards(3)
+            .batch_size(64)
+            .channel_capacity(2)
+            .try_build()
+            .unwrap();
+        assert_eq!(engine.config().shards, 3);
     }
 
     #[test]

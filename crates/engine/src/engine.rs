@@ -11,8 +11,8 @@
 //! fast reader is back-pressured instead of buffering the trace. Workers
 //! finalize flows online (FIN/RST, idle eviction, end of input) and
 //! cluster them immediately; the merge step folds the per-shard stores
-//! with [`TemplateStore::merge`] and re-sorts the flow records into one
-//! valid time-seq dataset.
+//! with [`TemplateStore::merge`](flowzip_core::TemplateStore::merge) and
+//! re-sorts the flow records into one valid time-seq dataset.
 
 use crate::builder::{EngineBuilder, EngineConfig};
 use crate::report::EngineReport;
@@ -382,6 +382,10 @@ impl StreamingEngine {
     /// # Panics
     ///
     /// Re-raises panics from worker threads.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use flowzip-pipeline's Pipeline::compress().input(Input::source(..)) session API"
+    )]
     pub fn compress_source<S: InputSource>(
         &self,
         source: S,
@@ -402,6 +406,10 @@ impl StreamingEngine {
     /// # Panics
     ///
     /// Re-raises panics from worker threads.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use flowzip-pipeline's Pipeline::compress().input(Input::source(..)) session API"
+    )]
     pub fn compress_source_to_bytes<S: InputSource>(
         &self,
         source: S,
@@ -417,6 +425,10 @@ impl StreamingEngine {
     /// # Errors
     ///
     /// Never fails; the `Result` mirrors [`StreamingEngine::compress_stream`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use flowzip-pipeline's Pipeline::compress().input(Input::packets(..)) session API"
+    )]
     pub fn compress_packets<I>(
         &self,
         packets: I,
@@ -433,11 +445,15 @@ impl StreamingEngine {
     /// # Errors
     ///
     /// Never fails; the `Result` mirrors [`StreamingEngine::compress_stream`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use flowzip-pipeline's Pipeline::compress().input(Input::trace(..)) session API"
+    )]
     pub fn compress_trace(
         &self,
         trace: &Trace,
     ) -> Result<(CompressedTrace, EngineReport), TraceError> {
-        self.compress_packets(trace.iter().cloned())
+        self.compress_stream(trace.iter().cloned().map(Ok))
     }
 
     /// Convenience: compresses an in-memory trace straight to archive
@@ -447,6 +463,10 @@ impl StreamingEngine {
     ///
     /// Never fails; the `Result` mirrors
     /// [`StreamingEngine::compress_stream_to_bytes`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use flowzip-pipeline's Pipeline::compress().input(Input::trace(..)) session API"
+    )]
     pub fn compress_trace_to_bytes(
         &self,
         trace: &Trace,
@@ -546,6 +566,10 @@ impl ShardAggregates {
 }
 
 #[cfg(test)]
+// The unit tests deliberately keep exercising the deprecated convenience
+// shims: they must stay behaviorally identical to the primitives until
+// they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use flowzip_core::Compressor;

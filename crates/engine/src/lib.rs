@@ -40,6 +40,15 @@
 //!
 //! # Example
 //!
+//! The two primitive entry points are
+//! [`StreamingEngine::compress_stream`] (in-memory archive + report) and
+//! [`StreamingEngine::compress_stream_to_bytes`] (serialized container).
+//! Applications normally sit one level up, on `flowzip-pipeline`'s
+//! `Pipeline::compress()` session API, which routes between this engine
+//! and the batch compressor; the old per-input convenience wrappers
+//! (`compress_trace`, `compress_packets`, `compress_source`, …) remain as
+//! deprecated shims over the primitives.
+//!
 //! ```
 //! use flowzip_engine::StreamingEngine;
 //! use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
@@ -48,7 +57,9 @@
 //!     WebTrafficConfig { flows: 200, ..Default::default() }, 42).generate();
 //!
 //! let engine = StreamingEngine::builder().shards(2).build();
-//! let (archive, report) = engine.compress_trace(&trace).unwrap();
+//! let (archive, report) = engine
+//!     .compress_stream(trace.iter().cloned().map(Ok))
+//!     .unwrap();
 //! assert_eq!(report.report.packets, trace.len() as u64);
 //! assert!(archive.validate().is_ok());
 //! ```
@@ -57,6 +68,6 @@ pub mod builder;
 pub mod engine;
 pub mod report;
 
-pub use builder::{EngineBuilder, EngineConfig};
+pub use builder::{ConfigError, EngineBuilder, EngineConfig};
 pub use engine::StreamingEngine;
 pub use report::EngineReport;

@@ -25,7 +25,8 @@ pub struct EngineReport {
     /// `read()` calls for plain file input, hand-off-channel waits for
     /// prefetched/multi-file sources (whose disk time overlaps compute
     /// and deliberately does not count). Zero for in-memory runs and for
-    /// raw-iterator entry points that carry no [`IoStats`] handle.
+    /// raw-iterator entry points that carry no
+    /// [`IoStats`](flowzip_io::IoStats) handle.
     pub read_wait_secs: f64,
     /// `elapsed_secs − read_wait_secs`, clamped at zero: the wall-clock
     /// actually spent parsing, routing and compressing. When `read_wait`

@@ -13,6 +13,11 @@
 //! input subsystem sits entirely upstream of the routing determinism the
 //! engine equivalence suite already pins.
 
+// These tests pin the deprecated `compress_source_to_bytes` shim against
+// the primitive path: the shim must stay byte-identical until removed
+// (the pipeline crate carries the equivalent pins for the session API).
+#![allow(deprecated)]
+
 use flowzip_engine::StreamingEngine;
 use flowzip_io::{FileSource, MultiFileConfig, MultiFileSource, PrefetchConfig};
 use flowzip_trace::tsh;

@@ -161,4 +161,77 @@ mod tests {
         let err = expand("ch*/trace.tsh").unwrap_err();
         assert!(err.contains("filename component"), "{err}");
     }
+
+    #[test]
+    fn zero_match_error_names_the_pattern() {
+        // A pattern matching nothing must be a loud error — a silent
+        // empty expansion would turn a typo into an empty archive.
+        let dir = std::env::temp_dir().join(format!("flowzip-glob0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("present.tsh"), b"").unwrap();
+        let pattern = dir.join("absent-??.tsh");
+        let err = expand(pattern.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("matched no files"), "{err}");
+        assert!(
+            err.contains("absent-??.tsh"),
+            "error names the pattern: {err}"
+        );
+
+        let err = expand_all(&[pattern.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("matched no files"), "expand_all too: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn question_marks_mixed_with_literal_segments() {
+        // `?` is exactly-one-character, even adjacent to `*` and
+        // literal runs.
+        assert!(matches("a?c-*.t?h", "abc-01.tsh"));
+        assert!(matches("a?c-*.t?h", "axc-.tzh"));
+        assert!(!matches("a?c-*.t?h", "ac-01.tsh"), "? never matches empty");
+        assert!(!matches("a?c-*.t?h", "abc-01.th"), "? never matches empty");
+        assert!(matches("?*?", "ab"), "star may be empty between ?s");
+        assert!(!matches("?*?", "a"));
+        assert!(matches("chunk-?0?.tsh", "chunk-102.tsh"));
+        assert!(!matches("chunk-?0?.tsh", "chunk-112.tsh"));
+
+        let dir = std::env::temp_dir().join(format!("flowzip-globq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["t-00.tsh", "t-01.tsh", "t-001.tsh", "t-0a.tsh", "u-00.tsh"] {
+            std::fs::write(dir.join(name), b"").unwrap();
+        }
+        let pattern = dir.join("t-0?.tsh");
+        let found = expand(pattern.to_str().unwrap()).unwrap();
+        let names: Vec<_> = found
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["t-00.tsh", "t-01.tsh", "t-0a.tsh"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_directory_entries_are_skipped_not_fatal() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+
+        // A directory containing a filename that is not valid UTF-8 must
+        // not break matching of its well-formed siblings (patterns are
+        // `&str`, so a non-UTF-8 name can never match one).
+        let dir = std::env::temp_dir().join(format!("flowzip-glob8-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ok-00.tsh"), b"").unwrap();
+        let raw = OsStr::from_bytes(b"ok-\xff\xfe.tsh");
+        std::fs::write(dir.join(raw), b"").unwrap();
+
+        let pattern = dir.join("ok-*.tsh");
+        let found = expand(pattern.to_str().unwrap()).unwrap();
+        let names: Vec<_> = found
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["ok-00.tsh"], "non-UTF-8 sibling skipped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -251,6 +251,36 @@ fn glob_open_orders_chunks_lexicographically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Literal paths are `OsStr`-safe end to end: a capture file whose name
+/// is not valid UTF-8 opens and streams fine when passed explicitly
+/// (only *patterns* are `&str`-typed; see the glob unit tests for how
+/// non-UTF-8 directory entries behave under matching).
+#[cfg(unix)]
+#[test]
+fn non_utf8_literal_paths_stream_fine() {
+    use std::ffi::OsStr;
+    use std::os::unix::ffi::OsStrExt;
+
+    let dir = tmpdir("nonutf8");
+    let a: Vec<_> = (0..25).map(|i| pkt(i, i * 3)).collect();
+    let b: Vec<_> = (25..50).map(|i| pkt(i, i * 3)).collect();
+    let weird = dir.join(OsStr::from_bytes(b"chunk-\xff\xfe-00.tsh"));
+    write_tsh(&weird, &a);
+    let plain = dir.join("chunk-01.tsh");
+    write_tsh(&plain, &b);
+
+    let src = MultiFileSource::open(
+        [weird.clone(), plain.clone()],
+        MultiFileConfig::with_readers(2),
+    )
+    .unwrap();
+    let want: Vec<_> = a.iter().chain(&b).cloned().collect();
+    let (got, err) = drain(src);
+    assert!(err.is_none(), "{err:?}");
+    assert_eq!(got, want);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     /// Any trace, any split, any reader count: the parallel multi-file
     /// stream equals the chained single-reader stream exactly. (This is

@@ -1,0 +1,527 @@
+//! [`Pipeline::compress`]: one session from any [`Input`] through the
+//! batch compressor or the streaming engine into any [`Sink`].
+
+use crate::error::PipelineError;
+use crate::input::{Input, InputKind};
+use crate::report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
+use crate::sink::Sink;
+use crate::Pipeline;
+use flowzip_core::{ArchiveFormat, Compressor, Params};
+use flowzip_engine::{EngineReport, StreamingEngine};
+use flowzip_io::{
+    glob, FileSource, InputSource, IoStats, MultiFileConfig, MultiFileSource, PrefetchConfig,
+};
+use flowzip_trace::packet::HEADER_BYTES;
+use flowzip_trace::{Duration, Trace};
+use std::time::Instant;
+
+/// What a finished session hands back: the unified [`Report`], plus the
+/// serialized output when the sink was [`Sink::bytes`].
+#[derive(Debug)]
+pub struct RunResult {
+    /// The unified run report.
+    pub report: Report,
+    pub(crate) bytes: Option<Vec<u8>>,
+}
+
+impl RunResult {
+    /// The serialized output, when the sink was [`Sink::bytes`].
+    pub fn bytes(&self) -> Option<&[u8]> {
+        self.bytes.as_deref()
+    }
+
+    /// Consumes the result into the serialized output, when the sink was
+    /// [`Sink::bytes`].
+    pub fn into_bytes(self) -> Option<Vec<u8>> {
+        self.bytes
+    }
+}
+
+/// Builder for one compression session. Construct with
+/// [`Pipeline::compress`]; see the [crate docs](crate) for the routing
+/// rules.
+#[derive(Debug)]
+pub struct CompressBuilder<'a> {
+    input: Option<Input<'a>>,
+    sink: Option<Sink<'a>>,
+    params: Params,
+    format: ArchiveFormat,
+    streaming: Option<bool>,
+    threads: Option<usize>,
+    batch_size: Option<usize>,
+    channel_capacity: Option<usize>,
+    idle_timeout: Option<Duration>,
+    prefetch_mb: Option<u64>,
+    readers: Option<usize>,
+}
+
+impl Pipeline {
+    /// Starts a compression session: one [`Input`], one [`Sink`], tuning
+    /// in between, then [`run()`](CompressBuilder::run).
+    pub fn compress<'a>() -> CompressBuilder<'a> {
+        CompressBuilder {
+            input: None,
+            sink: None,
+            params: Params::paper(),
+            format: ArchiveFormat::V2,
+            streaming: None,
+            threads: None,
+            batch_size: None,
+            channel_capacity: None,
+            idle_timeout: None,
+            prefetch_mb: None,
+            readers: None,
+        }
+    }
+}
+
+impl<'a> CompressBuilder<'a> {
+    /// The packet input (required).
+    pub fn input(mut self, input: Input<'a>) -> Self {
+        self.input = Some(input);
+        self
+    }
+
+    /// The archive output (required).
+    pub fn sink(mut self, sink: Sink<'a>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Compression parameters (default: [`Params::paper`]).
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Container format to write (default: [`ArchiveFormat::V2`]).
+    pub fn format(mut self, format: ArchiveFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Forces the streaming engine (`true`) or the batch compressor
+    /// (`false`). Unset, the session routes itself: engine/reader tuning,
+    /// multiple input files, or a non-collectible input select streaming;
+    /// a single file or an in-memory trace with no tuning runs batch.
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = Some(streaming);
+        self
+    }
+
+    /// Worker shards for the streaming engine (implies streaming;
+    /// `0` is a configuration error).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Packets per cross-thread batch (implies streaming; `0` is a
+    /// configuration error).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
+        self
+    }
+
+    /// Bounded in-flight batches per shard channel (implies streaming;
+    /// `0` is a configuration error).
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = Some(capacity);
+        self
+    }
+
+    /// Evict flows idle longer than this much *trace* time (implies
+    /// streaming).
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Prefetch file reads on a dedicated I/O thread, double-buffering
+    /// chunks of this many MiB (implies streaming; `0` is a
+    /// configuration error — prefetching nothing is a misconfiguration,
+    /// not a mode).
+    pub fn prefetch_mb(mut self, mb: u64) -> Self {
+        self.prefetch_mb = Some(mb);
+        self
+    }
+
+    /// Parallel reader threads for multi-file input (implies streaming;
+    /// `0` is a configuration error).
+    pub fn readers(mut self, readers: usize) -> Self {
+        self.readers = Some(readers);
+        self
+    }
+
+    /// Runs the session: resolve the input, route to the batch
+    /// compressor or the streaming engine, serialize in the configured
+    /// container format, deliver to the sink, and report.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Config`] for invalid configuration (zero knobs,
+    /// empty input set, glob matching nothing, conflicting routing);
+    /// [`PipelineError::Read`] for input failures;
+    /// [`PipelineError::Write`] for sink failures.
+    pub fn run(self) -> Result<RunResult, PipelineError> {
+        let CompressBuilder {
+            input,
+            sink,
+            params,
+            format,
+            streaming,
+            threads,
+            batch_size,
+            channel_capacity,
+            idle_timeout,
+            prefetch_mb,
+            readers,
+        } = self;
+        let input = input.ok_or_else(|| {
+            PipelineError::config("compress session has no input — call .input(Input::…)")
+        })?;
+        let sink = sink.ok_or_else(|| {
+            PipelineError::config("compress session has no sink — call .sink(Sink::…)")
+        })?;
+        if threads == Some(0) {
+            return Err(PipelineError::config(
+                "threads must be ≥ 1 (got 0; zero worker shards would hang the router)",
+            ));
+        }
+        if batch_size == Some(0) {
+            return Err(PipelineError::config(
+                "batch_size must be ≥ 1 (got 0; empty batches would never hand packets over)",
+            ));
+        }
+        if channel_capacity == Some(0) {
+            return Err(PipelineError::config(
+                "channel_capacity must be ≥ 1 (got 0; a zero-slot channel would deadlock)",
+            ));
+        }
+        if readers == Some(0) {
+            return Err(PipelineError::config(
+                "readers must be ≥ 1 (got 0; zero reader threads would never deliver a packet)",
+            ));
+        }
+        if prefetch_mb == Some(0) {
+            return Err(PipelineError::config(
+                "prefetch_mb must be ≥ 1 when prefetch is enabled (got 0; \
+                 omit .prefetch_mb() to disable prefetching)",
+            ));
+        }
+
+        let inputs_desc = input.describe();
+        // Expand patterns now so "matched no files" surfaces as a clear
+        // configuration error before any thread or file is touched.
+        let kind = match input.kind {
+            InputKind::Patterns(pats) => {
+                let paths = glob::expand_all(&pats).map_err(PipelineError::config)?;
+                InputKind::Files(paths)
+            }
+            other => other,
+        };
+        if matches!(&kind, InputKind::Files(paths) if paths.is_empty()) {
+            return Err(PipelineError::config(
+                "compress input set is empty — give at least one file or pattern",
+            ));
+        }
+        if matches!(kind, InputKind::Bytes(_)) {
+            return Err(PipelineError::config(
+                "Input::bytes feeds decompression; compress wants packets \
+                 (Input::file/files/glob/trace/packets/source)",
+            ));
+        }
+        // File-ingest knobs on a non-file input would be silently
+        // ignored — reject them instead, like every other nonsense knob.
+        if !matches!(&kind, InputKind::Files(_)) && (readers.is_some() || prefetch_mb.is_some()) {
+            return Err(PipelineError::config(
+                "readers/prefetch_mb tune file ingest and have no effect on in-memory or \
+                 pre-opened inputs — drop them, or configure the source itself \
+                 (e.g. MultiFileConfig) before Input::source",
+            ));
+        }
+
+        // Routing: explicit wins; otherwise any engine/reader knob, a
+        // multi-file set, or a stream-shaped input selects the engine —
+        // exactly the dispatch the CLI used to hand-roll.
+        let engine_knobs = threads.is_some()
+            || batch_size.is_some()
+            || channel_capacity.is_some()
+            || idle_timeout.is_some()
+            || prefetch_mb.is_some()
+            || readers.is_some();
+        let multi_file = matches!(&kind, InputKind::Files(p) if p.len() > 1);
+        let use_streaming = match streaming {
+            Some(s) => s,
+            None => {
+                engine_knobs
+                    || multi_file
+                    || matches!(kind, InputKind::Packets(_) | InputKind::Stream { .. })
+            }
+        };
+        if !use_streaming && multi_file {
+            return Err(PipelineError::config(
+                "multiple input files always stream as one ordered trace — \
+                 drop .streaming(false) or pass a single file",
+            ));
+        }
+        if !use_streaming && engine_knobs {
+            return Err(PipelineError::config(
+                "threads/batch_size/channel_capacity/idle_timeout/readers/prefetch_mb \
+                 tune the streaming engine — drop .streaming(false) to use them",
+            ));
+        }
+
+        let context = format!("compress {}", inputs_desc.join(" "));
+        let (bytes, mut report) = if use_streaming {
+            run_streaming(
+                kind,
+                &context,
+                params,
+                format,
+                threads,
+                batch_size,
+                channel_capacity,
+                idle_timeout,
+                prefetch_mb,
+                readers,
+            )?
+        } else {
+            run_batch(kind, &context, params, format)?
+        };
+        report.inputs = inputs_desc;
+        report.output = sink.path();
+        report.output_bytes = bytes.len() as u64;
+        let bytes = sink.deliver(bytes)?;
+        Ok(RunResult { report, bytes })
+    }
+}
+
+/// The streaming route: build the engine, wire the input as a packet
+/// stream (with its [`IoStats`] handle when it has one), and compress to
+/// archive bytes.
+#[allow(clippy::too_many_arguments)]
+fn run_streaming(
+    kind: InputKind<'_>,
+    context: &str,
+    params: Params,
+    format: ArchiveFormat,
+    threads: Option<usize>,
+    batch_size: Option<usize>,
+    channel_capacity: Option<usize>,
+    idle_timeout: Option<Duration>,
+    prefetch_mb: Option<u64>,
+    readers: Option<usize>,
+) -> Result<(Vec<u8>, Report), PipelineError> {
+    let mut builder = StreamingEngine::builder()
+        .params(params)
+        .format(format)
+        .idle_timeout(idle_timeout);
+    if let Some(t) = threads {
+        builder = builder.shards(t);
+    }
+    let batch = batch_size.unwrap_or(1024);
+    builder = builder.batch_size(batch);
+    if let Some(c) = channel_capacity {
+        builder = builder.channel_capacity(c);
+    }
+    let engine = builder
+        .try_build()
+        .map_err(|e| PipelineError::config(e.to_string()))?;
+    let prefetch = prefetch_mb.map(PrefetchConfig::with_chunk_mb);
+
+    let read_err = |e| PipelineError::read(context.to_string(), e);
+    let (bytes, engine_report, stats) = match kind {
+        InputKind::Files(paths) => {
+            // An explicit reader count routes even a single file through
+            // the multi-file source: its reader thread moves decode off
+            // the router, which is what the knob asks for.
+            let (stats, bytes_report) = if paths.len() > 1 || readers.is_some() {
+                let source = MultiFileSource::open(
+                    &paths,
+                    MultiFileConfig {
+                        readers: readers.unwrap_or(2),
+                        batch_packets: batch,
+                        queue_batches: 4,
+                        prefetch,
+                    },
+                )
+                .map_err(read_err)?;
+                (
+                    source.stats(),
+                    engine
+                        .compress_stream_to_bytes(source.into_packets())
+                        .map_err(read_err)?,
+                )
+            } else {
+                let source = FileSource::open_with(&paths[0], prefetch).map_err(read_err)?;
+                (
+                    source.stats(),
+                    engine
+                        .compress_stream_to_bytes(source.into_packets())
+                        .map_err(read_err)?,
+                )
+            };
+            (bytes_report.0, bytes_report.1, Some(stats))
+        }
+        InputKind::Trace(trace) => {
+            let (b, er) = engine
+                .compress_stream_to_bytes(trace.iter().cloned().map(Ok))
+                .map_err(read_err)?;
+            (b, er, None)
+        }
+        InputKind::Packets(packets) => {
+            let (b, er) = engine
+                .compress_stream_to_bytes(packets.map(Ok))
+                .map_err(read_err)?;
+            (b, er, None)
+        }
+        InputKind::Stream { stats, packets, .. } => {
+            let (b, er) = engine.compress_stream_to_bytes(packets).map_err(read_err)?;
+            (b, er, Some(stats))
+        }
+        InputKind::Patterns(_) | InputKind::Bytes(_) => {
+            unreachable!("patterns expanded and bytes rejected before routing")
+        }
+    };
+
+    let report = streaming_report(engine_report, format, stats.as_ref());
+    Ok((bytes, report))
+}
+
+/// Folds an [`EngineReport`] into the unified [`Report`], charging the
+/// drained source's [`IoStats`] (when the input had one) to the
+/// read-wait/compute split — the same [`Timing::new`] clamp the batch
+/// and decompress routes use, so the three report pipelines cannot
+/// drift.
+fn streaming_report(er: EngineReport, format: ArchiveFormat, stats: Option<&IoStats>) -> Report {
+    let mut report = Report::new(Mode::Compress);
+    report.packets = er.report.packets;
+    report.flows = er.report.flows;
+    report.engine = Some(EngineSummary {
+        shards: er.shards,
+        evicted_flows: er.evicted_flows,
+    });
+    report.archive = Some(ArchiveSummary {
+        format,
+        sections: er.sections as u64,
+        file_bytes: er.archive_bytes,
+        short_templates: er.report.clusters,
+        long_templates: er.report.long_flows,
+        addresses: er.report.addresses,
+        sizes: Some(er.report.sizes),
+    });
+    // Raw-iterator runs carry no stats handle; their read-wait stays at
+    // the engine's zero.
+    let read_wait = stats.map_or(er.read_wait_secs, |s| s.read_wait_secs());
+    let mut timing = Timing::new(
+        er.elapsed_secs,
+        read_wait,
+        er.report.packets,
+        er.report.tsh_bytes,
+    );
+    timing.serialize_secs = er.serialize_secs;
+    report.timing = Some(timing);
+    report.compression = Some(er.report);
+    report
+}
+
+/// The batch route: collect the input into one in-memory [`Trace`], run
+/// the classic [`Compressor`], and encode in the configured container.
+fn run_batch(
+    kind: InputKind<'_>,
+    context: &str,
+    params: Params,
+    format: ArchiveFormat,
+) -> Result<(Vec<u8>, Report), PipelineError> {
+    let started = Instant::now();
+    let read_err = |e| PipelineError::read(context.to_string(), e);
+    let mut stats = IoStats::new();
+    let owned: Trace;
+    let trace: &Trace = match kind {
+        InputKind::Trace(t) => t,
+        InputKind::Files(paths) => {
+            debug_assert_eq!(paths.len(), 1, "multi-file batch rejected in run()");
+            // A plain timed read: blocked read() time still lands in the
+            // report's read-wait split, like the streaming path.
+            let source = FileSource::open(&paths[0]).map_err(read_err)?;
+            stats = source.stats();
+            let mut t = Trace::new();
+            for p in source.into_packets() {
+                t.push(p.map_err(read_err)?);
+            }
+            owned = t;
+            &owned
+        }
+        InputKind::Packets(packets) => {
+            let mut t = Trace::new();
+            for p in packets {
+                t.push(p);
+            }
+            owned = t;
+            &owned
+        }
+        InputKind::Stream {
+            stats: source_stats,
+            packets,
+            ..
+        } => {
+            // The source's counters still feed the read-wait split even
+            // on the batch route.
+            stats = source_stats;
+            let mut t = Trace::new();
+            for p in packets {
+                t.push(p.map_err(read_err)?);
+            }
+            owned = t;
+            &owned
+        }
+        InputKind::Patterns(_) | InputKind::Bytes(_) => {
+            unreachable!("patterns expanded and bytes rejected before routing")
+        }
+    };
+
+    let (archive, mut comp) = Compressor::new(params).compress(trace);
+    // The report's sizes/ratios must describe the container actually
+    // written, not the compressor's internal v1 encode.
+    let ser = Instant::now();
+    let bytes = match format {
+        ArchiveFormat::V1 => archive.to_bytes(),
+        ArchiveFormat::V2 => {
+            let (bytes, sizes) = archive.encode_v2();
+            comp.sizes = sizes;
+            if comp.tsh_bytes > 0 {
+                comp.ratio_vs_tsh = sizes.total() as f64 / comp.tsh_bytes as f64;
+            }
+            if comp.packets > 0 {
+                comp.ratio_vs_headers =
+                    sizes.total() as f64 / (comp.packets * HEADER_BYTES as u64) as f64;
+            }
+            bytes
+        }
+    };
+    let serialize_secs = ser.elapsed().as_secs_f64();
+
+    let mut report = Report::new(Mode::Compress);
+    report.packets = comp.packets;
+    report.flows = comp.flows;
+    report.archive = Some(ArchiveSummary {
+        format,
+        sections: 1,
+        file_bytes: bytes.len() as u64,
+        short_templates: comp.clusters,
+        long_templates: comp.long_flows,
+        addresses: comp.addresses,
+        sizes: Some(comp.sizes),
+    });
+    let mut timing = Timing::new(
+        started.elapsed().as_secs_f64(),
+        stats.read_wait_secs(),
+        comp.packets,
+        comp.tsh_bytes,
+    );
+    timing.serialize_secs = serialize_secs;
+    report.timing = Some(timing);
+    report.compression = Some(comp);
+    Ok((bytes, report))
+}

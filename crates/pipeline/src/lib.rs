@@ -1,0 +1,90 @@
+//! **One `Pipeline` session API**: Source → Engine → Sink, for compress
+//! *and* decompress.
+//!
+//! The workspace grew its capability crates bottom-up — the batch
+//! [`Compressor`](flowzip_core::Compressor), the sharded
+//! [`StreamingEngine`](flowzip_engine::StreamingEngine), the overlapped
+//! ingest sources in [`flowzip_io`] — and with them a thicket of
+//! overlapping entry points. This crate is the one front door: a
+//! builder-style *session* that names the input once, the output once,
+//! the tuning once, and routes internally to exactly the code path the
+//! legacy entry points exposed (the equivalence property tests in
+//! `tests/equivalence.rs` pin the output **byte-identical** to each one).
+//!
+//! ```text
+//! Input ── file / files / glob / trace / packets / source ─┐
+//!                                                          ▼
+//!                                    Pipeline::compress()  ─ batch Compressor
+//!                                          tuning          ─ or StreamingEngine
+//!                                                          ▼
+//! Sink ─── file / bytes / writer ◀─────────────────────────┘   + unified Report
+//! ```
+//!
+//! # Compress
+//!
+//! ```
+//! use flowzip_pipeline::{Input, Pipeline, Sink};
+//! use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+//!
+//! let trace = WebTrafficGenerator::new(
+//!     WebTrafficConfig { flows: 100, ..Default::default() }, 7).generate();
+//!
+//! let result = Pipeline::compress()
+//!     .input(Input::trace(&trace))
+//!     .sink(Sink::bytes())
+//!     .run()
+//!     .unwrap();
+//! let report = &result.report;
+//! assert!(report.compression.as_ref().unwrap().ratio_vs_tsh < 0.10);
+//! let archive_bytes = result.into_bytes().unwrap();
+//!
+//! // Decompress is the symmetric session: archive in, trace out.
+//! let restored = Pipeline::decompress()
+//!     .input(Input::bytes(archive_bytes))
+//!     .sink(Sink::bytes())
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(restored.report.packets as usize, trace.len());
+//! ```
+//!
+//! # Routing
+//!
+//! Unset, the session picks its engine the way the CLI used to:
+//! engine/reader tuning (`threads`, `batch_size`, `idle_timeout`,
+//! `readers`, `prefetch_mb`, `channel_capacity`), more than one input
+//! file, or a stream-shaped input ([`Input::packets`], [`Input::source`])
+//! select the sharded streaming engine; a single file or an in-memory
+//! trace with no tuning runs the batch compressor.
+//! [`CompressBuilder::streaming`] forces either route — and conflicting
+//! combinations (multi-file batch, engine knobs with `streaming(false)`,
+//! any zero-valued knob, an empty file list, a glob matching nothing) are
+//! rejected up front with a descriptive [`PipelineError::Config`] instead
+//! of panicking, hanging, or silently compressing nothing.
+//!
+//! # The unified report
+//!
+//! Every session returns one [`Report`] merging the batch
+//! [`CompressionReport`](flowzip_core::CompressionReport), the streaming
+//! [`EngineReport`](flowzip_engine::EngineReport) figures and the
+//! [`IoStats`](flowzip_io::IoStats) read-wait/compute split behind one
+//! stable [`Report::to_json`] schema — the same schema `flowzip compress
+//! --json`, `flowzip decompress --json` and `flowzip info --json` print.
+
+pub mod compress;
+pub mod decompress;
+pub mod error;
+pub mod input;
+pub mod report;
+pub mod sink;
+
+pub use compress::{CompressBuilder, RunResult};
+pub use decompress::DecompressBuilder;
+pub use error::PipelineError;
+pub use input::Input;
+pub use report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
+pub use sink::Sink;
+
+/// The session entry point: [`Pipeline::compress`] and
+/// [`Pipeline::decompress`] start a builder each.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline;

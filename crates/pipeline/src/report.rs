@@ -1,0 +1,486 @@
+//! The unified run [`Report`]: one structure — and one stable JSON
+//! schema — for compress, decompress and archive-inspection runs.
+//!
+//! Before the pipeline existed the CLI stitched three report shapes
+//! together by hand: `CompressionReport` for batch runs, `EngineReport`
+//! for streaming runs, and an ad-hoc JSON literal for `info`. This type
+//! merges them: every mode fills the subset of fields it knows
+//! ([`Report::compression`], [`Report::engine`], [`Report::archive`],
+//! [`Report::timing`]), and [`Report::to_json`] emits the present fields
+//! in one fixed order, so `flowzip compress --json`,
+//! `flowzip decompress --json` and `flowzip info --json` all speak the
+//! same schema.
+
+use flowzip_core::datasets::CodecError;
+use flowzip_core::{container, ArchiveFormat, CompressedTrace, CompressionReport, DatasetSizes};
+use std::fmt;
+
+/// What kind of run the report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Packets in, archive out.
+    Compress,
+    /// Archive in, synthesized trace out.
+    Decompress,
+    /// Archive metadata only (`flowzip info`).
+    Info,
+}
+
+impl Mode {
+    /// The JSON `"mode"` value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Compress => "compress",
+            Mode::Decompress => "decompress",
+            Mode::Info => "info",
+        }
+    }
+}
+
+/// Archive-shaped facts: container layout plus dataset footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveSummary {
+    /// Container layout written or read.
+    pub format: ArchiveFormat,
+    /// Archive sections (v2: per shard; v1: always 1).
+    pub sections: u64,
+    /// Whole-file size in bytes.
+    pub file_bytes: u64,
+    /// `short-flows-template` entries (cluster centers).
+    pub short_templates: u64,
+    /// `long-flows-template` entries (verbatim long flows).
+    pub long_templates: u64,
+    /// Unique destination addresses.
+    pub addresses: u64,
+    /// Byte footprint per §3 dataset, when the run measured it
+    /// (inspection and compress runs always do; decompress skips the
+    /// measurement when it would cost a full v1 re-encode).
+    pub sizes: Option<DatasetSizes>,
+}
+
+impl ArchiveSummary {
+    /// Summarizes serialized archive bytes: detects the container,
+    /// decodes it, and measures the real file layout (a multi-section v2
+    /// index would not survive a re-encode). Returns the decoded archive
+    /// too, so callers needing its contents decode once.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when the bytes are not a valid v1/v2 archive.
+    pub fn inspect(bytes: &[u8]) -> Result<(CompressedTrace, ArchiveSummary), CodecError> {
+        ArchiveSummary::inspect_inner(bytes, true)
+    }
+
+    /// [`ArchiveSummary::inspect`] without the per-dataset size
+    /// measurement when it is not already cheap: v2 sizes come from a
+    /// header scan either way, but v1 sizes would cost a full re-encode
+    /// of the archive — which a decompress session has no use for.
+    pub fn inspect_lean(bytes: &[u8]) -> Result<(CompressedTrace, ArchiveSummary), CodecError> {
+        ArchiveSummary::inspect_inner(bytes, false)
+    }
+
+    fn inspect_inner(
+        bytes: &[u8],
+        measure_v1: bool,
+    ) -> Result<(CompressedTrace, ArchiveSummary), CodecError> {
+        let format = ArchiveFormat::detect(bytes)?;
+        let archive = CompressedTrace::from_bytes(bytes)?;
+        let (sections, sizes) = match format {
+            ArchiveFormat::V1 => (1, measure_v1.then(|| archive.encode().1)),
+            ArchiveFormat::V2 => (
+                container::v2_counts(bytes)?.3,
+                Some(container::v2_sizes(bytes)?),
+            ),
+        };
+        let summary = ArchiveSummary {
+            format,
+            sections,
+            file_bytes: bytes.len() as u64,
+            short_templates: archive.short_templates.len() as u64,
+            long_templates: archive.long_templates.len() as u64,
+            addresses: archive.addresses.len() as u64,
+            sizes,
+        };
+        Ok((archive, summary))
+    }
+}
+
+/// Streaming-engine facts only a sharded run can know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Worker shards the run used.
+    pub shards: usize,
+    /// Flows force-closed by idle-timeout eviction.
+    pub evicted_flows: u64,
+}
+
+/// Wall-clock accounting for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Seconds spent blocked waiting on input.
+    pub read_wait_secs: f64,
+    /// `elapsed − read_wait`, clamped at zero.
+    pub compute_secs: f64,
+    /// Seconds of serial serialization tail.
+    pub serialize_secs: f64,
+    /// Packets consumed per wall-clock second.
+    pub packets_per_sec: f64,
+    /// Input throughput in TSH megabytes per second.
+    pub mb_per_sec: f64,
+}
+
+impl Timing {
+    /// Builds the throughput figures from totals, guarding `elapsed = 0`.
+    pub(crate) fn new(
+        elapsed_secs: f64,
+        read_wait_secs: f64,
+        packets: u64,
+        tsh_bytes: u64,
+    ) -> Timing {
+        let read_wait_secs = read_wait_secs.min(elapsed_secs);
+        let div = elapsed_secs.max(f64::EPSILON);
+        Timing {
+            elapsed_secs,
+            read_wait_secs,
+            compute_secs: (elapsed_secs - read_wait_secs).max(0.0),
+            serialize_secs: 0.0,
+            packets_per_sec: packets as f64 / div,
+            mb_per_sec: tsh_bytes as f64 / div / 1e6,
+        }
+    }
+}
+
+/// The unified run report every pipeline session returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// What kind of run this was.
+    pub mode: Mode,
+    /// Input names (paths, patterns, or `<in-memory …>` placeholders).
+    pub inputs: Vec<String>,
+    /// Output path, when the sink had one.
+    pub output: Option<String>,
+    /// Packets processed (consumed for compress, produced for
+    /// decompress, stored for info).
+    pub packets: u64,
+    /// Flows processed.
+    pub flows: u64,
+    /// The batch-compatible §3/§5 compression report (compress runs).
+    pub compression: Option<CompressionReport>,
+    /// Streaming-engine figures (sharded compress runs only).
+    pub engine: Option<EngineSummary>,
+    /// Archive container facts (every mode that touched an archive).
+    pub archive: Option<ArchiveSummary>,
+    /// Wall-clock accounting (compress and decompress runs).
+    pub timing: Option<Timing>,
+    /// Bytes delivered to the sink.
+    pub output_bytes: u64,
+}
+
+impl Report {
+    /// An empty report in `mode`; the session fills what it knows.
+    pub fn new(mode: Mode) -> Report {
+        Report {
+            mode,
+            inputs: Vec::new(),
+            output: None,
+            packets: 0,
+            flows: 0,
+            compression: None,
+            engine: None,
+            archive: None,
+            timing: None,
+            output_bytes: 0,
+        }
+    }
+
+    /// An [`Mode::Info`] report for serialized archive bytes — what
+    /// `flowzip info` prints.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when the bytes are not a valid archive.
+    pub fn inspect(bytes: &[u8]) -> Result<Report, CodecError> {
+        let (archive, summary) = ArchiveSummary::inspect(bytes)?;
+        let mut report = Report::new(Mode::Info);
+        report.packets = archive.packet_count();
+        report.flows = archive.flow_count() as u64;
+        report.archive = Some(summary);
+        Ok(report)
+    }
+
+    /// Open-flow high-water mark, when the run tracked one.
+    pub fn peak_active_flows(&self) -> u64 {
+        self.compression.as_ref().map_or(0, |c| c.peak_active_flows)
+    }
+
+    /// Serializes the report as one JSON object in the **stable unified
+    /// schema**: fields appear in a fixed order and absent groups are
+    /// omitted (never emitted as `null`), so `compress --json`,
+    /// `decompress --json` and `info --json` are the same shape with
+    /// different subsets present.
+    pub fn to_json(&self) -> String {
+        let mut j = Json::new();
+        j.str("mode", self.mode.as_str());
+        if !self.inputs.is_empty() {
+            j.str_array("inputs", &self.inputs);
+        }
+        if let Some(out) = &self.output {
+            j.str("output", out);
+        }
+        j.num("packets", self.packets);
+        j.num("flows", self.flows);
+        if let Some(c) = &self.compression {
+            j.num("short_flows", c.short_flows);
+            j.num("long_flows", c.long_flows);
+            j.num("clusters", c.clusters);
+            j.num("matched_flows", c.matched_flows);
+            j.num("addresses", c.addresses);
+            j.num("peak_active_flows", c.peak_active_flows);
+            j.num("tsh_bytes", c.tsh_bytes);
+            j.f6("ratio_vs_tsh", c.ratio_vs_tsh);
+            j.f6("ratio_vs_headers", c.ratio_vs_headers);
+        }
+        if let Some(e) = &self.engine {
+            j.num("shards", e.shards as u64);
+            j.num("evicted_flows", e.evicted_flows);
+        }
+        if let Some(a) = &self.archive {
+            j.str("format", &a.format.to_string());
+            j.num("sections", a.sections);
+            j.num("file_bytes", a.file_bytes);
+            j.num("archive_bytes", a.file_bytes);
+            j.num("short_templates", a.short_templates);
+            j.num("long_templates", a.long_templates);
+            if self.compression.is_none() {
+                j.num("addresses", a.addresses);
+            }
+        }
+        if let Some(t) = &self.timing {
+            j.f6("elapsed_secs", t.elapsed_secs);
+            j.f6("read_wait_secs", t.read_wait_secs);
+            j.f6("compute_secs", t.compute_secs);
+            j.f6("serialize_secs", t.serialize_secs);
+            j.f0("packets_per_sec", t.packets_per_sec);
+            j.f2("mb_per_sec", t.mb_per_sec);
+        }
+        j.num("output_bytes", self.output_bytes);
+        if let Some(sizes) = self.archive.as_ref().and_then(|a| a.sizes) {
+            j.raw(
+                "dataset_bytes",
+                &format!(
+                    concat!(
+                        "{{\n",
+                        "    \"header\": {},\n",
+                        "    \"short_templates\": {},\n",
+                        "    \"long_templates\": {},\n",
+                        "    \"addresses\": {},\n",
+                        "    \"time_seq\": {}\n",
+                        "  }}"
+                    ),
+                    sizes.header,
+                    sizes.short_templates,
+                    sizes.long_templates,
+                    sizes.addresses,
+                    sizes.time_seq,
+                ),
+            );
+        }
+        j.finish()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mode {
+            Mode::Compress => {
+                if let Some(c) = &self.compression {
+                    write!(f, "{c}")?;
+                }
+                match (&self.engine, &self.timing) {
+                    (Some(e), Some(t)) => {
+                        write!(
+                            f,
+                            "; {} shards, {:.2}s, {:.0} packets/s ({:.2} MB/s), \
+                             peak {} active flows, {} evicted",
+                            e.shards,
+                            t.elapsed_secs,
+                            t.packets_per_sec,
+                            t.mb_per_sec,
+                            self.peak_active_flows(),
+                            e.evicted_flows
+                        )?;
+                        if t.read_wait_secs > 0.0 {
+                            write!(
+                                f,
+                                "; read-wait {:.3}s / compute {:.3}s",
+                                t.read_wait_secs, t.compute_secs
+                            )?;
+                        }
+                        if let Some(a) = &self.archive {
+                            write!(
+                                f,
+                                "; {} section archive, {} B, serial tail {:.4}s",
+                                a.sections, a.file_bytes, t.serialize_secs
+                            )?;
+                        }
+                    }
+                    _ => write!(f, "; peak {} active flows", self.peak_active_flows())?,
+                }
+                Ok(())
+            }
+            Mode::Decompress => write!(
+                f,
+                "decompressed {} packets from {} flows ({} B written)",
+                self.packets, self.flows, self.output_bytes
+            ),
+            Mode::Info => {
+                let (format, bytes) = self
+                    .archive
+                    .as_ref()
+                    .map(|a| (a.format.to_string(), a.file_bytes))
+                    .unwrap_or_default();
+                write!(
+                    f,
+                    "{format} archive: {} flows, {} packets, {bytes} B",
+                    self.flows, self.packets
+                )
+            }
+        }
+    }
+}
+
+/// Escapes a string for a JSON string literal (quote, backslash, control
+/// characters — `str::escape_default` is *not* JSON: it emits `\'` and
+/// `\u{…}`, which JSON parsers reject).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal ordered-field JSON object writer (the workspace is
+/// dependency-free, so the schema is hand-rolled in exactly one place —
+/// here).
+struct Json {
+    buf: String,
+    any: bool,
+}
+
+impl Json {
+    fn new() -> Json {
+        Json {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push_str("\n  \"");
+        self.buf.push_str(key);
+        self.buf.push_str("\": ");
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+    }
+
+    fn str_array(&mut self, key: &str, values: &[String]) {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            self.buf.push('"');
+            self.buf.push_str(&json_escape(v));
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+    }
+
+    fn num(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+    }
+
+    fn f6(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.buf.push_str(&format!("{value:.6}"));
+    }
+
+    fn f2(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.buf.push_str(&format!("{value:.2}"));
+    }
+
+    fn f0(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.buf.push_str(&format!("{value:.0}"));
+    }
+
+    fn raw(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push_str(value);
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push_str("\n}");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn empty_compress_report_is_well_formed() {
+        let mut r = Report::new(Mode::Compress);
+        r.inputs = vec!["a.tsh".to_string()];
+        r.packets = 7;
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"mode\": \"compress\""), "{json}");
+        assert!(json.contains("\"inputs\": [\"a.tsh\"]"), "{json}");
+        assert!(json.contains("\"packets\": 7"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n}"), "no trailing comma: {json}");
+    }
+
+    #[test]
+    fn display_modes_have_distinct_shapes() {
+        let mut d = Report::new(Mode::Decompress);
+        d.packets = 10;
+        d.flows = 2;
+        d.output_bytes = 440;
+        assert_eq!(
+            d.to_string(),
+            "decompressed 10 packets from 2 flows (440 B written)"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! [`Sink`] — where a session's serialized output goes.
+
+use crate::error::PipelineError;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One session output: a file, an in-memory byte buffer returned from
+/// [`run()`](crate::CompressBuilder::run), or any [`Write`]r you own.
+pub struct Sink<'a> {
+    pub(crate) kind: SinkKind<'a>,
+}
+
+pub(crate) enum SinkKind<'a> {
+    File(PathBuf),
+    Bytes,
+    Writer(Box<dyn Write + 'a>),
+}
+
+impl<'a> Sink<'a> {
+    /// Write the output to `path` (created or truncated).
+    pub fn file(path: impl AsRef<Path>) -> Sink<'static> {
+        Sink {
+            kind: SinkKind::File(path.as_ref().to_path_buf()),
+        }
+    }
+
+    /// Keep the output in memory;
+    /// [`RunResult::into_bytes`](crate::RunResult::into_bytes) hands it
+    /// back.
+    pub fn bytes() -> Sink<'static> {
+        Sink {
+            kind: SinkKind::Bytes,
+        }
+    }
+
+    /// Stream the output into any writer (a socket, a compressor, a
+    /// test buffer).
+    pub fn writer(writer: impl Write + 'a) -> Sink<'a> {
+        Sink {
+            kind: SinkKind::Writer(Box::new(writer)),
+        }
+    }
+
+    /// The sink's path, when it has one (for the report).
+    pub(crate) fn path(&self) -> Option<String> {
+        match &self.kind {
+            SinkKind::File(p) => Some(p.display().to_string()),
+            _ => None,
+        }
+    }
+
+    /// Delivers `bytes` to the sink. Returns the buffer back for
+    /// [`SinkKind::Bytes`], `None` otherwise.
+    pub(crate) fn deliver(self, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, PipelineError> {
+        match self.kind {
+            SinkKind::File(path) => {
+                std::fs::write(&path, &bytes)
+                    .map_err(|e| PipelineError::write(format!("write {}", path.display()), e))?;
+                Ok(None)
+            }
+            SinkKind::Bytes => Ok(Some(bytes)),
+            SinkKind::Writer(mut w) => {
+                w.write_all(&bytes)
+                    .and_then(|()| w.flush())
+                    .map_err(|e| PipelineError::write("write sink", e))?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Sink<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SinkKind::File(p) => f.debug_tuple("Sink::file").field(p).finish(),
+            SinkKind::Bytes => write!(f, "Sink::bytes"),
+            SinkKind::Writer(_) => write!(f, "Sink::writer(..)"),
+        }
+    }
+}

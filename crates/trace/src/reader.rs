@@ -1,6 +1,6 @@
 //! Capture-format detection and the format-agnostic packet reader.
 //!
-//! [`TshReader`](crate::TshReader) and [`PcapReader`](crate::PcapReader)
+//! [`TshReader`] and [`PcapReader`]
 //! both present a capture file as an iterator of
 //! `Result<PacketRecord, TraceError>`; this module extracts the piece
 //! every consumer (the CLI, the `flowzip-io` input subsystem, the

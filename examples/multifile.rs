@@ -1,18 +1,17 @@
-//! Tour of the `flowzip-io` overlapped-ingest subsystem.
+//! Tour of the `flowzip-io` overlapped-ingest subsystem, driven through
+//! the `Pipeline` session API.
 //!
 //! Generates a Web trace, lays it out on disk three ways — one TSH file,
 //! the same file behind a prefetching I/O thread, and a pre-split
 //! four-chunk set drained by parallel readers — and compresses each
-//! through the streaming engine. All three archives are byte-identical;
-//! what changes is *where* the read+decode time goes, which the engine
+//! through one pipeline session. All three archives are byte-identical;
+//! what changes is *where* the read+decode time goes, which the unified
 //! report's read-wait/compute split makes visible.
 //!
 //! ```text
 //! cargo run --release --example multifile
 //! ```
 
-use flowzip::engine::StreamingEngine;
-use flowzip::io::{FileSource, MultiFileConfig, MultiFileSource, PrefetchConfig};
 use flowzip::prelude::*;
 use flowzip::trace::tsh;
 
@@ -48,37 +47,51 @@ fn main() {
         })
         .collect();
 
-    let engine = StreamingEngine::builder().shards(2).build();
-
     // 1. Classic: one file, reads on the consuming thread. The report
     //    charges blocking read() time as read-wait.
-    let source = FileSource::open(&whole).unwrap();
-    let (plain_bytes, report) = engine.compress_source_to_bytes(source).unwrap();
-    println!("single reader : {report}");
+    let plain = Pipeline::compress()
+        .input(Input::file(&whole))
+        .sink(Sink::bytes())
+        .threads(2)
+        .run()
+        .unwrap();
+    println!("single reader : {}", plain.report);
 
     // 2. Prefetched: a dedicated I/O thread double-buffers 1 MiB chunks
     //    ahead of the parser; only hand-off waits count as read-wait.
-    let source = FileSource::open_prefetched(&whole, PrefetchConfig::default()).unwrap();
-    let (prefetch_bytes, report) = engine.compress_source_to_bytes(source).unwrap();
-    println!("prefetched    : {report}");
+    let prefetched = Pipeline::compress()
+        .input(Input::file(&whole))
+        .sink(Sink::bytes())
+        .threads(2)
+        .prefetch_mb(1)
+        .run()
+        .unwrap();
+    println!("prefetched    : {}", prefetched.report);
 
     // 3. Multi-file: the chunk set as one logical stream, two parallel
-    //    reader threads decoding ahead while the engine compresses.
+    //    reader threads decoding ahead while the engine compresses. An
+    //    already-configured InputSource plugs in via Input::source just
+    //    the same.
     let source = MultiFileSource::open(&chunks, MultiFileConfig::with_readers(2)).unwrap();
     println!(
         "multi-file    : {} chunks, {} format",
         chunks.len(),
         source.format()
     );
-    let (multi_bytes, report) = engine.compress_source_to_bytes(source).unwrap();
-    println!("              : {report}");
+    let multi = Pipeline::compress()
+        .input(Input::source(source))
+        .sink(Sink::bytes())
+        .threads(2)
+        .run()
+        .unwrap();
+    println!("              : {}", multi.report);
 
     // The ingest path never changes the archive.
-    assert_eq!(plain_bytes, prefetch_bytes);
-    assert_eq!(plain_bytes, multi_bytes);
+    assert_eq!(plain.bytes(), prefetched.bytes());
+    assert_eq!(plain.bytes(), multi.bytes());
     println!(
         "\nall three ingest paths produced the identical {}-byte archive",
-        multi_bytes.len()
+        multi.bytes().unwrap().len()
     );
 
     std::fs::remove_dir_all(&dir).ok();

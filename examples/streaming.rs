@@ -1,4 +1,9 @@
-//! Library-level tour of the sharded streaming engine.
+//! Low-level tour of the sharded streaming engine.
+//!
+//! Most applications should sit one level up, on the `Pipeline` session
+//! API (`cargo run --example pipeline`); this example deliberately uses
+//! the engine's primitive entry points — `compress_stream` /
+//! `compress_stream_to_bytes` — to show what the pipeline routes to.
 //!
 //! Generates a seeded Web trace, then compresses it three ways — batch,
 //! single-shard streaming (byte-identical to batch), and sharded
@@ -32,7 +37,9 @@ fn main() {
     // One shard, no eviction: same algorithm run streaming. The archive
     // is byte-for-byte the batch archive.
     let sequential = StreamingEngine::builder().shards(1).build();
-    let (seq_archive, seq) = sequential.compress_trace(&trace).unwrap();
+    let (seq_archive, seq) = sequential
+        .compress_stream(trace.iter().cloned().map(Ok))
+        .unwrap();
     assert_eq!(seq_archive.to_bytes(), batch_archive.to_bytes());
     println!("1 shard   : {seq}");
 
@@ -45,7 +52,9 @@ fn main() {
         .channel_capacity(8)
         .idle_timeout(Some(Duration::from_secs(60)))
         .build();
-    let (archive, sharded) = engine.compress_trace(&trace).unwrap();
+    let (archive, sharded) = engine
+        .compress_stream(trace.iter().cloned().map(Ok))
+        .unwrap();
     println!("4 shards  : {sharded}");
     assert_eq!(sharded.report.flows, batch.flows);
     assert_eq!(sharded.report.packets, batch.packets);

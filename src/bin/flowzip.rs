@@ -9,9 +9,15 @@
 //! flowzip compress   'trace-*.tsh' -o web.fzc --readers 4 --prefetch-mb 4
 //! flowzip compress   web.tsh -o web.fzc --format v1
 //! flowzip info       web.fzc [--json]
-//! flowzip decompress web.fzc -o web-restored.tsh
+//! flowzip decompress web.fzc -o web-restored.tsh [--json] [--out-format tsh|pcap]
 //! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
 //! ```
+//!
+//! Every subcommand that compresses, decompresses or inspects is a thin
+//! shell over `flowzip::pipeline` — the CLI just maps flags onto one
+//! [`Pipeline`] session and prints the unified [`Report`] (human text or,
+//! with `--json`, the one stable `Report::to_json()` schema shared by
+//! `compress`, `decompress` and `info`).
 //!
 //! Compression input is TSH (the NLANR 44-byte-record format) or pcap,
 //! auto-detected from the file magic; pcap streams through `PcapReader`
@@ -19,26 +25,22 @@
 //! container v2 by default (magic `FZC2`, per-shard sections) —
 //! `--format v1` keeps the original single-blob layout, and reading
 //! (`info` / `decompress` / `synth`) transparently accepts both.
-//! `--streaming` runs the sharded `flowzip-engine` pipeline: the input
-//! file is never loaded whole, flows are accumulated across `--threads`
-//! workers, and `--idle-timeout` (seconds of trace time, 0 = off) bounds
-//! open-flow memory on long captures.
 //!
-//! Multiple compress inputs (explicit list or a quoted `*`/`?` filename
-//! glob) stream as *one* logical trace in argument order through
-//! `--readers N` parallel reader threads — the `flowzip-io` overlapped
-//! ingest path; the archive is byte-identical to compressing the
-//! concatenated stream with one reader. `--prefetch-mb N` double-buffers
-//! file reads on a dedicated I/O thread for single-file runs too. The
-//! engine report splits wall-clock into read-wait vs. compute so I/O- and
-//! compute-bound runs are distinguishable at a glance.
+//! Routing (which the pipeline owns, not this file): any engine or
+//! reader flag — `--streaming`, `--threads`, `--idle-timeout`,
+//! `--batch-size`, `--readers`, `--prefetch-mb` — selects the sharded
+//! streaming engine, as do multiple input files (an explicit list or a
+//! quoted `*`/`?` glob streams as *one* logical trace in argument order
+//! through parallel reader threads, byte-identical to a single chained
+//! reader). A bare single-file `compress` runs the batch compressor.
+//! `--idle-timeout 0` and `--prefetch-mb 0` mean "off", but the flag's
+//! presence still selects the streaming route — both halves of the
+//! historical semantics.
 
-use flowzip::core::{container, synthesize, CompressedTrace, Compressor, Decompressor, Params};
-use flowzip::engine::StreamingEngine;
-use flowzip::io::{glob, FileSource, MultiFileConfig, MultiFileSource, PrefetchConfig};
+use flowzip::core::{synthesize, CompressedTrace};
+use flowzip::pipeline::{Input, Pipeline, Report, Sink};
 use flowzip::prelude::*;
-use flowzip::trace::packet::HEADER_BYTES;
-use flowzip::trace::reader::CaptureReader;
+use flowzip::trace::reader::CaptureFormat;
 use flowzip::trace::tsh;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -67,7 +69,7 @@ const USAGE: &str = "usage:
                      (any engine/reader flag implies --streaming;
                       multiple inputs always stream)
   flowzip info       IN.fzc [--json]
-  flowzip decompress IN.fzc  -o OUT.tsh [--seed K]
+  flowzip decompress IN.fzc  -o OUT.tsh [--seed K] [--json] [--out-format tsh|pcap]
   flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh";
 
 /// Flags that take no value.
@@ -156,48 +158,10 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Opens a TSH file as an incremental record reader; callers decide
-/// whether to stream it (engine) or collect it (batch, stats).
-fn open_tsh(path: &str) -> Result<tsh::TshReader<std::io::BufReader<std::fs::File>>, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    Ok(tsh::TshReader::new(std::io::BufReader::new(file)))
-}
-
 fn read_tsh(path: &str) -> Result<Trace, String> {
-    let mut trace = Trace::new();
-    for pkt in open_tsh(path)? {
-        trace.push(pkt.map_err(|e| format!("parse {path}: {e}"))?);
-    }
-    Ok(trace)
-}
-
-/// Escapes a string for embedding in a JSON string literal (quote,
-/// backslash, control characters — `str::escape_default` is *not* JSON:
-/// it emits `\'` and `\u{…}`, which JSON parsers reject).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Collects either capture format into memory (the batch path). Format
-/// sniffing and reader selection live in `flowzip::trace::reader` — ns
-/// pcap magics route to `PcapReader`'s clear "bad pcap magic" rejection.
-fn read_packets(path: &str) -> Result<Trace, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let reader = CaptureReader::open(std::io::BufReader::new(file))
-        .map_err(|e| format!("parse {path}: {e}"))?;
     let mut trace = Trace::new();
-    for pkt in reader {
+    for pkt in tsh::TshReader::new(std::io::BufReader::new(file)) {
         trace.push(pkt.map_err(|e| format!("parse {path}: {e}"))?);
     }
     Ok(trace)
@@ -252,112 +216,65 @@ fn compress(opts: &Opts) -> Result<(), String> {
     if opts.positional.is_empty() {
         return Err("missing input file".into());
     }
-    // Quoted globs expand here (unquoted ones the shell already did);
-    // each pattern's matches sort so numbered chunks keep capture order.
-    let inputs: Vec<PathBuf> = glob::expand_all(&opts.positional)?;
     let out = opts.out()?;
     let json = opts.get_bool("json");
-    let format = match opts.get("format") {
-        None => ArchiveFormat::V2,
-        Some(name) => ArchiveFormat::parse(name)?,
-    };
-    let readers = opts.get_u64("readers", 0)? as usize;
+
+    // The whole flag surface maps 1:1 onto pipeline knobs; routing
+    // (batch vs. streaming, single vs. multi-file, prefetch) lives in
+    // the pipeline, not here.
+    let mut session = Pipeline::compress()
+        .input(Input::globs(&opts.positional))
+        .sink(Sink::file(&out));
+    if let Some(name) = opts.get("format") {
+        session = session.format(ArchiveFormat::parse(name)?);
+    }
+    if opts.get_bool("streaming") {
+        session = session.streaming(true);
+    }
+    if opts.get("threads").is_some() {
+        session = session.threads(opts.get_u64("threads", 0)? as usize);
+    }
+    if opts.get("batch-size").is_some() {
+        session = session.batch_size(opts.get_u64("batch-size", 0)? as usize);
+    }
+    if opts.get("readers").is_some() {
+        session = session.readers(opts.get_u64("readers", 0)? as usize);
+    }
+    // 0 historically means "off" for these two — but the flag's
+    // *presence* still selects the streaming route, as it always did: a
+    // 50 GB capture compressed with `--idle-timeout 0` must not silently
+    // fall back to loading the whole file in memory.
+    let idle_secs = opts.get_u64("idle-timeout", 0)?;
+    if idle_secs > 0 {
+        session = session.idle_timeout(Duration::from_secs(idle_secs));
+    } else if opts.get("idle-timeout").is_some() {
+        session = session.streaming(true);
+    }
     let prefetch_mb = opts.get_u64("prefetch-mb", 0)?;
-    let prefetch = (prefetch_mb > 0).then(|| PrefetchConfig::with_chunk_mb(prefetch_mb));
-    // Any engine or reader knob implies streaming — silently falling
-    // back to the whole-file batch path would be exactly the OOM the
-    // engine prevents. Multiple inputs always stream: the multi-file
-    // source is the only path that treats them as one ordered trace.
-    let streaming = opts.get_bool("streaming")
-        || opts.get("threads").is_some()
-        || opts.get("idle-timeout").is_some()
-        || opts.get("batch-size").is_some()
-        || opts.get("readers").is_some()
-        || opts.get("prefetch-mb").is_some()
-        // --json reports the engine's machine-readable run report, which
-        // only a streaming run produces.
-        || json
-        || inputs.len() > 1;
-    let input_names = || {
-        inputs
-            .iter()
-            .map(|p| p.display().to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-    let bytes = if streaming {
-        let threads = opts.get_u64("threads", 0)? as usize;
-        let idle_secs = opts.get_u64("idle-timeout", 0)?;
-        let batch = opts.get_u64("batch-size", 1024)? as usize;
-        let mut builder = StreamingEngine::builder()
-            .batch_size(batch)
-            .format(format)
-            .idle_timeout((idle_secs > 0).then(|| Duration::from_secs(idle_secs)));
-        if threads > 0 {
-            builder = builder.shards(threads);
-        }
-        let engine = builder.build();
-        let compress_err = |e| format!("compress {}: {e}", input_names());
-        // An explicit --readers on a single file still goes through the
-        // multi-file source: its reader thread moves decode off the
-        // router, which is what the flag asks for — silently falling
-        // back to inline reads would ignore it.
-        let (bytes, report) = if inputs.len() > 1 || readers > 0 {
-            let source = MultiFileSource::open(
-                &inputs,
-                MultiFileConfig {
-                    readers: if readers > 0 { readers } else { 2 },
-                    batch_packets: batch,
-                    queue_batches: 4,
-                    prefetch,
-                },
-            )
-            .map_err(compress_err)?;
-            engine
-                .compress_source_to_bytes(source)
-                .map_err(compress_err)?
-        } else {
-            let source = FileSource::open_with(&inputs[0], prefetch).map_err(compress_err)?;
-            engine
-                .compress_source_to_bytes(source)
-                .map_err(compress_err)?
-        };
-        std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
-        if json {
-            println!("{}", report.to_json());
-        } else {
-            println!("{report}");
-        }
-        bytes.len()
+    if prefetch_mb > 0 {
+        session = session.prefetch_mb(prefetch_mb);
+    } else if opts.get("prefetch-mb").is_some() {
+        session = session.streaming(true);
+    }
+
+    let result = session.run().map_err(|e| e.to_string())?;
+    let report = &result.report;
+    if json {
+        println!("{}", report.to_json());
     } else {
-        let trace = read_packets(inputs[0].to_str().ok_or("non-UTF-8 input path")?)?;
-        let (archive, mut report) = Compressor::new(Params::paper()).compress(&trace);
-        // The report's sizes/ratios must describe the container actually
-        // written, not the compressor's internal v1 encode.
-        let bytes = match format {
-            ArchiveFormat::V1 => archive.to_bytes(),
-            ArchiveFormat::V2 => {
-                let (bytes, sizes) = archive.encode_v2();
-                report.sizes = sizes;
-                if report.tsh_bytes > 0 {
-                    report.ratio_vs_tsh = sizes.total() as f64 / report.tsh_bytes as f64;
-                }
-                if report.packets > 0 {
-                    report.ratio_vs_headers =
-                        sizes.total() as f64 / (report.packets * HEADER_BYTES as u64) as f64;
-                }
-                bytes
-            }
-        };
-        std::fs::write(&out, &bytes).map_err(|e| format!("write {}: {e}", out.display()))?;
-        println!("{report}; peak {} active flows", report.peak_active_flows);
-        bytes.len()
-    };
+        println!("{report}");
+    }
     // With --json, stdout carries exactly one JSON object; the human
     // notice moves to stderr so `flowzip ... --json | jq` works.
+    let format = report
+        .archive
+        .as_ref()
+        .map(|a| a.format.to_string())
+        .unwrap_or_default();
     let notice = format!(
-        "wrote {} ({format} container, {bytes} bytes)",
-        out.display()
+        "wrote {} ({format} container, {} bytes)",
+        out.display(),
+        report.output_bytes
     );
     if json {
         eprintln!("{notice}");
@@ -370,97 +287,57 @@ fn compress(opts: &Opts) -> Result<(), String> {
 fn info(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
-    let format = ArchiveFormat::detect(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
-    let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
-    let sections = match format {
-        ArchiveFormat::V1 => 1,
-        ArchiveFormat::V2 => {
-            container::v2_counts(&bytes)
-                .map_err(|e| format!("parse {input}: {e}"))?
-                .3
-        }
-    };
-    // Measure the real file's layout rather than re-encoding: a
-    // multi-section v2 archive's index and per-section delta restarts
-    // would not survive a single-section re-encode.
-    let sizes = match format {
-        ArchiveFormat::V1 => archive.encode().1,
-        ArchiveFormat::V2 => {
-            container::v2_sizes(&bytes).map_err(|e| format!("parse {input}: {e}"))?
-        }
-    };
+    let mut report = Report::inspect(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+    report.inputs = vec![input.to_string()];
     if opts.get_bool("json") {
-        println!(
-            concat!(
-                "{{\n",
-                "  \"archive\": \"{}\",\n",
-                "  \"format\": \"{}\",\n",
-                "  \"sections\": {},\n",
-                "  \"flows\": {},\n",
-                "  \"packets\": {},\n",
-                "  \"short_templates\": {},\n",
-                "  \"long_templates\": {},\n",
-                "  \"addresses\": {},\n",
-                "  \"file_bytes\": {},\n",
-                "  \"dataset_bytes\": {{\n",
-                "    \"header\": {},\n",
-                "    \"short_templates\": {},\n",
-                "    \"long_templates\": {},\n",
-                "    \"addresses\": {},\n",
-                "    \"time_seq\": {}\n",
-                "  }}\n",
-                "}}"
-            ),
-            json_escape(input),
-            format,
-            sections,
-            archive.flow_count(),
-            archive.packet_count(),
-            archive.short_templates.len(),
-            archive.long_templates.len(),
-            archive.addresses.len(),
-            bytes.len(),
-            sizes.header,
-            sizes.short_templates,
-            sizes.long_templates,
-            sizes.addresses,
-            sizes.time_seq,
-        );
+        println!("{}", report.to_json());
         return Ok(());
     }
+    let archive = report.archive.as_ref().expect("info always summarizes");
     println!("archive: {input}");
-    match format {
+    match archive.format {
         ArchiveFormat::V1 => println!("  format           : v1"),
-        ArchiveFormat::V2 => println!("  format           : v2 ({sections} sections)"),
+        ArchiveFormat::V2 => println!("  format           : v2 ({} sections)", archive.sections),
     }
-    println!("  flows            : {}", archive.flow_count());
-    println!("  packets          : {}", archive.packet_count());
-    println!("  short templates  : {}", archive.short_templates.len());
-    println!("  long templates   : {}", archive.long_templates.len());
-    println!("  unique addresses : {}", archive.addresses.len());
-    println!("  file bytes       : {}", bytes.len());
-    println!("  bytes            : {sizes}");
+    println!("  flows            : {}", report.flows);
+    println!("  packets          : {}", report.packets);
+    println!("  short templates  : {}", archive.short_templates);
+    println!("  long templates   : {}", archive.long_templates);
+    println!("  unique addresses : {}", archive.addresses);
+    println!("  file bytes       : {}", archive.file_bytes);
+    println!("  bytes            : {}", archive.sizes.unwrap_or_default());
     Ok(())
 }
 
 fn decompress(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let out = opts.out()?;
-    let seed = opts.get_u64("seed", 0x5EED)?;
-    let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
-    let archive = CompressedTrace::from_bytes(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
-    let trace = Decompressor::new(DecompressParams {
-        seed,
-        ..DecompressParams::default()
-    })
-    .decompress(&archive);
-    let written = write_tsh(&out, &trace)?;
-    println!(
+    let json = opts.get_bool("json");
+    let out_format = match opts.get("out-format") {
+        None | Some("tsh") => CaptureFormat::Tsh,
+        Some("pcap") => CaptureFormat::Pcap,
+        Some(other) => return Err(format!("unknown --out-format `{other}` (want tsh or pcap)")),
+    };
+    let result = Pipeline::decompress()
+        .input(Input::file(input))
+        .sink(Sink::file(&out))
+        .seed(opts.get_u64("seed", 0x5EED)?)
+        .output_format(out_format)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let report = &result.report;
+    let notice = format!(
         "wrote {}: {} packets ({} bytes)",
         out.display(),
-        trace.len(),
-        written
+        report.packets,
+        report.output_bytes
     );
+    if json {
+        println!("{}", report.to_json());
+        eprintln!("{notice}");
+    } else {
+        println!("{notice}");
+    }
     Ok(())
 }
 

@@ -11,9 +11,10 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`pipeline`] | `flowzip-pipeline` | ★ the one-stop `Pipeline` session API (Source → Engine → Sink) |
 //! | [`trace`] | `flowzip-trace` | packet/flow model, TSH trace format |
 //! | [`traffic`] | `flowzip-traffic` | synthetic Web/random/fractal traces |
-//! | [`core`] | `flowzip-core` | ★ the flow-clustering compressor (§2–§4) |
+//! | [`core`] | `flowzip-core` | the flow-clustering compressor (§2–§4) |
 //! | [`engine`] | `flowzip-engine` | sharded, bounded-memory streaming engine |
 //! | [`io`] | `flowzip-io` | overlapped-I/O input: prefetch, multi-file readers, worker pool |
 //! | [`deflate`] | `flowzip-deflate` | from-scratch DEFLATE/gzip baseline |
@@ -26,6 +27,10 @@
 //!
 //! # Quickstart
 //!
+//! One [`Pipeline`](flowzip_pipeline::Pipeline) session covers every
+//! compression path — batch or streaming, one file or a pre-split set,
+//! in-memory or on disk — and its symmetric decompress twin:
+//!
 //! ```
 //! use flowzip::prelude::*;
 //!
@@ -33,11 +38,46 @@
 //! let trace = WebTrafficGenerator::new(
 //!     WebTrafficConfig { flows: 200, ..Default::default() }, 42).generate();
 //!
-//! // 2. Compress by flow clustering.
+//! // 2. Compress by flow clustering: one input, one sink, run.
+//! let result = Pipeline::compress()
+//!     .input(Input::trace(&trace))
+//!     .sink(Sink::bytes())
+//!     .run()
+//!     .unwrap();
+//! assert!(result.report.compression.as_ref().unwrap().ratio_vs_tsh < 0.10);
+//! let archive = result.into_bytes().unwrap();
+//!
+//! // 3. Decompress into a statistically equivalent trace.
+//! let restored = Pipeline::decompress()
+//!     .input(Input::bytes(archive))
+//!     .sink(Sink::bytes())
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(restored.report.packets as usize, trace.len());
+//! ```
+//!
+//! # Low-level API
+//!
+//! The capability crates underneath remain public for callers that need
+//! direct control — the pipeline is sugar over exactly these:
+//!
+//! ```
+//! use flowzip::prelude::*;
+//!
+//! let trace = WebTrafficGenerator::new(
+//!     WebTrafficConfig { flows: 200, ..Default::default() }, 42).generate();
+//!
+//! // The batch compressor wants the whole trace in memory…
 //! let (archive, report) = Compressor::new(Params::paper()).compress(&trace);
 //! assert!(report.ratio_vs_tsh < 0.10);
 //!
-//! // 3. Decompress into a statistically equivalent trace.
+//! // …the streaming engine consumes any fallible packet iterator.
+//! let engine = StreamingEngine::builder().shards(2).build();
+//! let (streamed, _) = engine
+//!     .compress_stream(trace.iter().cloned().map(Ok))
+//!     .unwrap();
+//! assert_eq!(streamed.packet_count(), archive.packet_count());
+//!
 //! let restored = Decompressor::default().decompress(&archive);
 //! assert_eq!(restored.len(), trace.len());
 //! ```
@@ -50,6 +90,7 @@ pub use flowzip_engine as engine;
 pub use flowzip_io as io;
 pub use flowzip_netbench as netbench;
 pub use flowzip_peuhkuri as peuhkuri;
+pub use flowzip_pipeline as pipeline;
 pub use flowzip_radix as radix;
 pub use flowzip_trace as trace;
 pub use flowzip_traffic as traffic;
@@ -69,6 +110,7 @@ pub mod prelude {
         WorkerPool,
     };
     pub use flowzip_netbench::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
+    pub use flowzip_pipeline::{Input, Pipeline, PipelineError, Report, RunResult, Sink};
     pub use flowzip_radix::{RadixTable, TableGen};
     pub use flowzip_trace::prelude::*;
     pub use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
@@ -80,9 +122,10 @@ mod tests {
     #[test]
     fn facade_exposes_all_crates() {
         // Compile-time check that every re-export resolves.
-        let _ = crate::core::Params::paper();
-        let _ = crate::engine::StreamingEngine::builder();
+        let _ = crate::core::Params::paper;
+        let _ = crate::engine::StreamingEngine::builder;
         let _ = crate::io::WorkerPool::new(2);
+        let _ = crate::pipeline::Pipeline::compress;
         let _ = crate::cachesim::CacheConfig::netbench_l1();
         let _ = crate::trace::TcpFlags::SYN;
         let _ = crate::netbench::BenchKind::Route;

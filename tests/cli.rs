@@ -410,6 +410,7 @@ fn json_output_modes() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     for needle in [
+        "\"mode\": \"info\"",
         "\"format\": \"v2\"",
         "\"sections\": 2",
         "\"flows\": 80",
@@ -417,7 +418,137 @@ fn json_output_modes() {
     ] {
         assert!(text.contains(needle), "info --json: {text}");
     }
+
+    // decompress --json speaks the same unified schema (the satellite
+    // parity requirement): one JSON object on stdout, notice on stderr.
+    let restored = dir.join("restored.tsh");
+    let out = bin()
+        .arg("decompress")
+        .arg(&fzc)
+        .args(["--json", "-o"])
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"mode\": \"decompress\"",
+        "\"packets\": ",
+        "\"flows\": 80",
+        "\"format\": \"v2\"",
+        "\"elapsed_secs\": ",
+        "\"output_bytes\": ",
+    ] {
+        assert!(text.contains(needle), "decompress --json: {text}");
+    }
+    assert!(
+        text.trim_start().starts_with('{') && text.trim_end().ends_with('}'),
+        "stdout is exactly one JSON object: {text}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("wrote"),
+        "human notice moves to stderr under --json"
+    );
+    assert!(std::fs::metadata(&restored).unwrap().len() > 0);
+
+    // --json on a bare single-file compress (the batch route) speaks the
+    // schema too — no streaming flag needed.
+    let batch_fzc = dir.join("batch.fzc");
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--json", "-o"])
+        .arg(&batch_fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"mode\": \"compress\"",
+        "\"ratio_vs_tsh\": ",
+        "\"read_wait_secs\": ",
+        "\"clusters\": ",
+    ] {
+        assert!(text.contains(needle), "batch compress --json: {text}");
+    }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--idle-timeout 0` / `--prefetch-mb 0` disable the feature but still
+/// select the streaming route (their historical semantics) — a huge
+/// capture compressed with an explicit 0 must not silently fall back to
+/// whole-file batch loading.
+#[test]
+fn zero_valued_engine_flags_still_stream() {
+    let dir = tmpdir("zeroflags");
+    let tsh = dir.join("web.tsh");
+    let out = bin()
+        .args([
+            "generate", "--flows", "60", "--secs", "10", "--seed", "3", "-o",
+        ])
+        .arg(&tsh)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    for flag in [["--idle-timeout", "0"], ["--prefetch-mb", "0"]] {
+        let fzc = dir.join("out.fzc");
+        let out = bin()
+            .arg("compress")
+            .arg(&tsh)
+            .args(flag)
+            .arg("-o")
+            .arg(&fzc)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("shards"),
+            "{flag:?} should select the streaming engine: {text}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance pin for the CLI rewrite: the binary is a shell over
+/// the `Pipeline` session API and never calls the engine's compress
+/// entry points directly.
+#[test]
+fn cli_source_has_no_direct_engine_compress_calls() {
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/src/bin/flowzip.rs"))
+        .unwrap();
+    for needle in [
+        "compress_stream",
+        "compress_source",
+        "compress_trace",
+        "compress_packets",
+    ] {
+        assert!(
+            !src.contains(needle),
+            "src/bin/flowzip.rs still calls `{needle}` — route it through Pipeline instead"
+        );
+    }
+    assert!(
+        !src.contains("StreamingEngine"),
+        "src/bin/flowzip.rs should not construct engines directly"
+    );
+    assert!(
+        src.contains("Pipeline::compress") && src.contains("Pipeline::decompress"),
+        "the CLI fronts the Pipeline session API"
+    );
 }
 
 /// pcap input is auto-detected and streamed through `PcapReader` — the
