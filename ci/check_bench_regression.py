@@ -11,15 +11,26 @@ throughput — because individual points are noisy on shared CI runners
 while the peak is comparatively stable. Per-point deltas are still
 printed so the full trajectory is visible in the log.
 
+A second, optional assertion gates *scaling*: with ``--min-speedup X``
+the best ``speedup_vs_1`` across the current run's points must reach X.
+The assertion is self-disabling on hosts where it cannot possibly hold:
+benches record the measuring host's ``available_parallelism`` as
+``host_parallelism``, and when the current run was measured with a
+single core (or predates the field) the scaling check is skipped with a
+note instead of failing the build.
+
 Usage:
     python3 ci/check_bench_regression.py CURRENT BASELINE \\
-        [--metric KEY] [--bless]
+        [--metric KEY] [--min-speedup X] [--bless]
 
-    --metric KEY   result field to gate on (default: packets_per_sec;
-                   the io_throughput bench gates on mb_per_sec)
-    --bless        copy CURRENT over BASELINE instead of comparing (run
-                   after an intentional perf change or a CI-runner
-                   hardware change, then commit the new baseline)
+    --metric KEY      result field to gate on (default: packets_per_sec;
+                      the io_throughput bench gates on mb_per_sec)
+    --min-speedup X   require max speedup_vs_1 >= X when the current run
+                      was measured on a multi-core host (default: off)
+    --bless           copy CURRENT over BASELINE instead of comparing
+                      (run after an intentional perf change or a
+                      CI-runner hardware change, then commit the new
+                      baseline)
 
 Environment:
     FLOWZIP_BENCH_TOLERANCE   allowed fractional drop (default 0.15)
@@ -36,9 +47,48 @@ def peak(doc, metric):
 
 
 def label(r):
-    # io_throughput points carry a label; engine points are keyed by
-    # thread count.
+    # Points usually carry a label; fall back to the thread count for
+    # older engine bench documents.
     return r.get("label", str(r.get("threads", "?")))
+
+
+def host_parallelism(doc):
+    # Bench documents written before the field existed are treated as
+    # single-core: there is no evidence scaling was measurable.
+    return int(doc.get("host_parallelism", 1))
+
+
+def check_scaling(current, min_speedup):
+    """Scaling assertion; returns a process exit code (0 = pass/skip)."""
+    cores = host_parallelism(current)
+    if cores <= 1:
+        print(
+            f"scaling check skipped: current run measured with "
+            f"host_parallelism={cores}; speedup_vs_1 cannot exceed 1 "
+            f"on a single-core host"
+        )
+        return 0
+    best = max(
+        (r for r in current["results"] if "speedup_vs_1" in r),
+        key=lambda r: r["speedup_vs_1"],
+        default=None,
+    )
+    if best is None:
+        print("scaling check skipped: no speedup_vs_1 in results", file=sys.stderr)
+        return 0
+    speedup = best["speedup_vs_1"]
+    if speedup < min_speedup:
+        print(
+            f"FAIL: best speedup_vs_1 is {speedup:.3f} ({label(best)}) on a "
+            f"{cores}-core host; required >= {min_speedup:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"scaling OK: best speedup_vs_1 {speedup:.3f} ({label(best)}) "
+        f">= {min_speedup:.2f} on a {cores}-core host"
+    )
+    return 0
 
 
 def main(argv):
@@ -51,28 +101,39 @@ def main(argv):
     metric = "packets_per_sec"
     if "--metric" in extra:
         metric = extra[extra.index("--metric") + 1]
+    min_speedup = None
+    if "--min-speedup" in extra:
+        min_speedup = float(extra[extra.index("--min-speedup") + 1])
+
+    with open(current_path) as f:
+        current = json.load(f)
 
     if "--bless" in extra:
+        if host_parallelism(current) <= 1:
+            print(
+                "warning: blessing a baseline measured with "
+                f"host_parallelism={host_parallelism(current)} — its "
+                "speedup_vs_1 figures carry no scaling information",
+                file=sys.stderr,
+            )
         shutil.copyfile(current_path, baseline_path)
         print(f"blessed: {current_path} -> {baseline_path}")
         return 0
 
-    with open(current_path) as f:
-        current = json.load(f)
     with open(baseline_path) as f:
         baseline = json.load(f)
 
     tolerance = float(os.environ.get("FLOWZIP_BENCH_TOLERANCE", "0.15"))
     base_by_label = {label(r): r for r in baseline["results"]}
 
-    print(f"{'point':>12} {'baseline ' + metric:>20} {'current ' + metric:>20} {'delta':>8}")
+    print(f"{'point':>14} {'baseline ' + metric:>20} {'current ' + metric:>20} {'delta':>8}")
     for r in current["results"]:
         base = base_by_label.get(label(r))
         if base is None:
-            print(f"{label(r):>12} {'-':>20} {r[metric]:>20,} {'new':>8}")
+            print(f"{label(r):>14} {'-':>20} {r[metric]:>20,} {'new':>8}")
             continue
         delta = r[metric] / base[metric] - 1.0
-        print(f"{label(r):>12} {base[metric]:>20,} {r[metric]:>20,} {delta:>+7.1%}")
+        print(f"{label(r):>14} {base[metric]:>20,} {r[metric]:>20,} {delta:>+7.1%}")
 
     base_peak, cur_peak = peak(baseline, metric), peak(current, metric)
     peak_delta = cur_peak / base_peak - 1.0
@@ -88,6 +149,9 @@ def main(argv):
         )
         return 1
     print(f"OK: within {tolerance:.0%} tolerance")
+
+    if min_speedup is not None:
+        return check_scaling(current, min_speedup)
     return 0
 
 

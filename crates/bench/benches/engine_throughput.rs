@@ -1,10 +1,15 @@
 //! engine_throughput — single-thread vs. sharded scaling of the
-//! `flowzip-engine` streaming pipeline on a seeded synthetic trace.
+//! `flowzip-engine` streaming pipeline on a seeded synthetic trace,
+//! measured under both routing topologies (`serial/N` is the original
+//! dedicated-router-thread path, `parallel/N` the reader-side routing
+//! pool with N routing workers alongside N shards).
 //!
 //! This is the repo's perf trajectory anchor: besides the usual console
 //! report it writes a machine-readable `target/BENCH_engine.json`
-//! (packets/s per thread count) that CI uploads, so future PRs have a
-//! baseline to diff against.
+//! (packets/s per routing × thread count, plus the measuring host's
+//! `available_parallelism`) that CI uploads, so future PRs have a
+//! baseline to diff against — and so the regression gate knows whether
+//! `speedup_vs_1` was measured somewhere it could possibly exceed 1.
 //!
 //! Knobs (environment):
 //!
@@ -15,7 +20,7 @@
 
 use criterion::black_box;
 use flowzip_bench::original_trace;
-use flowzip_engine::StreamingEngine;
+use flowzip_engine::{Routing, StreamingEngine};
 use flowzip_trace::Duration;
 use std::time::Instant;
 
@@ -33,6 +38,8 @@ fn env_u64(key: &str, default: u64) -> u64 {
 }
 
 struct Point {
+    label: String,
+    routing: Routing,
     threads: usize,
     seconds: f64,
     packets_per_sec: f64,
@@ -48,53 +55,83 @@ fn main() {
     let packets = trace.len() as u64;
     let tsh_mb = packets as f64 * 44.0 / 1e6;
     eprintln!("trace ready: {packets} packets ({tsh_mb:.1} MB as TSH)");
-
-    let mut points: Vec<Point> = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
-        let engine = StreamingEngine::builder()
-            .shards(threads)
-            .batch_size(4096)
-            .idle_timeout(Some(Duration::from_secs(120)))
-            .build();
-        let mut best = f64::INFINITY;
-        for _ in 0..runs {
-            let t0 = Instant::now();
-            let (archive, report) = engine
-                .compress_stream(trace.iter().cloned().map(Ok))
-                .expect("in-memory run");
-            best = best.min(t0.elapsed().as_secs_f64());
-            black_box((archive, report));
-        }
-        let p = Point {
-            threads,
-            seconds: best,
-            packets_per_sec: packets as f64 / best,
-            mb_per_sec: tsh_mb / best,
-        };
-        println!(
-            "engine_throughput/threads/{:<2}  best {:>8.3}s  {:>12.0} packets/s  {:>8.2} MB/s",
-            p.threads, p.seconds, p.packets_per_sec, p.mb_per_sec
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cpus < 2 {
+        eprintln!(
+            "note: only {cpus} CPU available — shards and routing workers cannot scale here; \
+             speedup_vs_1 is only meaningful on multi-core hosts"
         );
-        points.push(p);
     }
 
-    let base = points[0].packets_per_sec;
+    let mut points: Vec<Point> = Vec::new();
+    for routing in [Routing::Serial, Routing::Parallel] {
+        for threads in [1usize, 2, 4, 8] {
+            let engine = StreamingEngine::builder()
+                .routing(routing)
+                // Routing workers scale with the shard count: the point
+                // of reader-side routing is that hashing capacity grows
+                // with the rest of the pipeline.
+                .routers(threads)
+                .shards(threads)
+                .batch_size(4096)
+                .idle_timeout(Some(Duration::from_secs(120)))
+                .build();
+            let mut best = f64::INFINITY;
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let (archive, report) = engine
+                    .compress_stream(trace.iter().cloned().map(Ok))
+                    .expect("in-memory run");
+                best = best.min(t0.elapsed().as_secs_f64());
+                black_box((archive, report));
+            }
+            let p = Point {
+                label: format!("{routing}/{threads}"),
+                routing,
+                threads,
+                seconds: best,
+                packets_per_sec: packets as f64 / best,
+                mb_per_sec: tsh_mb / best,
+            };
+            println!(
+                "engine_throughput/{:<12}  best {:>8.3}s  {:>12.0} packets/s  {:>8.2} MB/s",
+                p.label, p.seconds, p.packets_per_sec, p.mb_per_sec
+            );
+            points.push(p);
+        }
+    }
+
+    // speedup_vs_1 is within-family: parallel/4 against parallel/1, so
+    // the scaling figure isolates topology scaling from the (small)
+    // constant-factor difference between the two routers at one thread.
+    let family_base = |routing: Routing| {
+        points
+            .iter()
+            .find(|p| p.routing == routing && p.threads == 1)
+            .expect("thread count 1 is always measured")
+            .packets_per_sec
+    };
     let results: Vec<String> = points
         .iter()
         .map(|p| {
             format!(
-                "    {{\"threads\": {}, \"seconds\": {:.6}, \"packets_per_sec\": {:.0}, \
+                "    {{\"label\": \"{}\", \"routing\": \"{}\", \"threads\": {}, \
+                 \"seconds\": {:.6}, \"packets_per_sec\": {:.0}, \
                  \"mb_per_sec\": {:.2}, \"speedup_vs_1\": {:.3}}}",
+                p.label,
+                p.routing,
                 p.threads,
                 p.seconds,
                 p.packets_per_sec,
                 p.mb_per_sec,
-                p.packets_per_sec / base
+                p.packets_per_sec / family_base(p.routing)
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
         results.join(",\n")
     );
 

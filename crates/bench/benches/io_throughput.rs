@@ -195,7 +195,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"io_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"files\": {n_files},\n  \"runs_per_point\": {runs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"io_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"files\": {n_files},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
         results.join(",\n")
     );
 

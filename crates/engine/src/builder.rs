@@ -2,6 +2,7 @@
 //! idle-flow eviction policy.
 
 use crate::engine::StreamingEngine;
+use crate::route::Routing;
 use flowzip_core::{ArchiveFormat, Params};
 use flowzip_trace::Duration;
 
@@ -29,6 +30,17 @@ pub struct EngineConfig {
     /// disables eviction: memory then grows with the number of flows left
     /// open by the trace, exactly like the batch compressor.
     pub idle_timeout: Option<Duration>,
+    /// How packets reach the shards: [`Routing::Parallel`] (the default)
+    /// hashes on N routing workers and delivers in sequence-ticket order;
+    /// [`Routing::Serial`] keeps the original dedicated router thread.
+    /// Output is byte-identical either way (pinned by the
+    /// routing-equivalence proptests).
+    pub routing: Routing,
+    /// Routing workers under [`Routing::Parallel`] (clamped ≥ 1; ignored
+    /// by serial routing). For file input this is naturally the reader
+    /// count — each worker drains whole decoded batches and hashes them
+    /// itself.
+    pub routers: usize,
 }
 
 impl EngineConfig {
@@ -36,6 +48,7 @@ impl EngineConfig {
         self.shards = self.shards.max(1);
         self.batch_size = self.batch_size.max(1);
         self.channel_capacity = self.channel_capacity.max(1);
+        self.routers = self.routers.max(1);
         self
     }
 
@@ -56,6 +69,12 @@ impl EngineConfig {
         if self.channel_capacity == 0 {
             return Err(ConfigError(
                 "channel_capacity must be ≥ 1 (got 0; a zero-slot channel would deadlock)"
+                    .to_string(),
+            ));
+        }
+        if self.routers == 0 {
+            return Err(ConfigError(
+                "routers must be ≥ 1 (got 0; zero routing workers would never deliver a packet)"
                     .to_string(),
             ));
         }
@@ -104,7 +123,8 @@ pub struct EngineBuilder {
 impl EngineBuilder {
     /// Starts from the defaults: paper parameters, one shard per
     /// available CPU (capped at 8), 1024-packet batches, 4 in-flight
-    /// batches per shard, no idle eviction.
+    /// batches per shard, no idle eviction, parallel reader-side routing
+    /// with one routing worker per available CPU (capped at 4).
     pub fn new() -> EngineBuilder {
         let cpus = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -117,6 +137,8 @@ impl EngineBuilder {
                 batch_size: 1024,
                 channel_capacity: 4,
                 idle_timeout: None,
+                routing: Routing::Parallel,
+                routers: cpus.min(4),
             },
         }
     }
@@ -157,6 +179,33 @@ impl EngineBuilder {
         self
     }
 
+    /// Routing topology (default: [`Routing::Parallel`]).
+    ///
+    /// Under parallel routing, [`EngineBuilder::routers`] workers pull
+    /// whole decoded batches from the input, hash their own packets
+    /// concurrently, and deliver shard-sticky sub-batches in a globally
+    /// stable sequence-ticket order — so every shard still sees exactly
+    /// the packet order the dedicated serial router would have sent it,
+    /// and output stays **byte-identical** across the two topologies
+    /// (pinned by the routing-equivalence proptests). `Routing::Serial`
+    /// keeps the original one-router-thread fallback: the right choice
+    /// on single-core hosts, where extra routing workers only add
+    /// scheduling overhead, and the reference topology for debugging a
+    /// suspected routing bug.
+    pub fn routing(mut self, routing: Routing) -> EngineBuilder {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Routing workers under [`Routing::Parallel`] (clamped ≥ 1; ignored
+    /// by serial routing). File ingest typically sets this to the reader
+    /// count — the threads that decode the batches are the natural ones
+    /// to hash them.
+    pub fn routers(mut self, routers: usize) -> EngineBuilder {
+        self.config.routers = routers;
+        self
+    }
+
     /// Finalizes the configuration, silently clamping zero-valued knobs
     /// up to 1. Prefer [`EngineBuilder::try_build`] where a zero is more
     /// likely a caller bug than a request for the minimum.
@@ -193,9 +242,11 @@ mod tests {
         assert!(c.shards >= 1);
         assert!(c.batch_size >= 1);
         assert!(c.channel_capacity >= 1);
+        assert!(c.routers >= 1);
         assert_eq!(c.idle_timeout, None);
         assert_eq!(c.params, Params::paper());
         assert_eq!(c.format, ArchiveFormat::V2);
+        assert_eq!(c.routing, Routing::Parallel);
     }
 
     #[test]
@@ -204,10 +255,12 @@ mod tests {
             .shards(0)
             .batch_size(0)
             .channel_capacity(0)
+            .routers(0)
             .build();
         assert_eq!(e.config().shards, 1);
         assert_eq!(e.config().batch_size, 1);
         assert_eq!(e.config().channel_capacity, 1);
+        assert_eq!(e.config().routers, 1);
     }
 
     #[test]
@@ -233,6 +286,12 @@ mod tests {
             "{err}"
         );
 
+        let err = StreamingEngine::builder()
+            .routers(0)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("routers must be ≥ 1"), "{err}");
+
         // Sane configurations pass through unchanged.
         let engine = StreamingEngine::builder()
             .shards(3)
@@ -255,12 +314,16 @@ mod tests {
             .channel_capacity(2)
             .idle_timeout(Some(Duration::from_secs(30)))
             .format(ArchiveFormat::V1)
+            .routing(Routing::Serial)
+            .routers(5)
             .build();
         assert_eq!(e.config().format, ArchiveFormat::V1);
         assert_eq!(e.config().shards, 3);
         assert_eq!(e.config().batch_size, 77);
         assert_eq!(e.config().channel_capacity, 2);
         assert_eq!(e.config().idle_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(e.config().routing, Routing::Serial);
+        assert_eq!(e.config().routers, 5);
         assert!((e.config().params.similarity - 0.05).abs() < 1e-12);
     }
 }

@@ -1,12 +1,22 @@
 //! The streaming engine: route → accumulate per shard → merge.
 //!
+//! Two routing topologies feed the shards (the
+//! [`Routing`] knob; output is byte-identical
+//! either way):
+//!
 //! ```text
+//! routing=parallel (default) — hashing runs on R workers at once:
+//!             ┌─ router 0 ─ partition ─┐          ┌─▶ shard 0 ─┐
+//! BatchRead ──┼─ router 1 ─ partition ─┼─ ticket ─┼─▶ shard 1 ─┼─▶ merge
+//!  (shared)   └─ router R ─ partition ─┘  order   └─▶ shard N ─┘
+//!
+//! routing=serial — the original dedicated router thread:
 //!                    ┌── batch channel ──▶ shard 0: FlowAccumulator + TemplateStore ─┐
 //! reader ──▶ router ─┼── batch channel ──▶ shard 1: FlowAccumulator + TemplateStore ─┼─▶ merge
 //!  (any Iterator)    └── batch channel ──▶ shard N: FlowAccumulator + TemplateStore ─┘
 //! ```
 //!
-//! The router hashes each packet's canonical flow key so both directions
+//! Routing hashes each packet's canonical flow key so both directions
 //! of a conversation land on the same shard; channels are bounded, so a
 //! fast reader is back-pressured instead of buffering the trace. Workers
 //! finalize flows online (FIN/RST, idle eviction, end of input) and
@@ -16,12 +26,13 @@
 
 use crate::builder::{EngineBuilder, EngineConfig};
 use crate::report::EngineReport;
+use crate::route::{shard_of, BatchPackets, IterBatches, Rechunker, RouteFabric, Routing};
 use flowzip_core::datasets::CompressedTrace;
 use flowzip_core::{
     assemble_sections, assemble_shards, ArchiveFormat, CompressionReport, FlowAccumulator,
     FlowAssembler, Params, ShardSection,
 };
-use flowzip_io::{InputSource, WorkerPool};
+use flowzip_io::{BatchRead, InputSource, WorkerPool};
 use flowzip_trace::prelude::*;
 use flowzip_trace::TraceError;
 use std::sync::mpsc;
@@ -119,7 +130,9 @@ impl ShardWorker {
     }
 }
 
-/// One shard's worker loop: drain batches until the channel closes.
+/// One shard's worker loop under **serial** routing: every received
+/// batch is already an exact router-built block, so it processes as-is
+/// until the channel closes.
 fn run_shard(
     rx: mpsc::Receiver<Vec<PacketRecord>>,
     params: Params,
@@ -133,28 +146,25 @@ fn run_shard(
     worker.finish(encode)
 }
 
-/// Which shard owns a packet: a cheap direction-free FNV-1a over the
-/// endpoint pair, so both directions of a conversation land together.
-/// This runs on the single router thread for every packet — it must cost
-/// far less than the per-packet work it fans out (SipHash here halves
-/// router throughput for no distributional benefit).
-fn shard_of(p: &PacketRecord, shards: usize) -> usize {
-    let t = p.tuple();
-    let a = (u32::from(t.src_ip), t.src_port);
-    let b = (u32::from(t.dst_ip), t.dst_port);
-    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in [
-        lo.0 as u64,
-        lo.1 as u64,
-        hi.0 as u64,
-        hi.1 as u64,
-        t.protocol.number() as u64,
-    ] {
-        h ^= v;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// One shard's worker loop under **parallel** routing: arrivals are
+/// variable-size sub-batches (whatever each pulled batch happened to
+/// hash here), so a [`Rechunker`] re-blocks them into exact `batch_size`
+/// chunks first — eviction-scan timing keys off batch boundaries, and
+/// boundaries must match the serial router's for byte-identical output.
+fn run_shard_rechunked(
+    rx: mpsc::Receiver<Vec<PacketRecord>>,
+    params: Params,
+    idle_timeout: Option<Duration>,
+    encode: bool,
+    batch_size: usize,
+) -> ShardOutput {
+    let mut worker = ShardWorker::new(params, idle_timeout);
+    let mut rechunk = Rechunker::new(batch_size);
+    while let Ok(arrival) = rx.recv() {
+        rechunk.push(arrival, |chunk| worker.process_batch(chunk));
     }
-    (h % shards as u64) as usize
+    rechunk.finish(|chunk| worker.process_batch(chunk));
+    worker.finish(encode)
 }
 
 /// The sharded streaming compressor. Construct via
@@ -200,11 +210,62 @@ impl StreamingEngine {
     ) -> Result<(CompressedTrace, EngineReport), TraceError>
     where
         I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
+        I::IntoIter: Send,
     {
         let started = Instant::now();
-        let outputs = self.run_pipeline(input, false)?;
+        let outputs = self.run_routed_iter(input.into_iter(), false)?;
         let (compressed, _, report) = self.merge(outputs, started.elapsed().as_secs_f64());
         Ok((compressed, report))
+    }
+
+    /// Compresses a batch-granular source ([`BatchRead`]) — the native
+    /// entry point for multi-file input, where reader threads already
+    /// build whole decoded batches and routing workers can take them
+    /// one channel-receive at a time. Batch *boundaries* carry no
+    /// meaning (the [`BatchRead`] contract), so output is identical to
+    /// compressing the concatenated packet stream.
+    ///
+    /// # Errors
+    ///
+    /// The first reader error aborts the run and is returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads.
+    pub fn compress_batches<B>(
+        &self,
+        source: B,
+    ) -> Result<(CompressedTrace, EngineReport), TraceError>
+    where
+        B: BatchRead + Send,
+    {
+        let started = Instant::now();
+        let outputs = self.run_routed_batches(source, false)?;
+        let (compressed, _, report) = self.merge(outputs, started.elapsed().as_secs_f64());
+        Ok((compressed, report))
+    }
+
+    /// [`StreamingEngine::compress_batches`] straight to serialized
+    /// archive bytes in the configured [`ArchiveFormat`].
+    ///
+    /// # Errors
+    ///
+    /// The first reader error aborts the run and is returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads.
+    pub fn compress_batches_to_bytes<B>(
+        &self,
+        source: B,
+    ) -> Result<(Vec<u8>, EngineReport), TraceError>
+    where
+        B: BatchRead + Send,
+    {
+        let started = Instant::now();
+        let encode = self.config.format == ArchiveFormat::V2;
+        let outputs = self.run_routed_batches(source, encode)?;
+        Ok(self.outputs_to_bytes(outputs, started))
     }
 
     /// Compresses a fallible packet stream straight to serialized archive
@@ -227,12 +288,26 @@ impl StreamingEngine {
     ) -> Result<(Vec<u8>, EngineReport), TraceError>
     where
         I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
+        I::IntoIter: Send,
     {
         let started = Instant::now();
+        let encode = self.config.format == ArchiveFormat::V2;
+        let outputs = self.run_routed_iter(input.into_iter(), encode)?;
+        Ok(self.outputs_to_bytes(outputs, started))
+    }
+
+    /// Serializes finished shard outputs in the configured format. With
+    /// v2 the shards already encoded their own sections (`encode` was
+    /// set), so the serial tail collapses to index assembly; with v1
+    /// this is the legacy single-threaded serialization.
+    fn outputs_to_bytes(
+        &self,
+        outputs: Vec<ShardOutput>,
+        started: Instant,
+    ) -> (Vec<u8>, EngineReport) {
+        let elapsed = started.elapsed().as_secs_f64();
         match self.config.format {
             ArchiveFormat::V1 => {
-                let outputs = self.run_pipeline(input, false)?;
-                let elapsed = started.elapsed().as_secs_f64();
                 // merge() already encodes the archive (the report's
                 // dataset sizes need it), so the serial tail — shard
                 // merge, time-seq sort, encode — runs exactly once.
@@ -241,11 +316,9 @@ impl StreamingEngine {
                 report.serialize_secs = ser.elapsed().as_secs_f64();
                 report.sections = 1;
                 report.archive_bytes = bytes.len() as u64;
-                Ok((bytes, report))
+                (bytes, report)
             }
             ArchiveFormat::V2 => {
-                let outputs = self.run_pipeline(input, true)?;
-                let elapsed = started.elapsed().as_secs_f64();
                 let agg = ShardAggregates::fold(&outputs);
                 let sections: Vec<ShardSection> = outputs
                     .into_iter()
@@ -272,9 +345,110 @@ impl StreamingEngine {
                 engine_report.serialize_secs = serialize_secs;
                 engine_report.sections = n_sections;
                 engine_report.archive_bytes = bytes.len() as u64;
-                Ok((bytes, engine_report))
+                (bytes, engine_report)
             }
         }
+    }
+
+    /// Dispatches an iterator input on the [`Routing`] knob: the serial
+    /// router consumes it per-packet; parallel routing chunks it into
+    /// `batch_size` batches ([`IterBatches`]) so routing workers can
+    /// share it at O(1) lock-held work per batch.
+    fn run_routed_iter<I>(&self, input: I, encode: bool) -> Result<Vec<ShardOutput>, TraceError>
+    where
+        I: Iterator<Item = Result<PacketRecord, TraceError>> + Send,
+    {
+        match self.config.routing {
+            Routing::Serial => self.run_pipeline(input, encode),
+            Routing::Parallel => {
+                self.run_pipeline_parallel(IterBatches::new(input, self.config.batch_size), encode)
+            }
+        }
+    }
+
+    /// Dispatches a batch-granular source on the [`Routing`] knob: the
+    /// serial router flattens it back to packets ([`BatchPackets`]);
+    /// parallel routing consumes it natively.
+    fn run_routed_batches<B>(&self, source: B, encode: bool) -> Result<Vec<ShardOutput>, TraceError>
+    where
+        B: BatchRead + Send,
+    {
+        match self.config.routing {
+            Routing::Serial => self.run_pipeline(BatchPackets::new(source), encode),
+            Routing::Parallel => self.run_pipeline_parallel(source, encode),
+        }
+    }
+
+    /// The parallel-routing pipeline: `routers` routing workers share
+    /// the [`BatchRead`] source behind the [`RouteFabric`], hash their
+    /// own pulled batches concurrently, and deliver shard-sticky
+    /// sub-batches in sequence-ticket order; each shard re-chunks its
+    /// arrivals to exact `batch_size` blocks. Per-shard packet order
+    /// and batch boundaries both equal the serial router's, so output
+    /// is byte-identical (see [`crate::route`]).
+    fn run_pipeline_parallel<B>(
+        &self,
+        source: B,
+        encode: bool,
+    ) -> Result<Vec<ShardOutput>, TraceError>
+    where
+        B: BatchRead + Send,
+    {
+        let config = &self.config;
+        if config.shards == 1 {
+            // Routing cannot be the bottleneck of one shard: take the
+            // serial path's inline fast path (no channels, no threads),
+            // which rebuilds the same batch_size blocks from the
+            // flattened stream.
+            return self.run_pipeline(BatchPackets::new(source), encode);
+        }
+        let routers = config.routers.max(1);
+        let fabric = RouteFabric::new(source, config.shards);
+
+        // Boxed because the task list mixes shard loops (return
+        // Some(output)) with extra routing workers (return None, borrow
+        // the fabric); the scoped pool lets both borrow this frame.
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut tasks: Vec<Box<dyn FnOnce() -> Option<ShardOutput> + Send + '_>> =
+            Vec::with_capacity(config.shards + routers - 1);
+        for _ in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
+            let params = config.params.clone();
+            let idle_timeout = config.idle_timeout;
+            let batch_size = config.batch_size;
+            senders.push(tx);
+            tasks.push(Box::new(move || {
+                Some(run_shard_rechunked(
+                    rx,
+                    params,
+                    idle_timeout,
+                    encode,
+                    batch_size,
+                ))
+            }));
+        }
+        for _ in 1..routers {
+            let fabric = &fabric;
+            let senders = senders.clone();
+            tasks.push(Box::new(move || {
+                fabric.run_router(senders);
+                None
+            }));
+        }
+
+        // Every task must run concurrently (shards block on recv, extra
+        // routers block on the sequencer), so the pool is sized to the
+        // task count; router 0 runs in the foreground on this thread and
+        // owns the original senders — the shard channels close when the
+        // last router drops its clones.
+        let pool = WorkerPool::new(config.shards + routers - 1);
+        let (outputs, ()) = pool.run_with(tasks, {
+            let fabric = &fabric;
+            move || fabric.run_router(senders)
+        });
+        let outputs: Vec<ShardOutput> = outputs.into_iter().flatten().collect();
+        fabric.into_result()?;
+        Ok(outputs)
     }
 
     /// Runs the read → route → shard pipeline, returning per-shard
@@ -389,7 +563,10 @@ impl StreamingEngine {
     pub fn compress_source<S: InputSource>(
         &self,
         source: S,
-    ) -> Result<(CompressedTrace, EngineReport), TraceError> {
+    ) -> Result<(CompressedTrace, EngineReport), TraceError>
+    where
+        S::Packets: Send,
+    {
         let stats = source.stats();
         let (compressed, mut report) = self.compress_stream(source.into_packets())?;
         fill_read_wait(&mut report, &stats);
@@ -413,7 +590,10 @@ impl StreamingEngine {
     pub fn compress_source_to_bytes<S: InputSource>(
         &self,
         source: S,
-    ) -> Result<(Vec<u8>, EngineReport), TraceError> {
+    ) -> Result<(Vec<u8>, EngineReport), TraceError>
+    where
+        S::Packets: Send,
+    {
         let stats = source.stats();
         let (bytes, mut report) = self.compress_stream_to_bytes(source.into_packets())?;
         fill_read_wait(&mut report, &stats);
@@ -435,6 +615,7 @@ impl StreamingEngine {
     ) -> Result<(CompressedTrace, EngineReport), TraceError>
     where
         I: IntoIterator<Item = PacketRecord>,
+        I::IntoIter: Send,
     {
         self.compress_stream(packets.into_iter().map(Ok))
     }
@@ -513,8 +694,17 @@ impl StreamingEngine {
         report: CompressionReport,
     ) -> EngineReport {
         let elapsed = elapsed_secs.max(f64::EPSILON);
+        // Routers the run *actually* used: serial routing and the
+        // single-shard inline fast path both route on one thread.
+        let routers = match self.config.routing {
+            Routing::Serial => 1,
+            Routing::Parallel if self.config.shards == 1 => 1,
+            Routing::Parallel => self.config.routers.max(1),
+        };
         EngineReport {
             shards: self.config.shards,
+            routing: self.config.routing,
+            routers,
             elapsed_secs,
             packets_per_sec: agg.packets as f64 / elapsed,
             mb_per_sec: agg.tsh_bytes as f64 / elapsed / 1e6,

@@ -21,6 +21,13 @@
 //!   flow lands on the same shard and per-flow state never needs locks.
 //!   Packets travel in batches over bounded channels to amortize send
 //!   overhead and to apply back-pressure to the reader.
+//! * **Parallel routing** — by default ([`Routing::Parallel`]) the
+//!   flow-key hashing itself runs on a pool of routing workers that
+//!   share a batch-granular source
+//!   ([`BatchRead`](flowzip_io::BatchRead)) and deliver in a stable
+//!   sequence-ticket order, removing the dedicated-router-thread
+//!   ceiling; `Routing::Serial` keeps the original topology, and both
+//!   produce **byte-identical** archives (see [`route`]).
 //! * **Bounded memory** — each shard runs its own
 //!   [`FlowAccumulator`](flowzip_core::FlowAccumulator) with idle-flow
 //!   timeout eviction and drains finished flows into a shard-local
@@ -67,7 +74,9 @@
 pub mod builder;
 pub mod engine;
 pub mod report;
+pub mod route;
 
 pub use builder::{ConfigError, EngineBuilder, EngineConfig};
 pub use engine::StreamingEngine;
 pub use report::EngineReport;
+pub use route::Routing;

@@ -1,6 +1,7 @@
 //! Aggregate engine report: the batch-compatible [`CompressionReport`]
 //! plus the throughput and memory figures only a streaming run can know.
 
+use crate::route::Routing;
 use flowzip_core::CompressionReport;
 use std::fmt;
 
@@ -13,6 +14,11 @@ pub struct EngineReport {
     pub report: CompressionReport,
     /// Worker shards the run used.
     pub shards: usize,
+    /// Routing topology the run used (serial router thread vs.
+    /// reader-side parallel routing — output is identical either way).
+    pub routing: Routing,
+    /// Routing workers the run used (1 under serial routing).
+    pub routers: usize,
     /// Wall-clock seconds from first packet to merged archive.
     pub elapsed_secs: f64,
     /// Packets consumed per wall-clock second.
@@ -76,6 +82,8 @@ impl EngineReport {
                 "  \"archive_bytes\": {},\n",
                 "  \"ratio_vs_tsh\": {:.6},\n",
                 "  \"shards\": {},\n",
+                "  \"routing\": \"{}\",\n",
+                "  \"routers\": {},\n",
                 "  \"sections\": {},\n",
                 "  \"elapsed_secs\": {:.6},\n",
                 "  \"read_wait_secs\": {:.6},\n",
@@ -98,6 +106,8 @@ impl EngineReport {
             self.archive_bytes,
             r.ratio_vs_tsh,
             self.shards,
+            self.routing,
+            self.routers,
             self.sections,
             self.elapsed_secs,
             self.read_wait_secs,
@@ -113,9 +123,11 @@ impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}; {} shards, {:.2}s, {:.0} packets/s ({:.2} MB/s), peak {} active flows, {} evicted",
+            "{}; {} shards ({} routing × {}), {:.2}s, {:.0} packets/s ({:.2} MB/s), peak {} active flows, {} evicted",
             self.report,
             self.shards,
+            self.routing,
+            self.routers,
             self.elapsed_secs,
             self.packets_per_sec,
             self.mb_per_sec,
@@ -163,6 +175,8 @@ mod tests {
                 ratio_vs_headers: 0.04,
             },
             shards: 4,
+            routing: Routing::Parallel,
+            routers: 2,
             elapsed_secs: 0.5,
             packets_per_sec: 20.0,
             mb_per_sec: 0.00088,
@@ -174,7 +188,7 @@ mod tests {
             archive_bytes: 0,
         };
         let s = r.to_string();
-        assert!(s.contains("4 shards"));
+        assert!(s.contains("4 shards (parallel routing × 2)"));
         assert!(s.contains("packets/s"));
         assert!(s.contains("peak 2 active flows"));
         // In-memory runs don't claim an archive...
@@ -212,6 +226,8 @@ mod tests {
                 ratio_vs_headers: 0.06,
             },
             shards: 2,
+            routing: Routing::Serial,
+            routers: 1,
             elapsed_secs: 1.0,
             packets_per_sec: 7.0,
             mb_per_sec: 0.000308,
@@ -231,6 +247,8 @@ mod tests {
             "\"evicted_flows\": 3",
             "\"archive_bytes\": 99",
             "\"shards\": 2",
+            "\"routing\": \"serial\"",
+            "\"routers\": 1",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -1,0 +1,135 @@
+//! Backpressure and starvation stress for the routing fabric: extreme
+//! topology × capacity corners must neither deadlock nor change output.
+//!
+//! The liveness argument (see `flowzip_engine::route`) says a full shard
+//! channel is back-pressure, never deadlock, because shard workers always
+//! drain and ticket waiters always progress. These tests drive the
+//! corners where that argument has to carry the load — one-slot channels,
+//! many routing workers funneling into few shards, few workers fanning
+//! out to many shards — and enforce a wall-clock bound so a deadlock
+//! fails the test instead of hanging CI.
+
+use flowzip_core::ArchiveFormat;
+use flowzip_engine::{Routing, StreamingEngine};
+use flowzip_trace::Trace;
+use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn web_trace(flows: usize, seed: u64) -> Trace {
+    WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows,
+            duration_secs: 20.0,
+            ..WebTrafficConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+/// Runs one engine compression on a watchdog thread: panics if it does
+/// not complete within `limit` (a liveness failure), otherwise returns
+/// the archive bytes.
+fn compress_bounded(
+    trace: &Trace,
+    routing: Routing,
+    routers: usize,
+    shards: usize,
+    batch_size: usize,
+    channel_capacity: usize,
+    limit: Duration,
+) -> Vec<u8> {
+    let packets: Vec<_> = trace.iter().cloned().collect();
+    let (tx, rx) = mpsc::channel();
+    let label = format!(
+        "{routing} routing, {routers} routers → {shards} shards, \
+         batch {batch_size}, capacity {channel_capacity}"
+    );
+    std::thread::spawn(move || {
+        let engine = StreamingEngine::builder()
+            .routing(routing)
+            .routers(routers)
+            .shards(shards)
+            .batch_size(batch_size)
+            .channel_capacity(channel_capacity)
+            .format(ArchiveFormat::V2)
+            .build();
+        let result = engine.compress_stream_to_bytes(packets.into_iter().map(Ok));
+        // The receiver may have already timed out and gone — ignore.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result.expect("compression failed").0,
+        Err(_) => panic!("{label}: no completion within {limit:?} — pipeline stalled"),
+    }
+}
+
+/// Many routing workers funneling into few shards through one-slot
+/// channels: every worker spends most of its life blocked on a full
+/// channel or on the sequencer, and the run must still finish with
+/// serial-identical bytes.
+#[test]
+fn many_routers_few_shards_one_slot_channels() {
+    let trace = web_trace(150, 11);
+    let limit = Duration::from_secs(60);
+    let reference = compress_bounded(&trace, Routing::Serial, 1, 2, 16, 1, limit);
+    for routers in [4usize, 8] {
+        let bytes = compress_bounded(&trace, Routing::Parallel, routers, 2, 16, 1, limit);
+        assert_eq!(bytes, reference, "{routers} routers diverged");
+    }
+}
+
+/// The reverse skew: few routing workers fanning out to many shards,
+/// again with one-slot channels, so a single slow shard can stall the
+/// ticket holder and every other worker behind it.
+#[test]
+fn few_routers_many_shards_one_slot_channels() {
+    let trace = web_trace(150, 23);
+    let limit = Duration::from_secs(60);
+    let reference = compress_bounded(&trace, Routing::Serial, 1, 8, 16, 1, limit);
+    for routers in [1usize, 2] {
+        let bytes = compress_bounded(&trace, Routing::Parallel, routers, 8, 16, 1, limit);
+        assert_eq!(bytes, reference, "{routers} routers diverged");
+    }
+}
+
+/// Tiny batches maximize hand-off count (one packet per pull at
+/// batch_size 1) — the highest-contention schedule the fabric can see:
+/// every packet takes the source lock, a sequencer turn and a channel
+/// slot of its own.
+#[test]
+fn single_packet_batches_with_two_slot_channels() {
+    let trace = web_trace(40, 31);
+    let limit = Duration::from_secs(60);
+    let reference = compress_bounded(&trace, Routing::Serial, 1, 3, 1, 2, limit);
+    let bytes = compress_bounded(&trace, Routing::Parallel, 6, 3, 1, 2, limit);
+    assert_eq!(bytes, reference);
+}
+
+/// More routing workers than the source ever has batches: the surplus
+/// workers must observe the exhausted source and exit instead of waiting
+/// on tickets that will never be assigned.
+#[test]
+fn more_routers_than_batches_terminates() {
+    let trace = web_trace(5, 47); // a handful of packets, one batch
+    let limit = Duration::from_secs(60);
+    let reference = compress_bounded(&trace, Routing::Serial, 1, 2, 4096, 4, limit);
+    let bytes = compress_bounded(&trace, Routing::Parallel, 8, 2, 4096, 4, limit);
+    assert_eq!(bytes, reference);
+}
+
+/// Empty input across the stress topologies: channels open and close
+/// with no traffic, workers race straight to the exhausted source.
+#[test]
+fn empty_input_terminates_under_every_topology() {
+    let trace = Trace::new();
+    let limit = Duration::from_secs(60);
+    for (routers, shards) in [(1usize, 2usize), (8, 2), (2, 8)] {
+        // v2 writes one section per shard, so the serial reference must
+        // share the shard count.
+        let reference = compress_bounded(&trace, Routing::Serial, 1, shards, 8, 1, limit);
+        let bytes = compress_bounded(&trace, Routing::Parallel, routers, shards, 8, 1, limit);
+        assert_eq!(bytes, reference, "{routers} routers × {shards} shards");
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`InputSource`] + [`IoStats`] — the pluggable input interface the
 //!   engine consumes, with read-wait/byte counters that let a run report
 //!   how much wall-clock it lost waiting on input vs. computing.
+//! * [`BatchRead`] — batch-granular packet hand-off: whole decoded
+//!   `Vec<PacketRecord>` batches per pull, so routing work can be shared
+//!   by a pool of consumers at O(1) lock-held work per batch.
+//!   [`MultiFileIter`] implements it natively.
 //!
 //! ```
 //! use flowzip_io::{InputSource, MultiFileConfig, MultiFileSource};
@@ -43,6 +47,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod batch;
 pub mod glob;
 pub mod multifile;
 pub mod pool;
@@ -50,6 +55,7 @@ pub mod prefetch;
 pub mod source;
 pub mod stats;
 
+pub use batch::BatchRead;
 pub use multifile::{MultiFileConfig, MultiFileIter, MultiFileSource};
 pub use pool::{DetachedTasks, WorkerPool};
 pub use prefetch::{PrefetchConfig, PrefetchReader};

@@ -7,7 +7,7 @@ use crate::report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
 use crate::sink::Sink;
 use crate::Pipeline;
 use flowzip_core::{ArchiveFormat, Compressor, Params};
-use flowzip_engine::{EngineReport, StreamingEngine};
+use flowzip_engine::{EngineReport, Routing, StreamingEngine};
 use flowzip_io::{
     glob, FileSource, InputSource, IoStats, MultiFileConfig, MultiFileSource, PrefetchConfig,
 };
@@ -53,6 +53,7 @@ pub struct CompressBuilder<'a> {
     idle_timeout: Option<Duration>,
     prefetch_mb: Option<u64>,
     readers: Option<usize>,
+    routing: Option<Routing>,
 }
 
 impl Pipeline {
@@ -71,6 +72,7 @@ impl Pipeline {
             idle_timeout: None,
             prefetch_mb: None,
             readers: None,
+            routing: None,
         }
     }
 }
@@ -153,6 +155,16 @@ impl<'a> CompressBuilder<'a> {
         self
     }
 
+    /// Routing topology for the streaming engine (implies streaming;
+    /// default [`Routing::Parallel`]). Parallel routing hashes packets
+    /// on a pool of routing workers; [`Routing::Serial`] keeps the
+    /// original dedicated router thread. Output is byte-identical
+    /// either way.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.routing = Some(routing);
+        self
+    }
+
     /// Runs the session: resolve the input, route to the batch
     /// compressor or the streaming engine, serialize in the configured
     /// container format, deliver to the sink, and report.
@@ -176,6 +188,7 @@ impl<'a> CompressBuilder<'a> {
             idle_timeout,
             prefetch_mb,
             readers,
+            routing,
         } = self;
         let input = input.ok_or_else(|| {
             PipelineError::config("compress session has no input — call .input(Input::…)")
@@ -249,7 +262,8 @@ impl<'a> CompressBuilder<'a> {
             || channel_capacity.is_some()
             || idle_timeout.is_some()
             || prefetch_mb.is_some()
-            || readers.is_some();
+            || readers.is_some()
+            || routing.is_some();
         let multi_file = matches!(&kind, InputKind::Files(p) if p.len() > 1);
         let use_streaming = match streaming {
             Some(s) => s,
@@ -267,7 +281,7 @@ impl<'a> CompressBuilder<'a> {
         }
         if !use_streaming && engine_knobs {
             return Err(PipelineError::config(
-                "threads/batch_size/channel_capacity/idle_timeout/readers/prefetch_mb \
+                "threads/batch_size/channel_capacity/idle_timeout/readers/prefetch_mb/routing \
                  tune the streaming engine — drop .streaming(false) to use them",
             ));
         }
@@ -285,6 +299,7 @@ impl<'a> CompressBuilder<'a> {
                 idle_timeout,
                 prefetch_mb,
                 readers,
+                routing,
             )?
         } else {
             run_batch(kind, &context, params, format)?
@@ -312,6 +327,7 @@ fn run_streaming(
     idle_timeout: Option<Duration>,
     prefetch_mb: Option<u64>,
     readers: Option<usize>,
+    routing: Option<Routing>,
 ) -> Result<(Vec<u8>, Report), PipelineError> {
     let mut builder = StreamingEngine::builder()
         .params(params)
@@ -324,6 +340,14 @@ fn run_streaming(
     builder = builder.batch_size(batch);
     if let Some(c) = channel_capacity {
         builder = builder.channel_capacity(c);
+    }
+    if let Some(r) = routing {
+        builder = builder.routing(r);
+    }
+    if let Some(r) = readers {
+        // The reader threads decode the batches; they are the natural
+        // routing-worker count too.
+        builder = builder.routers(r);
     }
     let engine = builder
         .try_build()
@@ -349,8 +373,12 @@ fn run_streaming(
                 .map_err(read_err)?;
                 (
                     source.stats(),
+                    // Batch-native hand-off: the reader threads already
+                    // built whole decoded batches, so routing workers
+                    // take them one channel receive at a time instead of
+                    // re-iterating packet by packet.
                     engine
-                        .compress_stream_to_bytes(source.into_packets())
+                        .compress_batches_to_bytes(source.into_packets())
                         .map_err(read_err)?,
                 )
             } else {

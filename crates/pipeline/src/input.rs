@@ -34,13 +34,14 @@ pub(crate) enum InputKind<'a> {
     Patterns(Vec<String>),
     /// A borrowed in-memory trace.
     Trace(&'a Trace),
-    /// An infallible packet iterator.
-    Packets(Box<dyn Iterator<Item = PacketRecord> + 'a>),
+    /// An infallible packet iterator. `Send` because the engine's
+    /// parallel routing workers pull from the stream on pool threads.
+    Packets(Box<dyn Iterator<Item = PacketRecord> + Send + 'a>),
     /// An already-opened [`InputSource`], type-erased: its stats handle
     /// plus its packet stream.
     Stream {
         stats: IoStats,
-        packets: Box<dyn Iterator<Item = Result<PacketRecord, TraceError>> + 'a>,
+        packets: Box<dyn Iterator<Item = Result<PacketRecord, TraceError>> + Send + 'a>,
         description: String,
     },
     /// In-memory archive bytes (decompression only).
@@ -102,7 +103,7 @@ impl<'a> Input<'a> {
     pub fn packets<I>(packets: I) -> Input<'a>
     where
         I: IntoIterator<Item = PacketRecord>,
-        I::IntoIter: 'a,
+        I::IntoIter: Send + 'a,
     {
         Input {
             kind: InputKind::Packets(Box::new(packets.into_iter())),
@@ -117,7 +118,7 @@ impl<'a> Input<'a> {
     pub fn source<S>(source: S) -> Input<'a>
     where
         S: InputSource,
-        S::Packets: 'a,
+        S::Packets: Send + 'a,
     {
         let stats = source.stats();
         // Name the source by its type (e.g. `MultiFileSource`) so

@@ -80,6 +80,7 @@ pub mod sink;
 pub use compress::{CompressBuilder, RunResult};
 pub use decompress::DecompressBuilder;
 pub use error::PipelineError;
+pub use flowzip_engine::Routing;
 pub use input::Input;
 pub use report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
 pub use sink::Sink;

@@ -28,17 +28,20 @@
 //!
 //! Routing (which the pipeline owns, not this file): any engine or
 //! reader flag — `--streaming`, `--threads`, `--idle-timeout`,
-//! `--batch-size`, `--readers`, `--prefetch-mb` — selects the sharded
-//! streaming engine, as do multiple input files (an explicit list or a
-//! quoted `*`/`?` glob streams as *one* logical trace in argument order
-//! through parallel reader threads, byte-identical to a single chained
-//! reader). A bare single-file `compress` runs the batch compressor.
-//! `--idle-timeout 0` and `--prefetch-mb 0` mean "off", but the flag's
-//! presence still selects the streaming route — both halves of the
-//! historical semantics.
+//! `--batch-size`, `--readers`, `--prefetch-mb`, `--routing` — selects
+//! the sharded streaming engine, as do multiple input files (an explicit
+//! list or a quoted `*`/`?` glob streams as *one* logical trace in
+//! argument order through parallel reader threads, byte-identical to a
+//! single chained reader). A bare single-file `compress` runs the batch
+//! compressor. `--idle-timeout 0` and `--prefetch-mb 0` mean "off", but
+//! the flag's presence still selects the streaming route — both halves
+//! of the historical semantics. `--routing serial|parallel` picks the
+//! engine's routing topology (parallel hashes packets on the reader-side
+//! worker pool; serial keeps the single dedicated router thread; output
+//! is byte-identical either way).
 
 use flowzip::core::{synthesize, CompressedTrace};
-use flowzip::pipeline::{Input, Pipeline, Report, Sink};
+use flowzip::pipeline::{Input, Pipeline, Report, Routing, Sink};
 use flowzip::prelude::*;
 use flowzip::trace::reader::CaptureFormat;
 use flowzip::trace::tsh;
@@ -65,7 +68,7 @@ const USAGE: &str = "usage:
                      files or a quoted glob stream as one trace in order)
                      [--format v1|v2] (default v2: per-shard archive sections)
                      [--streaming] [--threads N] [--idle-timeout SECS] [--batch-size N]
-                     [--readers N] [--prefetch-mb N] [--json]
+                     [--readers N] [--prefetch-mb N] [--routing serial|parallel] [--json]
                      (any engine/reader flag implies --streaming;
                       multiple inputs always stream)
   flowzip info       IN.fzc [--json]
@@ -239,6 +242,9 @@ fn compress(opts: &Opts) -> Result<(), String> {
     }
     if opts.get("readers").is_some() {
         session = session.readers(opts.get_u64("readers", 0)? as usize);
+    }
+    if let Some(name) = opts.get("routing") {
+        session = session.routing(Routing::parse(name)?);
     }
     // 0 historically means "off" for these two — but the flag's
     // *presence* still selects the streaming route, as it always did: a
