@@ -19,14 +19,26 @@ benches record the measuring host's ``available_parallelism`` as
 single core (or predates the field) the scaling check is skipped with a
 note instead of failing the build.
 
+A third, optional assertion gates *observability cost*: with
+``--metrics-overhead X`` the engine bench's ``metrics_overhead`` figure
+(the packets/s lost when the same configuration runs with an enabled
+metrics registry) must stay at or below X. Like the scaling check it is
+self-disabling on single-core hosts, where the two timed families
+contend for one core and the gap measures scheduling noise, not
+instrument cost.
+
 Usage:
     python3 ci/check_bench_regression.py CURRENT BASELINE \\
-        [--metric KEY] [--min-speedup X] [--bless]
+        [--metric KEY] [--min-speedup X] [--metrics-overhead X] [--bless]
 
     --metric KEY      result field to gate on (default: packets_per_sec;
                       the io_throughput bench gates on mb_per_sec)
     --min-speedup X   require max speedup_vs_1 >= X when the current run
                       was measured on a multi-core host (default: off)
+    --metrics-overhead X
+                      require metrics_overhead.overhead_frac <= X on a
+                      multi-core host (default: off; the engine bench
+                      records the figure, CI gates at 0.03)
     --bless           copy CURRENT over BASELINE instead of comparing
                       (run after an intentional perf change or a
                       CI-runner hardware change, then commit the new
@@ -91,6 +103,42 @@ def check_scaling(current, min_speedup):
     return 0
 
 
+def check_metrics_overhead(current, max_overhead):
+    """Observability-cost assertion; returns an exit code (0 = pass/skip)."""
+    info = current.get("metrics_overhead")
+    if info is None:
+        print(
+            "metrics-overhead check skipped: no metrics_overhead in the "
+            "current document",
+            file=sys.stderr,
+        )
+        return 0
+    cores = host_parallelism(current)
+    frac = float(info["overhead_frac"])
+    off, on = info["off_packets_per_sec"], info["on_packets_per_sec"]
+    if cores <= 1:
+        print(
+            f"metrics-overhead check skipped: current run measured with "
+            f"host_parallelism={cores}; on a single-core host the on/off "
+            f"families contend for one core and the gap measures "
+            f"scheduling noise, not instrument cost "
+            f"(measured {frac:+.1%}: {off:,.0f} -> {on:,.0f} packets/s)"
+        )
+        return 0
+    if frac > max_overhead:
+        print(
+            f"FAIL: enabling metrics costs {frac:.1%} packets/s "
+            f"({off:,.0f} -> {on:,.0f}); budget is {max_overhead:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"metrics overhead OK: {frac:+.1%} <= {max_overhead:.0%} "
+        f"({off:,.0f} -> {on:,.0f} packets/s)"
+    )
+    return 0
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -104,6 +152,9 @@ def main(argv):
     min_speedup = None
     if "--min-speedup" in extra:
         min_speedup = float(extra[extra.index("--min-speedup") + 1])
+    max_overhead = None
+    if "--metrics-overhead" in extra:
+        max_overhead = float(extra[extra.index("--metrics-overhead") + 1])
 
     with open(current_path) as f:
         current = json.load(f)
@@ -150,9 +201,12 @@ def main(argv):
         return 1
     print(f"OK: within {tolerance:.0%} tolerance")
 
+    rc = 0
     if min_speedup is not None:
-        return check_scaling(current, min_speedup)
-    return 0
+        rc = check_scaling(current, min_speedup)
+    if max_overhead is not None:
+        rc = max(rc, check_metrics_overhead(current, max_overhead))
+    return rc
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@
 
 use criterion::black_box;
 use flowzip_bench::original_trace;
-use flowzip_engine::{Routing, StreamingEngine};
+use flowzip_engine::{Metrics, Routing, StreamingEngine};
 use flowzip_trace::Duration;
 use std::time::Instant;
 
@@ -103,6 +103,44 @@ fn main() {
         }
     }
 
+    // Metrics-overhead family: the same parallel/2 configuration timed
+    // with the registry disabled vs. enabled. The no-op recorder is
+    // enum-dispatch — a disabled run pays one branch per record site —
+    // so the enabled/disabled gap is the true cost of live counters,
+    // gauges and histograms; CI gates it (multi-core hosts only) with
+    // `--metrics-overhead 0.03`.
+    let overhead_threads = 2usize;
+    let time_with = |metrics: Metrics| {
+        let engine = StreamingEngine::builder()
+            .routing(Routing::Parallel)
+            .routers(overhead_threads)
+            .shards(overhead_threads)
+            .batch_size(4096)
+            .idle_timeout(Some(Duration::from_secs(120)))
+            .metrics(metrics)
+            .build();
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let out = engine
+                .compress_stream(trace.iter().cloned().map(Ok))
+                .expect("in-memory run");
+            best = best.min(t0.elapsed().as_secs_f64());
+            black_box(out);
+        }
+        best
+    };
+    let secs_off = time_with(Metrics::disabled());
+    let secs_on = time_with(Metrics::enabled());
+    let (pps_off, pps_on) = (packets as f64 / secs_off, packets as f64 / secs_on);
+    let overhead_frac = 1.0 - pps_on / pps_off;
+    println!(
+        "engine_throughput/metrics-off  best {secs_off:>8.3}s  {pps_off:>12.0} packets/s\n\
+         engine_throughput/metrics-on   best {secs_on:>8.3}s  {pps_on:>12.0} packets/s  \
+         (overhead {:+.1}%)",
+        overhead_frac * 100.0
+    );
+
     // speedup_vs_1 is within-family: parallel/4 against parallel/1, so
     // the scaling figure isolates topology scaling from the (small)
     // constant-factor difference between the two routers at one thread.
@@ -131,7 +169,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"metrics_overhead\": {{\"threads\": {overhead_threads}, \"off_packets_per_sec\": {pps_off:.0}, \"on_packets_per_sec\": {pps_on:.0}, \"overhead_frac\": {overhead_frac:.4}}},\n  \"results\": [\n{}\n  ]\n}}\n",
         results.join(",\n")
     );
 

@@ -4,6 +4,7 @@
 use crate::engine::StreamingEngine;
 use crate::route::Routing;
 use flowzip_core::{ArchiveFormat, Params};
+use flowzip_obs::{Metrics, Profiler};
 use flowzip_trace::Duration;
 
 /// Resolved engine configuration (what [`EngineBuilder::build`] produces).
@@ -41,6 +42,13 @@ pub struct EngineConfig {
     /// count — each worker drains whole decoded batches and hashes them
     /// itself.
     pub routers: usize,
+    /// Metrics registry every run reports into
+    /// ([`Metrics::disabled`] by default — instrument handles are then
+    /// enum-dispatch no-ops and the hot paths never read a clock).
+    pub metrics: Metrics,
+    /// Span-timing recorder for chrome://tracing dumps
+    /// ([`Profiler::disabled`] by default).
+    pub profiler: Profiler,
 }
 
 impl EngineConfig {
@@ -139,6 +147,8 @@ impl EngineBuilder {
                 idle_timeout: None,
                 routing: Routing::Parallel,
                 routers: cpus.min(4),
+                metrics: Metrics::disabled(),
+                profiler: Profiler::disabled(),
             },
         }
     }
@@ -203,6 +213,23 @@ impl EngineBuilder {
     /// to hash them.
     pub fn routers(mut self, routers: usize) -> EngineBuilder {
         self.config.routers = routers;
+        self
+    }
+
+    /// Metrics registry runs report into (default:
+    /// [`Metrics::disabled`], which makes every instrument a no-op).
+    /// Pass [`Metrics::enabled`] and snapshot it after (or during — it
+    /// is lock-free to read) a run.
+    pub fn metrics(mut self, metrics: Metrics) -> EngineBuilder {
+        self.config.metrics = metrics;
+        self
+    }
+
+    /// Span-timing recorder for chrome://tracing dumps (default:
+    /// [`Profiler::disabled`]). Each shard and routing worker gets its
+    /// own timeline track.
+    pub fn profiler(mut self, profiler: Profiler) -> EngineBuilder {
+        self.config.profiler = profiler;
         self
     }
 

@@ -25,6 +25,7 @@
 //! re-sorts the flow records into one valid time-seq dataset.
 
 use crate::builder::{EngineBuilder, EngineConfig};
+use crate::obs::{EngineObs, ShardObs};
 use crate::report::EngineReport;
 use crate::route::{shard_of, BatchPackets, IterBatches, Rechunker, RouteFabric, Routing};
 use flowzip_core::datasets::CompressedTrace;
@@ -60,6 +61,10 @@ struct ShardOutput {
     result: ShardResult,
     peak_active: u64,
     evicted: u64,
+    /// Nanoseconds this shard's thread actually spent accumulating and
+    /// encoding — measured only when metrics are enabled (0 otherwise),
+    /// and the basis of the report's `stage_busy_secs`.
+    busy_ns: u64,
 }
 
 /// One shard's state machine: accumulate → finalize online → cluster,
@@ -74,20 +79,32 @@ struct ShardWorker {
     /// the per-packet fast path.
     scan_interval: Option<Duration>,
     next_scan: Option<Timestamp>,
+    obs: ShardObs,
+    /// Thread-busy nanoseconds (accumulate + encode), counted only when
+    /// metrics are on.
+    busy_ns: u64,
+    /// Evictions already mirrored into the counter, so each scan only
+    /// adds its delta.
+    evicted_seen: u64,
 }
 
 impl ShardWorker {
-    fn new(params: Params, idle_timeout: Option<Duration>) -> ShardWorker {
+    fn new(params: Params, idle_timeout: Option<Duration>, obs: ShardObs) -> ShardWorker {
         ShardWorker {
             acc: FlowAccumulator::new(params.clone()),
             asm: FlowAssembler::new(params),
             idle_timeout,
             scan_interval: idle_timeout.map(|t| Duration::from_micros((t.as_micros() / 4).max(1))),
             next_scan: None,
+            obs,
+            busy_ns: 0,
+            evicted_seen: 0,
         }
     }
 
     fn process_batch(&mut self, batch: &[PacketRecord]) {
+        let _span = self.obs.track.span("accumulate");
+        let t0 = self.obs.accumulate_ns.start();
         for p in batch {
             self.acc.push(p);
         }
@@ -106,12 +123,25 @@ impl ShardWorker {
         for flow in self.acc.drain_completed() {
             self.asm.consume(&flow);
         }
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.busy_ns += ns;
+            self.obs.accumulate_ns.record(ns);
+            self.obs.packets.add(batch.len() as u64);
+            self.obs.batches.inc();
+            self.obs.active_flows.set(self.acc.active_flows() as i64);
+            let evicted = self.acc.evicted_flows();
+            self.obs.evicted.add(evicted - self.evicted_seen);
+            self.evicted_seen = evicted;
+        }
     }
 
     /// Finalizes the shard. With `encode` set the assembler serializes
     /// itself into a container-v2 section *here, on the shard's thread*
     /// — the work that used to be the writer's serial tail.
     fn finish(mut self, encode: bool) -> ShardOutput {
+        let span = self.obs.track.span("encode");
+        let t0 = self.obs.encode_ns.is_enabled().then(Instant::now);
         let peak_active = self.acc.peak_active_flows() as u64;
         let evicted = self.acc.evicted_flows();
         for flow in self.acc.finish() {
@@ -122,10 +152,19 @@ impl ShardWorker {
         } else {
             ShardResult::State(self.asm)
         };
+        drop(span);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.busy_ns += ns;
+            self.obs.encode_ns.add(ns);
+            self.obs.evicted.add(evicted - self.evicted_seen);
+            self.obs.active_flows.set(0);
+        }
         ShardOutput {
             result,
             peak_active,
             evicted,
+            busy_ns: self.busy_ns,
         }
     }
 }
@@ -138,9 +177,11 @@ fn run_shard(
     params: Params,
     idle_timeout: Option<Duration>,
     encode: bool,
+    obs: ShardObs,
 ) -> ShardOutput {
-    let mut worker = ShardWorker::new(params, idle_timeout);
+    let mut worker = ShardWorker::new(params, idle_timeout, obs);
     while let Ok(batch) = rx.recv() {
+        worker.obs.queue_depth.dec();
         worker.process_batch(&batch);
     }
     worker.finish(encode)
@@ -157,10 +198,12 @@ fn run_shard_rechunked(
     idle_timeout: Option<Duration>,
     encode: bool,
     batch_size: usize,
+    obs: ShardObs,
 ) -> ShardOutput {
-    let mut worker = ShardWorker::new(params, idle_timeout);
+    let mut worker = ShardWorker::new(params, idle_timeout, obs);
     let mut rechunk = Rechunker::new(batch_size);
     while let Ok(arrival) = rx.recv() {
+        worker.obs.queue_depth.dec();
         rechunk.push(arrival, |chunk| worker.process_batch(chunk));
     }
     rechunk.finish(|chunk| worker.process_batch(chunk));
@@ -306,16 +349,20 @@ impl StreamingEngine {
         started: Instant,
     ) -> (Vec<u8>, EngineReport) {
         let elapsed = started.elapsed().as_secs_f64();
+        let track = self.config.profiler.track("container");
         match self.config.format {
             ArchiveFormat::V1 => {
                 // merge() already encodes the archive (the report's
                 // dataset sizes need it), so the serial tail — shard
                 // merge, time-seq sort, encode — runs exactly once.
+                let span = track.span("serialize");
                 let ser = Instant::now();
                 let (_, bytes, mut report) = self.merge(outputs, elapsed);
+                drop(span);
                 report.serialize_secs = ser.elapsed().as_secs_f64();
                 report.sections = 1;
                 report.archive_bytes = bytes.len() as u64;
+                self.record_serialize(report.serialize_secs, 1);
                 (bytes, report)
             }
             ArchiveFormat::V2 => {
@@ -331,6 +378,7 @@ impl StreamingEngine {
 
                 // The entire serial serialization tail: template-store
                 // merge + address dedupe + index + payload concat.
+                let span = track.span("serialize");
                 let ser = Instant::now();
                 let (bytes, mut report) = assemble_sections(
                     &self.config.params,
@@ -338,6 +386,7 @@ impl StreamingEngine {
                     agg.tsh_bytes,
                     agg.header_bytes,
                 );
+                drop(span);
                 let serialize_secs = ser.elapsed().as_secs_f64();
                 report.peak_active_flows = agg.peak_active;
 
@@ -345,8 +394,22 @@ impl StreamingEngine {
                 engine_report.serialize_secs = serialize_secs;
                 engine_report.sections = n_sections;
                 engine_report.archive_bytes = bytes.len() as u64;
+                self.record_serialize(serialize_secs, n_sections as u64);
                 (bytes, engine_report)
             }
+        }
+    }
+
+    /// Mirrors the serial-tail figures into the metrics registry.
+    fn record_serialize(&self, secs: f64, sections: u64) {
+        let metrics = &self.config.metrics;
+        if metrics.is_enabled() {
+            metrics
+                .counter(flowzip_obs::names::CONTAINER_SERIALIZE_NS)
+                .add((secs * 1e9) as u64);
+            metrics
+                .counter(flowzip_obs::names::CONTAINER_SECTIONS)
+                .add(sections);
         }
     }
 
@@ -403,7 +466,8 @@ impl StreamingEngine {
             return self.run_pipeline(BatchPackets::new(source), encode);
         }
         let routers = config.routers.max(1);
-        let fabric = RouteFabric::new(source, config.shards);
+        let obs = EngineObs::new(&config.metrics, &config.profiler, config.shards);
+        let fabric = RouteFabric::new(source, config.shards, obs.route.clone());
 
         // Boxed because the task list mixes shard loops (return
         // Some(output)) with extra routing workers (return None, borrow
@@ -411,7 +475,7 @@ impl StreamingEngine {
         let mut senders = Vec::with_capacity(config.shards);
         let mut tasks: Vec<Box<dyn FnOnce() -> Option<ShardOutput> + Send + '_>> =
             Vec::with_capacity(config.shards + routers - 1);
-        for _ in 0..config.shards {
+        for shard_obs in obs.shards.iter().cloned() {
             let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
             let params = config.params.clone();
             let idle_timeout = config.idle_timeout;
@@ -424,6 +488,7 @@ impl StreamingEngine {
                     idle_timeout,
                     encode,
                     batch_size,
+                    shard_obs,
                 ))
             }));
         }
@@ -459,13 +524,18 @@ impl StreamingEngine {
         I: IntoIterator<Item = Result<PacketRecord, TraceError>>,
     {
         let config = &self.config;
+        let obs = EngineObs::new(&config.metrics, &config.profiler, config.shards);
         if config.shards == 1 {
             // Single shard: run everything inline. No channel, no second
             // thread — this is the honest sequential baseline the
             // `engine_throughput` bench scales against, and it makes the
             // one-shard engine byte-identical to the batch compressor by
             // construction.
-            let mut worker = ShardWorker::new(config.params.clone(), config.idle_timeout);
+            let mut worker = ShardWorker::new(
+                config.params.clone(),
+                config.idle_timeout,
+                obs.shards[0].clone(),
+            );
             let mut buf: Vec<PacketRecord> = Vec::with_capacity(config.batch_size);
             for item in input {
                 buf.push(item?);
@@ -487,14 +557,15 @@ impl StreamingEngine {
         // spawn loop.
         let mut senders = Vec::with_capacity(config.shards);
         let mut tasks = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for shard_obs in obs.shards.iter().cloned() {
             let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
             let params = config.params.clone();
             let idle_timeout = config.idle_timeout;
             senders.push(tx);
-            tasks.push(move || run_shard(rx, params, idle_timeout, encode));
+            tasks.push(move || run_shard(rx, params, idle_timeout, encode, shard_obs));
         }
 
+        let queue_depth = obs.route.queue_depth.clone();
         let pool = WorkerPool::new(config.shards);
         let (outputs, input_err) = pool.run_with(tasks, move || {
             let mut buffers: Vec<Vec<PacketRecord>> = (0..config.shards)
@@ -516,6 +587,7 @@ impl StreamingEngine {
                                 // its panic from the pool's join.
                                 break 'route;
                             }
+                            queue_depth[s].inc();
                         }
                     }
                     Err(e) => {
@@ -529,7 +601,9 @@ impl StreamingEngine {
                     if !buf.is_empty() {
                         // A send can only fail if the worker died; the
                         // pool's join re-raises its panic.
-                        let _ = senders[s].send(buf);
+                        if senders[s].send(buf).is_ok() {
+                            queue_depth[s].inc();
+                        }
                     }
                 }
             }
@@ -701,7 +775,7 @@ impl StreamingEngine {
             Routing::Parallel if self.config.shards == 1 => 1,
             Routing::Parallel => self.config.routers.max(1),
         };
-        EngineReport {
+        let mut engine_report = EngineReport {
             shards: self.config.shards,
             routing: self.config.routing,
             routers,
@@ -714,10 +788,14 @@ impl StreamingEngine {
             read_wait_secs: 0.0,
             compute_secs: elapsed_secs,
             serialize_secs: 0.0,
+            stage_busy_secs: agg.max_busy_ns as f64 / 1e9,
+            unattributed_secs: 0.0,
             sections: 0,
             archive_bytes: 0,
             report,
-        }
+        };
+        engine_report.reconcile_time_split();
+        engine_report
     }
 }
 
@@ -727,6 +805,7 @@ impl StreamingEngine {
 fn fill_read_wait(report: &mut EngineReport, stats: &flowzip_io::IoStats) {
     report.read_wait_secs = stats.read_wait_secs().min(report.elapsed_secs);
     report.compute_secs = (report.elapsed_secs - report.read_wait_secs).max(0.0);
+    report.reconcile_time_split();
 }
 
 /// Throughput/memory counters folded over per-shard outputs — computed
@@ -740,6 +819,11 @@ struct ShardAggregates {
     /// headers — the §5 baselines, computable without the trace.
     tsh_bytes: u64,
     header_bytes: u64,
+    /// The busiest single shard thread's accumulate+encode nanoseconds
+    /// (0 when metrics are off — busy time is only measured then).
+    /// Shards run concurrently, so the *max*, not the sum, is the
+    /// stage's wall-clock footprint.
+    max_busy_ns: u64,
 }
 
 impl ShardAggregates {
@@ -751,6 +835,7 @@ impl ShardAggregates {
             evicted: outputs.iter().map(|o| o.evicted).sum(),
             tsh_bytes: packets * flowzip_trace::tsh::RECORD_BYTES as u64,
             header_bytes: packets * flowzip_trace::packet::HEADER_BYTES as u64,
+            max_busy_ns: outputs.iter().map(|o| o.busy_ns).max().unwrap_or(0),
         }
     }
 }

@@ -73,6 +73,7 @@
 
 pub mod builder;
 pub mod engine;
+mod obs;
 pub mod report;
 pub mod route;
 
@@ -80,3 +81,7 @@ pub use builder::{ConfigError, EngineBuilder, EngineConfig};
 pub use engine::StreamingEngine;
 pub use report::EngineReport;
 pub use route::Routing;
+
+// Re-exported so engine embedders can enable observability without a
+// direct `flowzip-obs` dependency.
+pub use flowzip_obs::{Metrics, Profiler};

@@ -1,0 +1,91 @@
+//! The engine's bundle of instrument handles: one [`EngineObs`] per
+//! run, built from the configured [`Metrics`] registry and [`Profiler`]
+//! so the hot loops never look instruments up by name.
+//!
+//! Everything here is enum-dispatch cheap when observability is off:
+//! handles are no-ops, [`Track::span`] records nothing, and the one
+//! `Instant::now()` pair per batch is gated on
+//! [`Counter::is_enabled`] — a disabled run pays a branch, not a
+//! syscall.
+
+use flowzip_obs::{names, Counter, Gauge, Histogram, Metrics, Profiler, Track};
+
+/// Per-shard instrument handles, moved into the shard's worker loop.
+/// The queue-depth gauge is cloned onto the sending side too (router
+/// increments on send, shard decrements on receive), so a clean run
+/// provably drains every channel back to zero.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardObs {
+    /// `engine.shard.{i}.queue_depth` — batches in flight on this
+    /// shard's bounded channel.
+    pub(crate) queue_depth: Gauge,
+    /// `engine.shard.{i}.active_flows` — open flows in the accumulator.
+    pub(crate) active_flows: Gauge,
+    /// `engine.shard.{i}.accumulate_ns` — per-batch accumulate time.
+    pub(crate) accumulate_ns: Histogram,
+    /// `engine.shard.{i}.encode_ns` — finalize/encode time.
+    pub(crate) encode_ns: Counter,
+    /// Global `engine.packets` (shared handle, all shards add).
+    pub(crate) packets: Counter,
+    /// Global `engine.batches`.
+    pub(crate) batches: Counter,
+    /// Global `engine.evicted_flows`.
+    pub(crate) evicted: Counter,
+    /// This shard's profiler timeline row.
+    pub(crate) track: Track,
+}
+
+/// The shared routing-side handles: the ticket-wait histogram plus the
+/// sending half of every shard's queue-depth gauge.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteObs {
+    /// `engine.router.ticket_wait_ns` — time blocked on the delivery
+    /// sequencer (parallel routing only).
+    pub(crate) ticket_wait: Histogram,
+    /// Queue-depth gauges by shard index, incremented on send.
+    pub(crate) queue_depth: Vec<Gauge>,
+}
+
+/// One run's full handle bundle. (The container-tail instruments are
+/// resolved separately in `outputs_to_bytes` — serialization happens
+/// after the worker pool joined, outside any run bundle.)
+#[derive(Debug)]
+pub(crate) struct EngineObs {
+    pub(crate) shards: Vec<ShardObs>,
+    pub(crate) route: RouteObs,
+}
+
+impl EngineObs {
+    /// Registers (or re-resolves — registration is idempotent) every
+    /// engine instrument for a `shards`-wide run.
+    pub(crate) fn new(metrics: &Metrics, profiler: &Profiler, shards: usize) -> EngineObs {
+        let packets = metrics.counter(names::ENGINE_PACKETS);
+        let batches = metrics.counter(names::ENGINE_BATCHES);
+        let evicted = metrics.counter(names::ENGINE_EVICTED_FLOWS);
+        let shard_obs = (0..shards)
+            .map(|i| ShardObs {
+                queue_depth: metrics.gauge(&names::shard_queue_depth(i)),
+                active_flows: metrics.gauge(&names::shard_active_flows(i)),
+                accumulate_ns: metrics.histogram(
+                    &names::shard_accumulate_ns(i),
+                    flowzip_obs::DURATION_NS_BOUNDS,
+                ),
+                encode_ns: metrics.counter(&names::shard_encode_ns(i)),
+                packets: packets.clone(),
+                batches: batches.clone(),
+                evicted: evicted.clone(),
+                track: profiler.track(&format!("shard-{i}")),
+            })
+            .collect::<Vec<_>>();
+        EngineObs {
+            route: RouteObs {
+                ticket_wait: metrics.histogram(
+                    names::ROUTER_TICKET_WAIT_NS,
+                    flowzip_obs::DURATION_NS_BOUNDS,
+                ),
+                queue_depth: shard_obs.iter().map(|s| s.queue_depth.clone()).collect(),
+            },
+            shards: shard_obs,
+        }
+    }
+}

@@ -41,6 +41,7 @@
 //! fused after an error, so it is *the* first error of the stream, at
 //! the same packet position the serial router would have reported.
 
+use crate::obs::RouteObs;
 use flowzip_io::BatchRead;
 use flowzip_trace::{PacketRecord, TraceError};
 use std::sync::mpsc::SyncSender;
@@ -277,10 +278,11 @@ pub(crate) struct RouteFabric<B> {
     shared: Mutex<SharedSource<B>>,
     sequencer: Sequencer,
     shards: usize,
+    obs: RouteObs,
 }
 
 impl<B: BatchRead> RouteFabric<B> {
-    pub(crate) fn new(source: B, shards: usize) -> RouteFabric<B> {
+    pub(crate) fn new(source: B, shards: usize, obs: RouteObs) -> RouteFabric<B> {
         RouteFabric {
             shared: Mutex::new(SharedSource {
                 source,
@@ -290,6 +292,7 @@ impl<B: BatchRead> RouteFabric<B> {
             }),
             sequencer: Sequencer::new(),
             shards,
+            obs,
         }
     }
 
@@ -313,12 +316,16 @@ impl<B: BatchRead> RouteFabric<B> {
                 let s = shard_of(&p, self.shards);
                 parts[s].push(p);
             }
+            let wait = self.obs.ticket_wait.start();
             self.sequencer.wait_turn(ticket);
+            self.obs.ticket_wait.record_since(wait);
             for (s, part) in parts.into_iter().enumerate() {
                 if !part.is_empty() {
                     // A send can only fail if the shard died; the pool's
                     // join re-raises its panic after delivery unwinds.
-                    let _ = senders[s].send(part);
+                    if senders[s].send(part).is_ok() {
+                        self.obs.queue_depth[s].inc();
+                    }
                 }
             }
             self.sequencer.advance();

@@ -252,21 +252,28 @@ fn read_file(
                     if tx.send(Msg::Batch(full)).is_err() {
                         return; // consumer gone
                     }
+                    stats.add_batch();
                 }
             }
             Err(e) => {
                 // Deliver the packets decoded before the error — a
                 // chained single reader would have yielded them too.
-                if !batch.is_empty() && tx.send(Msg::Batch(batch)).is_err() {
-                    return;
+                if !batch.is_empty() {
+                    if tx.send(Msg::Batch(batch)).is_err() {
+                        return;
+                    }
+                    stats.add_batch();
                 }
                 let _ = tx.send(Msg::Err(e));
                 return;
             }
         }
     }
-    if !batch.is_empty() && tx.send(Msg::Batch(batch)).is_err() {
-        return;
+    if !batch.is_empty() {
+        if tx.send(Msg::Batch(batch)).is_err() {
+            return;
+        }
+        stats.add_batch();
     }
     let _ = tx.send(Msg::Eof);
 }

@@ -148,6 +148,7 @@ fn io_loop<R: Read>(inner: &mut R, tx: &SyncSender<Chunk>, chunk_bytes: usize, s
         if tx.send(Chunk::Data(buf)).is_err() {
             return;
         }
+        stats.prefetch_add(1);
         if at_eof {
             return;
         }
@@ -172,6 +173,7 @@ impl Read for PrefetchReader {
             self.stats.add_wait(t0.elapsed());
             match msg {
                 Ok(Chunk::Data(chunk)) => {
+                    self.stats.prefetch_add(-1);
                     self.current = chunk;
                     self.pos = 0;
                 }

@@ -14,16 +14,29 @@
 //! Either way, `read_wait` answers the ROADMAP question directly: how
 //! much wall-clock the compute pipeline lost to input.
 
+use flowzip_obs::{names, Counter, Gauge, Metrics};
 use flowzip_trace::Duration;
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Named-instrument mirror for a [`Metrics`] registry: once attached,
+/// every increment tees into the registry alongside the local totals.
+#[derive(Debug)]
+struct Mirror {
+    bytes: Counter,
+    wait_ns: Counter,
+    batches: Counter,
+    prefetch_occupancy: Gauge,
+}
 
 #[derive(Debug, Default)]
 struct Counters {
     read_wait_nanos: AtomicU64,
     bytes_read: AtomicU64,
+    batches: AtomicU64,
+    mirror: OnceLock<Mirror>,
 }
 
 /// A cheap, cloneable handle onto one input pipeline's counters. Clones
@@ -39,16 +52,69 @@ impl IoStats {
         IoStats::default()
     }
 
+    /// Mirrors these counters into a [`Metrics`] registry under the
+    /// conventional `io.*` instrument names ([`names`]), folding in
+    /// whatever was already recorded. A no-op for a disabled registry;
+    /// at most one registry can be attached per stats handle (later
+    /// calls are ignored) — the handle is shared across reader threads,
+    /// and one input pipeline reports to one registry.
+    pub fn attach_metrics(&self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        let mirror = Mirror {
+            bytes: metrics.counter(names::IO_READER_BYTES),
+            wait_ns: metrics.counter(names::IO_READ_WAIT_NS),
+            batches: metrics.counter(names::IO_READER_BATCHES),
+            prefetch_occupancy: metrics.gauge(names::IO_PREFETCH_OCCUPANCY),
+        };
+        mirror.bytes.add(self.bytes_read());
+        mirror
+            .wait_ns
+            .add(self.inner.read_wait_nanos.load(Ordering::Relaxed));
+        mirror
+            .batches
+            .add(self.inner.batches.load(Ordering::Relaxed));
+        let _ = self.inner.mirror.set(mirror);
+    }
+
     /// Records time the consuming pipeline spent blocked on input.
     pub fn add_wait(&self, wait: std::time::Duration) {
-        self.inner
-            .read_wait_nanos
-            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        let ns = wait.as_nanos() as u64;
+        self.inner.read_wait_nanos.fetch_add(ns, Ordering::Relaxed);
+        if let Some(m) = self.inner.mirror.get() {
+            m.wait_ns.add(ns);
+        }
     }
 
     /// Records raw bytes pulled from the underlying files.
     pub fn add_bytes(&self, n: u64) {
         self.inner.bytes_read.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = self.inner.mirror.get() {
+            m.bytes.add(n);
+        }
+    }
+
+    /// Records one decoded batch handed over by a reader thread.
+    pub fn add_batch(&self) {
+        self.inner.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.inner.mirror.get() {
+            m.batches.inc();
+        }
+    }
+
+    /// Adjusts the prefetch-buffer occupancy gauge (`+1` when the I/O
+    /// thread parks a chunk, `-1` when the consumer takes one). Only
+    /// visible through an attached registry — there is no local total.
+    pub fn prefetch_add(&self, delta: i64) {
+        if let Some(m) = self.inner.mirror.get() {
+            m.prefetch_occupancy.add(delta);
+        }
+    }
+
+    /// Decoded batches reader threads handed over so far.
+    pub fn batches(&self) -> u64 {
+        self.inner.batches.load(Ordering::Relaxed)
     }
 
     /// Total time the pipeline spent waiting for input (microsecond
@@ -156,5 +222,40 @@ mod tests {
         b.add_wait(std::time::Duration::from_millis(2));
         assert_eq!(a.bytes_read(), 44);
         assert!(a.read_wait() >= Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn attach_metrics_folds_in_prior_totals_and_tees_new_ones() {
+        let stats = IoStats::new();
+        stats.add_bytes(100);
+        stats.add_batch();
+        let metrics = Metrics::enabled();
+        stats.attach_metrics(&metrics);
+        stats.add_bytes(25);
+        stats.add_batch();
+        stats.add_wait(std::time::Duration::from_micros(3));
+        stats.prefetch_add(2);
+        stats.prefetch_add(-1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(names::IO_READER_BYTES), Some(125));
+        assert_eq!(snap.counter(names::IO_READER_BATCHES), Some(2));
+        assert!(snap.counter(names::IO_READ_WAIT_NS).unwrap() >= 3_000);
+        assert_eq!(snap.gauge(names::IO_PREFETCH_OCCUPANCY), Some(1));
+        assert_eq!(stats.bytes_read(), 125);
+        assert_eq!(stats.batches(), 2);
+    }
+
+    #[test]
+    fn attach_metrics_is_a_noop_for_disabled_registry_and_first_wins() {
+        let stats = IoStats::new();
+        stats.attach_metrics(&Metrics::disabled());
+        stats.prefetch_add(5); // no mirror: silently dropped
+        let first = Metrics::enabled();
+        let second = Metrics::enabled();
+        stats.attach_metrics(&first);
+        stats.attach_metrics(&second); // ignored: one registry per handle
+        stats.add_bytes(10);
+        assert_eq!(first.snapshot().counter(names::IO_READER_BYTES), Some(10));
+        assert_eq!(second.snapshot().counter(names::IO_READER_BYTES), Some(0));
     }
 }

@@ -1,0 +1,366 @@
+//! The workspace's one hand-rolled JSON emission helper (the build is
+//! dependency-free, so every report serializes through here — the
+//! engine report, the unified pipeline report, metric snapshots and the
+//! profiler dump all share the same escaping and float formatting and
+//! therefore cannot drift).
+
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (quote, backslash,
+/// control characters — `str::escape_default` is *not* JSON: it emits
+/// `\'` and `\u{…}`, which JSON parsers reject).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal ordered-field JSON object writer. `pretty` (the report
+/// style) puts each field on its own two-space-indented line; compact
+/// (the JSON-lines style) emits one line with no whitespace.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+    pretty: bool,
+}
+
+impl JsonObject {
+    /// Starts a pretty (multi-line, two-space-indented) object — the
+    /// shape `Report::to_json` has always emitted.
+    pub fn pretty() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+            pretty: true,
+        }
+    }
+
+    /// Starts a compact single-line object — the JSON-lines shape.
+    pub fn compact() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+            pretty: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        if self.pretty {
+            self.buf.push_str("\n  ");
+        }
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(key));
+        self.buf.push_str(if self.pretty { "\": " } else { "\":" });
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+    }
+
+    /// Adds an array-of-strings field (each escaped).
+    pub fn str_array(&mut self, key: &str, values: &[String]) {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(if self.pretty { ", " } else { "," });
+            }
+            self.buf.push('"');
+            self.buf.push_str(&json_escape(v));
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a signed integer field.
+    pub fn int(&mut self, key: &str, value: i64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a float field with six decimal places (the timing style).
+    pub fn f6(&mut self, key: &str, value: f64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value:.6}");
+    }
+
+    /// Adds a float field with two decimal places (the MB/s style).
+    pub fn f2(&mut self, key: &str, value: f64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value:.2}");
+    }
+
+    /// Adds a float field rounded to an integer (the packets/s style).
+    pub fn f0(&mut self, key: &str, value: f64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value:.0}");
+    }
+
+    /// Adds a pre-serialized JSON value verbatim — nested objects and
+    /// arrays the caller formatted.
+    pub fn raw(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push_str(value);
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str(if self.pretty { "\n}" } else { "}" });
+        self.buf
+    }
+}
+
+/// Validates that `s` is one complete JSON value — a tiny
+/// recursive-descent checker for tests pinning emitted schemas (the
+/// workspace has no serde to parse with). Accepts exactly the JSON
+/// grammar: objects, arrays, strings with escapes, numbers, `true`,
+/// `false`, `null`.
+pub fn is_valid_json(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    if !skip_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn skip_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => skip_delimited(b, pos, b'}', true),
+        Some(b'[') => skip_delimited(b, pos, b']', false),
+        Some(b'"') => skip_string(b, pos),
+        Some(b't') => skip_literal(b, pos, b"true"),
+        Some(b'f') => skip_literal(b, pos, b"false"),
+        Some(b'n') => skip_literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => skip_number(b, pos),
+        _ => false,
+    }
+}
+
+fn skip_delimited(b: &[u8], pos: &mut usize, close: u8, keyed: bool) -> bool {
+    *pos += 1; // opening brace/bracket
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&close) {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if keyed {
+            skip_ws(b, pos);
+            if !skip_string(b, pos) {
+                return false;
+            }
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return false;
+            }
+            *pos += 1;
+        }
+        if !skip_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(&c) if c == close => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn skip_string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                match b.get(*pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 2..*pos + 6);
+                        match hex {
+                            Some(h) if h.iter().all(u8::is_ascii_hexdigit) => *pos += 6,
+                            _ => return false,
+                        }
+                    }
+                    _ => return false,
+                };
+            }
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn skip_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn skip_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(b, pos) {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn pretty_object_matches_the_report_shape() {
+        let mut j = JsonObject::pretty();
+        j.str("mode", "compress");
+        j.num("packets", 7);
+        j.f6("elapsed_secs", 0.25);
+        let out = j.finish();
+        assert_eq!(
+            out,
+            "{\n  \"mode\": \"compress\",\n  \"packets\": 7,\n  \"elapsed_secs\": 0.250000\n}"
+        );
+        assert!(is_valid_json(&out));
+    }
+
+    #[test]
+    fn compact_object_is_one_line() {
+        let mut j = JsonObject::compact();
+        j.str("type", "flowzip.stats");
+        j.int("depth", -3);
+        j.str_array("names", &["a".into(), "b".into()]);
+        let out = j.finish();
+        assert_eq!(
+            out,
+            r#"{"type":"flowzip.stats","depth":-3,"names":["a","b"]}"#
+        );
+        assert!(!out.contains('\n'));
+        assert!(is_valid_json(&out));
+    }
+
+    #[test]
+    fn empty_objects_are_valid() {
+        assert_eq!(JsonObject::compact().finish(), "{}");
+        assert_eq!(JsonObject::pretty().finish(), "{\n}");
+        assert!(is_valid_json("{}"));
+        assert!(is_valid_json("{\n}"));
+    }
+
+    #[test]
+    fn validator_accepts_real_json() {
+        for good in [
+            "{}",
+            "[]",
+            "0",
+            "-1.5e-3",
+            "\"x\\u00e9\"",
+            "true",
+            "null",
+            r#"{"a":[1,2,{"b":null}],"c":"\n"}"#,
+            " { \"a\" : 1 } ",
+        ] {
+            assert!(is_valid_json(good), "{good}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_json() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "01x",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "{'a':1}",
+            "nul",
+            "+1",
+            "1.",
+        ] {
+            assert!(!is_valid_json(bad), "{bad}");
+        }
+    }
+}

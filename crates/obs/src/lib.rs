@@ -1,0 +1,43 @@
+//! Observability for the flowzip pipeline: metrics, live snapshots,
+//! span profiling, shared JSON formatting, and leveled logging —
+//! dependency-free, like the rest of the workspace.
+//!
+//! The source paper is a *performance analysis*: knowing where a
+//! flow-clustering compressor spends its time is the contribution. This
+//! crate gives every stage of the reproduction a way to say so while it
+//! runs, not just in a post-hoc report:
+//!
+//! * [`Metrics`] — a lock-free registry of named atomic
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s. The
+//!   handle is an enum-dispatch recorder: a *disabled* handle hands out
+//!   no-op instruments whose hot-path cost is one branch on a `None`,
+//!   so instrumented code needs no `cfg` or generics to compile to
+//!   near-zero cost when observability is off.
+//! * [`StatsSnapshot`] + [`Sampler`] — point-in-time dumps of every
+//!   instrument, and a background thread emitting them periodically as
+//!   JSON-lines or a human one-liner (the live-stats plumbing a future
+//!   `flowzip serve` sits on).
+//! * [`Profiler`] — named per-thread tracks of timed spans, dumped as
+//!   chrome://tracing trace-event JSON so a run opens as a
+//!   flamegraph-style timeline in `chrome://tracing` or Perfetto.
+//! * [`json`] — the one hand-rolled JSON escaping/formatting helper
+//!   every report in the workspace shares, so float formatting and
+//!   string escaping cannot drift between emitters.
+//! * [`log`] — a leveled stderr path (`FLOWZIP_LOG`, `--quiet`/`-v`)
+//!   for warnings, notices and snapshot output.
+//!
+//! Instrument names are dotted paths; the conventional ones the
+//! pipeline registers live in [`names`].
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod names;
+pub mod profile;
+pub mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, Metrics, DURATION_NS_BOUNDS};
+pub use profile::{Profiler, Span, Track};
+pub use snapshot::{
+    HistogramSnapshot, MetricValue, Sampler, SnapshotFormat, StatsSink, StatsSnapshot,
+};

@@ -1,0 +1,120 @@
+//! The one leveled stderr path for human-facing pipeline chatter —
+//! warnings, notices, verbose diagnostics — replacing ad-hoc
+//! `eprintln!`s so `--quiet` / `-v` / `FLOWZIP_LOG` govern everything.
+//!
+//! Levels nest: [`Level::Quiet`] keeps only warnings, [`Level::Normal`]
+//! (the default) adds notices, [`Level::Verbose`] adds debug detail.
+//! The level is a process-wide atomic — the CLI sets it once at
+//! startup; library code only reads it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much of the leveled output to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Warnings only (`--quiet`).
+    Quiet = 0,
+    /// Warnings and notices (the default).
+    #[default]
+    Normal = 1,
+    /// Everything, including debug detail (`-v`).
+    Verbose = 2,
+}
+
+impl Level {
+    /// Parses a `FLOWZIP_LOG` value (`quiet`|`normal`|`verbose`, or
+    /// `0`|`1`|`2`). Unknown values read as `None`.
+    pub fn parse(name: &str) -> Option<Level> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "quiet" | "0" => Some(Level::Quiet),
+            "normal" | "1" => Some(Level::Normal),
+            "verbose" | "debug" | "2" => Some(Level::Verbose),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
+
+/// Sets the process-wide output level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide output level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        2 => Level::Verbose,
+        _ => Level::Normal,
+    }
+}
+
+/// Whether output at `at` would currently be emitted.
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+/// Initializes the level from the `FLOWZIP_LOG` environment variable,
+/// if set and parseable. Returns the resulting level either way.
+pub fn init_from_env() -> Level {
+    if let Some(l) = std::env::var("FLOWZIP_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+    {
+        set_level(l);
+    }
+    level()
+}
+
+/// Emits a warning to stderr — shown at every level (a warning the
+/// user asked to suppress is still a warning).
+pub fn warn(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+/// Emits a notice to stderr, unless quiet.
+pub fn info(msg: &str) {
+    if enabled(Level::Normal) {
+        eprintln!("{msg}");
+    }
+}
+
+/// Emits verbose detail to stderr, only with `-v`.
+pub fn debug(msg: &str) {
+    if enabled(Level::Verbose) {
+        eprintln!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_names_and_digits() {
+        assert_eq!(Level::parse("quiet"), Some(Level::Quiet));
+        assert_eq!(Level::parse("NORMAL"), Some(Level::Normal));
+        assert_eq!(Level::parse(" verbose "), Some(Level::Verbose));
+        assert_eq!(Level::parse("debug"), Some(Level::Verbose));
+        assert_eq!(Level::parse("0"), Some(Level::Quiet));
+        assert_eq!(Level::parse("2"), Some(Level::Verbose));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn levels_nest() {
+        // Serialized within one test: LEVEL is process-global state.
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Normal));
+        assert!(!enabled(Level::Verbose));
+        assert!(enabled(Level::Quiet));
+        set_level(Level::Verbose);
+        assert!(enabled(Level::Normal));
+        assert!(enabled(Level::Verbose));
+        set_level(Level::Normal);
+        assert!(enabled(Level::Normal));
+        assert!(!enabled(Level::Verbose));
+        assert_eq!(level(), Level::Normal);
+    }
+}

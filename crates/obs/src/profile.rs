@@ -1,0 +1,249 @@
+//! Span timing to chrome://tracing trace-event JSON: every pipeline
+//! stage records named intervals on a named per-thread track, and the
+//! run dumps as a timeline `chrome://tracing` or [Perfetto]
+//! (`ui.perfetto.dev`) opens directly.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+//!
+//! Like [`Metrics`](crate::Metrics), the handle is an enum-dispatch
+//! no-op when disabled: spans on a disabled profiler never call
+//! `Instant::now()` and never allocate.
+
+use crate::json::json_escape;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Event {
+    name: &'static str,
+    track: u64,
+    ts_us: u64,
+    dur_us: u64,
+}
+
+#[derive(Debug)]
+struct ProfilerInner {
+    started: Instant,
+    events: Mutex<Vec<Event>>,
+    /// `(tid, display name)` in registration order.
+    tracks: Mutex<Vec<String>>,
+}
+
+/// The span-timing recorder: hands out named [`Track`]s whose
+/// [`Span`]s record complete (`"ph":"X"`) trace events. Cheap to
+/// clone; clones share the event buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<ProfilerInner>>,
+}
+
+impl Profiler {
+    /// A fresh, recording profiler.
+    pub fn enabled() -> Profiler {
+        Profiler {
+            inner: Some(Arc::new(ProfilerInner {
+                started: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                tracks: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Whether spans actually record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a display-named track (one timeline row — typically
+    /// one per thread: `shard-0`, `router-1`, `main`). Tracks are
+    /// cheap; register one per worker rather than sharing, so spans on
+    /// a row never overlap.
+    pub fn track(&self, name: &str) -> Track {
+        let Some(inner) = &self.inner else {
+            return Track::default();
+        };
+        let mut tracks = inner.tracks.lock().unwrap_or_else(|e| e.into_inner());
+        tracks.push(name.to_string());
+        Track {
+            inner: Some((Arc::clone(inner), tracks.len() as u64)),
+        }
+    }
+
+    /// Serializes everything recorded so far as a chrome://tracing
+    /// trace-event JSON object (`{"displayTimeUnit":"ms",
+    /// "traceEvents":[…]}`): one metadata event naming each track,
+    /// then one complete event per span, microsecond timestamps.
+    pub fn to_trace_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut any = false;
+        if let Some(inner) = &self.inner {
+            let tracks = inner.tracks.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, name) in tracks.iter().enumerate() {
+                if any {
+                    out.push(',');
+                }
+                any = true;
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    i as u64 + 1,
+                    json_escape(name)
+                );
+            }
+            let events = inner.events.lock().unwrap_or_else(|e| e.into_inner());
+            for e in events.iter() {
+                if any {
+                    out.push(',');
+                }
+                any = true;
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\"}}",
+                    e.track,
+                    e.ts_us,
+                    e.dur_us,
+                    json_escape(e.name)
+                );
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`Profiler::to_trace_json`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_trace_json())
+    }
+}
+
+impl PartialEq for Profiler {
+    fn eq(&self, other: &Profiler) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// One timeline row. Cheap to clone (clones share the row).
+#[derive(Debug, Clone, Default)]
+pub struct Track {
+    inner: Option<(Arc<ProfilerInner>, u64)>,
+}
+
+impl Track {
+    /// Opens a span that records on drop. Span names must be static
+    /// — they are batch-frequency hot-path values and must not
+    /// allocate.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            rec: self
+                .inner
+                .as_ref()
+                .map(|(inner, tid)| (Arc::clone(inner), *tid, name, Instant::now())),
+        }
+    }
+}
+
+/// A live interval on a [`Track`]; records a complete trace event when
+/// dropped.
+#[derive(Debug)]
+#[must_use = "a span records its interval when dropped; binding it to `_` drops immediately"]
+pub struct Span {
+    rec: Option<(Arc<ProfilerInner>, u64, &'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((inner, track, name, t0)) = self.rec.take() else {
+            return;
+        };
+        let ts_us = t0.duration_since(inner.started).as_micros() as u64;
+        let dur_us = t0.elapsed().as_micros() as u64;
+        let mut events = inner.events.lock().unwrap_or_else(|e| e.into_inner());
+        events.push(Event {
+            name,
+            track,
+            ts_us,
+            dur_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        let t = p.track("main");
+        drop(t.span("work"));
+        assert_eq!(
+            p.to_trace_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn spans_become_complete_events_on_named_tracks() {
+        let p = Profiler::enabled();
+        let main = p.track("main");
+        let shard = p.track("shard-0");
+        {
+            let _outer = main.span("run");
+            drop(shard.span("accumulate"));
+            drop(shard.span("encode"));
+        }
+        let json = p.to_trace_json();
+        assert!(is_valid_json(&json), "{json}");
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        // Two track-name metadata events plus three complete events.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert!(json.contains("\"args\":{\"name\":\"shard-0\"}"));
+        assert!(json.contains("\"name\":\"accumulate\""));
+        // The outer span closed last, so it serializes with a duration
+        // covering the inner two.
+        assert!(json.contains("\"name\":\"run\""));
+    }
+
+    #[test]
+    fn clones_share_the_event_buffer() {
+        let p = Profiler::enabled();
+        let t = p.track("t");
+        let p2 = p.clone();
+        drop(t.span("a"));
+        assert_eq!(p2.to_trace_json().matches("\"ph\":\"X\"").count(), 1);
+        assert_eq!(p, p2);
+        assert_ne!(p, Profiler::enabled());
+        assert_eq!(Profiler::disabled(), Profiler::disabled());
+    }
+
+    #[test]
+    fn write_to_round_trips_through_a_file() {
+        let p = Profiler::enabled();
+        drop(p.track("main").span("whole"));
+        let path = std::env::temp_dir().join("flowzip-obs-profile-test.json");
+        p.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(is_valid_json(&text), "{text}");
+        assert!(text.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,585 @@
+//! Point-in-time metric dumps and the background sampler that emits
+//! them live — the plumbing a `flowzip serve` daemon's stats endpoint
+//! sits on, and what `flowzip compress --stats-interval SECS` prints.
+//!
+//! The JSON-lines schema (one object per line, pinned by tests):
+//!
+//! ```json
+//! {"type":"flowzip.stats","seq":1,"elapsed_secs":1.002,
+//!  "packets":123456,"packets_per_sec":123210,
+//!  "active_flows":42,"evicted_flows":7,"queue_depth":[0,1,0,2],
+//!  "counters":{"engine.packets":123456,…},
+//!  "gauges":{"engine.shard.0.queue_depth":0,…},
+//!  "histograms":{"engine.shard.0.accumulate_ns":{"count":120,"sum":8100200},…}}
+//! ```
+//!
+//! The derived top-level fields (`packets`, `packets_per_sec`,
+//! `active_flows`, `evicted_flows`, `queue_depth`) are convenience
+//! views over the full dumps that follow them; `packets_per_sec` is the
+//! rate since the previous snapshot (since registry creation for the
+//! first).
+
+use crate::json::JsonObject;
+use crate::names;
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds (as registered).
+    pub bounds: Vec<u64>,
+    /// Counts per bound, plus the trailing overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total of recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One instrument's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(i64),
+    /// A histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time dump of every registered instrument (what
+/// [`Metrics::snapshot`](crate::Metrics::snapshot) returns), sorted by
+/// name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// 1-based snapshot number within the registry (0 = disabled).
+    pub seq: u64,
+    /// Seconds since the registry was created.
+    pub elapsed_secs: f64,
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl StatsSnapshot {
+    /// The empty snapshot a disabled registry returns.
+    pub fn empty() -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+
+    /// Whether the snapshot carries any instruments.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter registered under `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The gauge registered under `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The histogram registered under `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Per-shard queue depths in shard order (index parsed from the
+    /// gauge name; missing shards read 0).
+    pub fn queue_depths(&self) -> Vec<i64> {
+        self.per_shard_gauges(names::QUEUE_DEPTH_SUFFIX)
+    }
+
+    /// Open flows summed across the per-shard active-flow gauges.
+    pub fn active_flows(&self) -> i64 {
+        self.per_shard_gauges(names::ACTIVE_FLOWS_SUFFIX)
+            .iter()
+            .sum()
+    }
+
+    fn per_shard_gauges(&self, suffix: &str) -> Vec<i64> {
+        let mut out: Vec<i64> = Vec::new();
+        for (name, value) in &self.entries {
+            let (Some(idx), MetricValue::Gauge(g)) = (names::shard_index(name, suffix), value)
+            else {
+                continue;
+            };
+            if out.len() <= idx {
+                out.resize(idx + 1, 0);
+            }
+            out[idx] = *g;
+        }
+        out
+    }
+
+    /// The packets-per-second rate between `prev` and this snapshot
+    /// (from registry creation when `prev` is `None`).
+    pub fn packets_per_sec(&self, prev: Option<&StatsSnapshot>) -> f64 {
+        let packets = self.counter(names::ENGINE_PACKETS).unwrap_or(0);
+        let (base_packets, base_secs) = prev.map_or((0, 0.0), |p| {
+            (
+                p.counter(names::ENGINE_PACKETS).unwrap_or(0),
+                p.elapsed_secs,
+            )
+        });
+        let dt = (self.elapsed_secs - base_secs).max(f64::EPSILON);
+        packets.saturating_sub(base_packets) as f64 / dt
+    }
+
+    /// One JSON-lines record (no trailing newline): derived headline
+    /// fields first, then the full counter/gauge/histogram dumps. The
+    /// schema is pinned by tests — see the [module docs](self).
+    pub fn to_json_line(&self, prev: Option<&StatsSnapshot>) -> String {
+        let mut j = JsonObject::compact();
+        j.str("type", "flowzip.stats");
+        j.num("seq", self.seq);
+        j.f6("elapsed_secs", self.elapsed_secs);
+        j.num("packets", self.counter(names::ENGINE_PACKETS).unwrap_or(0));
+        j.f0("packets_per_sec", self.packets_per_sec(prev));
+        j.int("active_flows", self.active_flows());
+        j.num(
+            "evicted_flows",
+            self.counter(names::ENGINE_EVICTED_FLOWS).unwrap_or(0),
+        );
+        let depths: Vec<String> = self.queue_depths().iter().map(i64::to_string).collect();
+        j.raw("queue_depth", &format!("[{}]", depths.join(",")));
+        j.raw(
+            "counters",
+            &self.dump(|v| match v {
+                MetricValue::Counter(c) => Some(c.to_string()),
+                _ => None,
+            }),
+        );
+        j.raw(
+            "gauges",
+            &self.dump(|v| match v {
+                MetricValue::Gauge(g) => Some(g.to_string()),
+                _ => None,
+            }),
+        );
+        j.raw(
+            "histograms",
+            &self.dump(|v| match v {
+                MetricValue::Histogram(h) => {
+                    Some(format!("{{\"count\":{},\"sum\":{}}}", h.count, h.sum))
+                }
+                _ => None,
+            }),
+        );
+        j.finish()
+    }
+
+    /// The human one-liner variant of [`StatsSnapshot::to_json_line`].
+    pub fn to_human_line(&self, prev: Option<&StatsSnapshot>) -> String {
+        let depths: Vec<String> = self.queue_depths().iter().map(i64::to_string).collect();
+        format!(
+            "[stats {:6.1}s] {:>10.0} pkt/s | packets {} | active {} | evicted {} | queues [{}]",
+            self.elapsed_secs,
+            self.packets_per_sec(prev),
+            self.counter(names::ENGINE_PACKETS).unwrap_or(0),
+            self.active_flows(),
+            self.counter(names::ENGINE_EVICTED_FLOWS).unwrap_or(0),
+            depths.join(","),
+        )
+    }
+
+    /// The full registry dump as one compact JSON object —
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}` — what the
+    /// unified pipeline report embeds under its `"metrics"` key.
+    /// Histograms keep their full bucket layout here.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonObject::compact();
+        j.raw(
+            "counters",
+            &self.dump(|v| match v {
+                MetricValue::Counter(c) => Some(c.to_string()),
+                _ => None,
+            }),
+        );
+        j.raw(
+            "gauges",
+            &self.dump(|v| match v {
+                MetricValue::Gauge(g) => Some(g.to_string()),
+                _ => None,
+            }),
+        );
+        j.raw(
+            "histograms",
+            &self.dump(|v| match v {
+                MetricValue::Histogram(h) => {
+                    let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+                    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+                    Some(format!(
+                        "{{\"count\":{},\"sum\":{},\"bounds\":[{}],\"buckets\":[{}]}}",
+                        h.count,
+                        h.sum,
+                        bounds.join(","),
+                        buckets.join(",")
+                    ))
+                }
+                _ => None,
+            }),
+        );
+        j.finish()
+    }
+
+    /// A compact `{"name":value,…}` object over the entries `select`
+    /// maps to a raw JSON value.
+    fn dump(&self, select: impl Fn(&MetricValue) -> Option<String>) -> String {
+        let mut j = JsonObject::compact();
+        for (name, value) in &self.entries {
+            if let Some(v) = select(value) {
+                j.raw(name, &v);
+            }
+        }
+        j.finish()
+    }
+}
+
+/// How the sampler formats each snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// One JSON object per line (the machine default).
+    #[default]
+    JsonLines,
+    /// A fixed-width human one-liner.
+    Human,
+}
+
+impl SnapshotFormat {
+    /// Parses the CLI spelling (`json` | `human`).
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message naming the accepted spellings.
+    pub fn parse(name: &str) -> Result<SnapshotFormat, String> {
+        match name {
+            "json" | "jsonl" => Ok(SnapshotFormat::JsonLines),
+            "human" => Ok(SnapshotFormat::Human),
+            other => Err(format!(
+                "unknown stats format `{other}` (want json or human)"
+            )),
+        }
+    }
+}
+
+/// Where sampler output goes — a boxed writer with a `Debug` impl so
+/// builders holding one can keep deriving `Debug`.
+pub struct StatsSink(Box<dyn Write + Send>);
+
+impl StatsSink {
+    /// Wraps any writer.
+    pub fn new(w: Box<dyn Write + Send>) -> StatsSink {
+        StatsSink(w)
+    }
+
+    /// The default sink: standard error.
+    pub fn stderr() -> StatsSink {
+        StatsSink(Box::new(std::io::stderr()))
+    }
+}
+
+impl std::fmt::Debug for StatsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StatsSink(..)")
+    }
+}
+
+impl Write for StatsSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+/// Signals the sampler thread to stop without waiting out the interval.
+#[derive(Default)]
+struct StopFlag {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A background thread emitting one snapshot per interval, plus a final
+/// one at stop — so even a run shorter than the interval produces at
+/// least one line. Stops (and joins) on [`Sampler::stop`] or drop.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<StopFlag>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StopFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StopFlag")
+    }
+}
+
+impl Sampler {
+    /// Starts sampling `metrics` every `interval` into `out`. A
+    /// disabled `metrics` handle starts nothing (there would be nothing
+    /// to report).
+    pub fn start(
+        metrics: &crate::Metrics,
+        interval: Duration,
+        format: SnapshotFormat,
+        mut out: StatsSink,
+    ) -> Sampler {
+        let stop = Arc::new(StopFlag::default());
+        if !metrics.is_enabled() {
+            return Sampler { stop, handle: None };
+        }
+        let metrics = metrics.clone();
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut prev: Option<StatsSnapshot> = None;
+            let emit = |out: &mut StatsSink, snap: &StatsSnapshot, prev: Option<&StatsSnapshot>| {
+                let line = match format {
+                    SnapshotFormat::JsonLines => snap.to_json_line(prev),
+                    SnapshotFormat::Human => snap.to_human_line(prev),
+                };
+                let _ = writeln!(out, "{line}");
+                let _ = out.flush();
+            };
+            loop {
+                let stopped = {
+                    let guard = flag.stopped.lock().unwrap_or_else(|e| e.into_inner());
+                    let (guard, _) = flag
+                        .wake
+                        .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                        .unwrap_or_else(|e| e.into_inner());
+                    *guard
+                };
+                let snap = metrics.snapshot();
+                emit(&mut out, &snap, prev.as_ref());
+                if stopped {
+                    return;
+                }
+                prev = Some(snap);
+            }
+        });
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler, emitting one final snapshot, and joins the
+    /// thread. Dropping does the same.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut stopped = self.stop.stopped.lock().unwrap_or_else(|e| e.into_inner());
+            *stopped = true;
+        }
+        self.stop.wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+    use crate::Metrics;
+
+    /// A clonable in-memory sink tests can read back.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        pub(crate) fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn populated_metrics() -> Metrics {
+        let m = Metrics::enabled();
+        m.counter(names::ENGINE_PACKETS).add(5_000);
+        m.counter(names::ENGINE_EVICTED_FLOWS).add(7);
+        m.gauge(&names::shard_queue_depth(0)).set(2);
+        m.gauge(&names::shard_queue_depth(1)).set(0);
+        m.gauge(&names::shard_active_flows(0)).set(11);
+        m.gauge(&names::shard_active_flows(1)).set(31);
+        m.histogram(&names::shard_accumulate_ns(0), &[1_000, 1_000_000])
+            .record(500);
+        m
+    }
+
+    #[test]
+    fn snapshot_lookups_and_derived_views() {
+        let snap = populated_metrics().snapshot();
+        assert_eq!(snap.counter(names::ENGINE_PACKETS), Some(5_000));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge(&names::shard_queue_depth(0)), Some(2));
+        assert_eq!(snap.queue_depths(), vec![2, 0]);
+        assert_eq!(snap.active_flows(), 42);
+        let h = snap.histogram(&names::shard_accumulate_ns(0)).unwrap();
+        assert_eq!((h.count, h.sum), (1, 500));
+        assert!((h.mean() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_line_schema_is_pinned() {
+        let snap = populated_metrics().snapshot();
+        let line = snap.to_json_line(None);
+        assert!(is_valid_json(&line), "{line}");
+        assert!(!line.contains('\n'));
+        // The headline fields the live-stats contract promises.
+        assert!(line.starts_with(r#"{"type":"flowzip.stats","seq":1,"elapsed_secs":"#));
+        for needle in [
+            r#""packets":5000"#,
+            r#""packets_per_sec":"#,
+            r#""active_flows":42"#,
+            r#""evicted_flows":7"#,
+            r#""queue_depth":[2,0]"#,
+            r#""counters":{"#,
+            r#""gauges":{"#,
+            r#""histograms":{"engine.shard.0.accumulate_ns":{"count":1,"sum":500}}"#,
+            r#""engine.packets":5000"#,
+            r#""engine.shard.0.queue_depth":2"#,
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn rate_is_computed_against_the_previous_snapshot() {
+        let m = Metrics::enabled();
+        let c = m.counter(names::ENGINE_PACKETS);
+        c.add(100);
+        let mut first = m.snapshot();
+        c.add(400);
+        let mut second = m.snapshot();
+        // Pin elapsed times so the rate is deterministic.
+        first.elapsed_secs = 1.0;
+        second.elapsed_secs = 3.0;
+        assert!((second.packets_per_sec(Some(&first)) - 200.0).abs() < 1e-9);
+        assert!((first.packets_per_sec(None) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn human_line_mentions_the_headlines() {
+        let line = populated_metrics().snapshot().to_human_line(None);
+        assert!(line.contains("pkt/s"));
+        assert!(line.contains("active 42"));
+        assert!(line.contains("evicted 7"));
+        assert!(line.contains("queues [2,0]"));
+    }
+
+    #[test]
+    fn full_dump_keeps_histogram_buckets() {
+        let dump = populated_metrics().snapshot().to_json();
+        assert!(is_valid_json(&dump), "{dump}");
+        assert!(dump.contains(r#""bounds":[1000,1000000]"#), "{dump}");
+        assert!(dump.contains(r#""buckets":[1,0,0]"#), "{dump}");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_cleanly() {
+        let snap = StatsSnapshot::empty();
+        assert!(snap.is_empty());
+        let line = snap.to_json_line(None);
+        assert!(is_valid_json(&line), "{line}");
+        assert!(line.contains(r#""queue_depth":[]"#));
+    }
+
+    #[test]
+    fn sampler_emits_a_final_snapshot_even_on_short_runs() {
+        let m = populated_metrics();
+        let buf = SharedBuf::default();
+        let sampler = Sampler::start(
+            &m,
+            Duration::from_secs(3600),
+            SnapshotFormat::JsonLines,
+            StatsSink::new(Box::new(buf.clone())),
+        );
+        sampler.stop();
+        let out = buf.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "exactly the final snapshot: {out}");
+        assert!(is_valid_json(lines[0]), "{out}");
+    }
+
+    #[test]
+    fn sampler_emits_periodically() {
+        let m = populated_metrics();
+        let buf = SharedBuf::default();
+        let sampler = Sampler::start(
+            &m,
+            Duration::from_millis(20),
+            SnapshotFormat::JsonLines,
+            StatsSink::new(Box::new(buf.clone())),
+        );
+        std::thread::sleep(Duration::from_millis(120));
+        sampler.stop();
+        let out = buf.contents();
+        assert!(out.lines().count() >= 2, "{out}");
+        for line in out.lines() {
+            assert!(is_valid_json(line), "{line}");
+        }
+    }
+
+    #[test]
+    fn sampler_on_disabled_metrics_is_inert() {
+        let buf = SharedBuf::default();
+        let sampler = Sampler::start(
+            &Metrics::disabled(),
+            Duration::from_millis(1),
+            SnapshotFormat::JsonLines,
+            StatsSink::new(Box::new(buf.clone())),
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        sampler.stop();
+        assert!(buf.contents().is_empty());
+    }
+}

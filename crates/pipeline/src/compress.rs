@@ -11,6 +11,7 @@ use flowzip_engine::{EngineReport, Routing, StreamingEngine};
 use flowzip_io::{
     glob, FileSource, InputSource, IoStats, MultiFileConfig, MultiFileSource, PrefetchConfig,
 };
+use flowzip_obs::{Metrics, Profiler, Sampler, SnapshotFormat, StatsSink};
 use flowzip_trace::packet::HEADER_BYTES;
 use flowzip_trace::{Duration, Trace};
 use std::time::Instant;
@@ -54,6 +55,11 @@ pub struct CompressBuilder<'a> {
     prefetch_mb: Option<u64>,
     readers: Option<usize>,
     routing: Option<Routing>,
+    metrics: Option<Metrics>,
+    profiler: Option<Profiler>,
+    stats_interval: Option<std::time::Duration>,
+    stats_format: Option<SnapshotFormat>,
+    stats_writer: Option<StatsSink>,
 }
 
 impl Pipeline {
@@ -73,6 +79,11 @@ impl Pipeline {
             prefetch_mb: None,
             readers: None,
             routing: None,
+            metrics: None,
+            profiler: None,
+            stats_interval: None,
+            stats_format: None,
+            stats_writer: None,
         }
     }
 }
@@ -165,6 +176,51 @@ impl<'a> CompressBuilder<'a> {
         self
     }
 
+    /// Records per-stage metrics into this registry: engine counters and
+    /// queue gauges, reader byte/wait counters, container timings. Pass
+    /// [`Metrics::enabled`] and snapshot it after the run — or read the
+    /// final dump straight off [`Report::metrics`]
+    /// (`report.to_json()` embeds it under `"metrics"`). Defaults to
+    /// disabled, which costs the hot loops one predictable branch.
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Records per-stage span timings into this profiler — dump it with
+    /// [`Profiler::to_trace_json`] after the run and open the result in
+    /// `chrome://tracing` or Perfetto. Defaults to disabled.
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Emits a live stats snapshot every `interval` while the run is in
+    /// flight, plus one final snapshot at completion — so even a run
+    /// shorter than the interval produces at least one line. Implies
+    /// metrics: when no [`CompressBuilder::metrics`] registry is given,
+    /// an enabled one is created for the session. A zero interval is a
+    /// configuration error.
+    pub fn stats_interval(mut self, interval: std::time::Duration) -> Self {
+        self.stats_interval = Some(interval);
+        self
+    }
+
+    /// How live snapshots are formatted (default
+    /// [`SnapshotFormat::JsonLines`]; requires
+    /// [`CompressBuilder::stats_interval`]).
+    pub fn stats_format(mut self, format: SnapshotFormat) -> Self {
+        self.stats_format = Some(format);
+        self
+    }
+
+    /// Where live snapshots go (default standard error; requires
+    /// [`CompressBuilder::stats_interval`]).
+    pub fn stats_writer(mut self, writer: StatsSink) -> Self {
+        self.stats_writer = Some(writer);
+        self
+    }
+
     /// Runs the session: resolve the input, route to the batch
     /// compressor or the streaming engine, serialize in the configured
     /// container format, deliver to the sink, and report.
@@ -189,6 +245,11 @@ impl<'a> CompressBuilder<'a> {
             prefetch_mb,
             readers,
             routing,
+            metrics,
+            profiler,
+            stats_interval,
+            stats_format,
+            stats_writer,
         } = self;
         let input = input.ok_or_else(|| {
             PipelineError::config("compress session has no input — call .input(Input::…)")
@@ -220,6 +281,17 @@ impl<'a> CompressBuilder<'a> {
             return Err(PipelineError::config(
                 "prefetch_mb must be ≥ 1 when prefetch is enabled (got 0; \
                  omit .prefetch_mb() to disable prefetching)",
+            ));
+        }
+        if stats_interval == Some(std::time::Duration::ZERO) {
+            return Err(PipelineError::config(
+                "stats_interval must be non-zero (a zero interval would spin emitting snapshots)",
+            ));
+        }
+        if stats_interval.is_none() && (stats_format.is_some() || stats_writer.is_some()) {
+            return Err(PipelineError::config(
+                "stats_format/stats_writer shape live snapshot output and need \
+                 .stats_interval(…) to produce any",
             ));
         }
 
@@ -286,6 +358,28 @@ impl<'a> CompressBuilder<'a> {
             ));
         }
 
+        // A stats interval implies metrics: sampling a disabled registry
+        // would emit nothing.
+        let metrics = metrics.unwrap_or_else(|| {
+            if stats_interval.is_some() {
+                Metrics::enabled()
+            } else {
+                Metrics::disabled()
+            }
+        });
+        let profiler = profiler.unwrap_or_else(Profiler::disabled);
+        // The sampler thread lives exactly as long as the run: dropping
+        // it (on success *and* on error) emits the final snapshot and
+        // joins.
+        let sampler = stats_interval.map(|interval| {
+            Sampler::start(
+                &metrics,
+                interval,
+                stats_format.unwrap_or_default(),
+                stats_writer.unwrap_or_else(StatsSink::stderr),
+            )
+        });
+
         let context = format!("compress {}", inputs_desc.join(" "));
         let (bytes, mut report) = if use_streaming {
             run_streaming(
@@ -300,10 +394,16 @@ impl<'a> CompressBuilder<'a> {
                 prefetch_mb,
                 readers,
                 routing,
+                &metrics,
+                &profiler,
             )?
         } else {
-            run_batch(kind, &context, params, format)?
+            run_batch(kind, &context, params, format, &metrics)?
         };
+        drop(sampler);
+        if metrics.is_enabled() {
+            report.metrics = Some(metrics.snapshot());
+        }
         report.inputs = inputs_desc;
         report.output = sink.path();
         report.output_bytes = bytes.len() as u64;
@@ -328,11 +428,15 @@ fn run_streaming(
     prefetch_mb: Option<u64>,
     readers: Option<usize>,
     routing: Option<Routing>,
+    metrics: &Metrics,
+    profiler: &Profiler,
 ) -> Result<(Vec<u8>, Report), PipelineError> {
     let mut builder = StreamingEngine::builder()
         .params(params)
         .format(format)
-        .idle_timeout(idle_timeout);
+        .idle_timeout(idle_timeout)
+        .metrics(metrics.clone())
+        .profiler(profiler.clone());
     if let Some(t) = threads {
         builder = builder.shards(t);
     }
@@ -371,24 +475,26 @@ fn run_streaming(
                     },
                 )
                 .map_err(read_err)?;
-                (
-                    source.stats(),
-                    // Batch-native hand-off: the reader threads already
-                    // built whole decoded batches, so routing workers
-                    // take them one channel receive at a time instead of
-                    // re-iterating packet by packet.
-                    engine
-                        .compress_batches_to_bytes(source.into_packets())
-                        .map_err(read_err)?,
-                )
+                let stats = source.stats();
+                // Teed before the read starts, so live snapshots see
+                // reader bytes/wait while the run is in flight.
+                stats.attach_metrics(metrics);
+                // Batch-native hand-off: the reader threads already
+                // built whole decoded batches, so routing workers
+                // take them one channel receive at a time instead of
+                // re-iterating packet by packet.
+                let br = engine
+                    .compress_batches_to_bytes(source.into_packets())
+                    .map_err(read_err)?;
+                (stats, br)
             } else {
                 let source = FileSource::open_with(&paths[0], prefetch).map_err(read_err)?;
-                (
-                    source.stats(),
-                    engine
-                        .compress_stream_to_bytes(source.into_packets())
-                        .map_err(read_err)?,
-                )
+                let stats = source.stats();
+                stats.attach_metrics(metrics);
+                let br = engine
+                    .compress_stream_to_bytes(source.into_packets())
+                    .map_err(read_err)?;
+                (stats, br)
             };
             (bytes_report.0, bytes_report.1, Some(stats))
         }
@@ -405,6 +511,7 @@ fn run_streaming(
             (b, er, None)
         }
         InputKind::Stream { stats, packets, .. } => {
+            stats.attach_metrics(metrics);
             let (b, er) = engine.compress_stream_to_bytes(packets).map_err(read_err)?;
             (b, er, Some(stats))
         }
@@ -449,6 +556,14 @@ fn streaming_report(er: EngineReport, format: ArchiveFormat, stats: Option<&IoSt
         er.report.tsh_bytes,
     );
     timing.serialize_secs = er.serialize_secs;
+    timing.stage_busy_secs = er.stage_busy_secs;
+    if er.stage_busy_secs > 0.0 {
+        // Recompute the residual against *this* read-wait figure — the
+        // source's IoStats may differ from the engine-side number the
+        // EngineReport reconciled against.
+        timing.unattributed_secs =
+            (timing.elapsed_secs - timing.read_wait_secs - er.stage_busy_secs).max(0.0);
+    }
     report.timing = Some(timing);
     report.compression = Some(er.report);
     report
@@ -461,6 +576,7 @@ fn run_batch(
     context: &str,
     params: Params,
     format: ArchiveFormat,
+    metrics: &Metrics,
 ) -> Result<(Vec<u8>, Report), PipelineError> {
     let started = Instant::now();
     let read_err = |e| PipelineError::read(context.to_string(), e);
@@ -474,6 +590,7 @@ fn run_batch(
             // report's read-wait split, like the streaming path.
             let source = FileSource::open(&paths[0]).map_err(read_err)?;
             stats = source.stats();
+            stats.attach_metrics(metrics);
             let mut t = Trace::new();
             for p in source.into_packets() {
                 t.push(p.map_err(read_err)?);
@@ -497,6 +614,7 @@ fn run_batch(
             // The source's counters still feed the read-wait split even
             // on the batch route.
             stats = source_stats;
+            stats.attach_metrics(metrics);
             let mut t = Trace::new();
             for p in packets {
                 t.push(p.map_err(read_err)?);

@@ -81,6 +81,10 @@ pub use compress::{CompressBuilder, RunResult};
 pub use decompress::DecompressBuilder;
 pub use error::PipelineError;
 pub use flowzip_engine::Routing;
+// Observability knobs a session takes (`.metrics()`, `.profiler()`,
+// `.stats_interval()`, …), re-exported so embedders need no direct
+// `flowzip-obs` dependency.
+pub use flowzip_obs::{Metrics, Profiler, Sampler, SnapshotFormat, StatsSink, StatsSnapshot};
 pub use input::Input;
 pub use report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
 pub use sink::Sink;

@@ -13,7 +13,13 @@
 
 use flowzip_core::datasets::CodecError;
 use flowzip_core::{container, ArchiveFormat, CompressedTrace, CompressionReport, DatasetSizes};
+use flowzip_obs::json::JsonObject;
+use flowzip_obs::StatsSnapshot;
 use std::fmt;
+
+// The shared escaping helper (kept at this path — it predates
+// `flowzip-obs` and callers import it from here).
+pub use flowzip_obs::json::json_escape;
 
 /// What kind of run the report describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +131,12 @@ pub struct Timing {
     pub compute_secs: f64,
     /// Seconds of serial serialization tail.
     pub serialize_secs: f64,
+    /// Busiest-shard measured stage time (instrumented streaming runs
+    /// only; 0 otherwise).
+    pub stage_busy_secs: f64,
+    /// `elapsed − read_wait − stage_busy`, clamped at zero — wall-clock
+    /// the stage instruments did not see (instrumented runs only).
+    pub unattributed_secs: f64,
     /// Packets consumed per wall-clock second.
     pub packets_per_sec: f64,
     /// Input throughput in TSH megabytes per second.
@@ -146,6 +158,8 @@ impl Timing {
             read_wait_secs,
             compute_secs: (elapsed_secs - read_wait_secs).max(0.0),
             serialize_secs: 0.0,
+            stage_busy_secs: 0.0,
+            unattributed_secs: 0.0,
             packets_per_sec: packets as f64 / div,
             mb_per_sec: tsh_bytes as f64 / div / 1e6,
         }
@@ -176,6 +190,12 @@ pub struct Report {
     pub timing: Option<Timing>,
     /// Bytes delivered to the sink.
     pub output_bytes: u64,
+    /// Final metrics-registry dump, when the session ran with
+    /// observability enabled ([`CompressBuilder::metrics`] or a stats
+    /// interval).
+    ///
+    /// [`CompressBuilder::metrics`]: crate::CompressBuilder::metrics
+    pub metrics: Option<StatsSnapshot>,
 }
 
 impl Report {
@@ -192,6 +212,7 @@ impl Report {
             archive: None,
             timing: None,
             output_bytes: 0,
+            metrics: None,
         }
     }
 
@@ -221,7 +242,7 @@ impl Report {
     /// `decompress --json` and `info --json` are the same shape with
     /// different subsets present.
     pub fn to_json(&self) -> String {
-        let mut j = Json::new();
+        let mut j = JsonObject::pretty();
         j.str("mode", self.mode.as_str());
         if !self.inputs.is_empty() {
             j.str_array("inputs", &self.inputs);
@@ -262,6 +283,10 @@ impl Report {
             j.f6("read_wait_secs", t.read_wait_secs);
             j.f6("compute_secs", t.compute_secs);
             j.f6("serialize_secs", t.serialize_secs);
+            if t.stage_busy_secs > 0.0 {
+                j.f6("stage_busy_secs", t.stage_busy_secs);
+                j.f6("unattributed_secs", t.unattributed_secs);
+            }
             j.f0("packets_per_sec", t.packets_per_sec);
             j.f2("mb_per_sec", t.mb_per_sec);
         }
@@ -286,6 +311,11 @@ impl Report {
                     sizes.time_seq,
                 ),
             );
+        }
+        if let Some(snap) = &self.metrics {
+            if !snap.is_empty() {
+                j.raw("metrics", &snap.to_json());
+            }
         }
         j.finish()
     }
@@ -348,102 +378,6 @@ impl fmt::Display for Report {
                 )
             }
         }
-    }
-}
-
-/// Escapes a string for a JSON string literal (quote, backslash, control
-/// characters — `str::escape_default` is *not* JSON: it emits `\'` and
-/// `\u{…}`, which JSON parsers reject).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Minimal ordered-field JSON object writer (the workspace is
-/// dependency-free, so the schema is hand-rolled in exactly one place —
-/// here).
-struct Json {
-    buf: String,
-    any: bool,
-}
-
-impl Json {
-    fn new() -> Json {
-        Json {
-            buf: String::from("{"),
-            any: false,
-        }
-    }
-
-    fn key(&mut self, key: &str) {
-        if self.any {
-            self.buf.push(',');
-        }
-        self.any = true;
-        self.buf.push_str("\n  \"");
-        self.buf.push_str(key);
-        self.buf.push_str("\": ");
-    }
-
-    fn str(&mut self, key: &str, value: &str) {
-        self.key(key);
-        self.buf.push('"');
-        self.buf.push_str(&json_escape(value));
-        self.buf.push('"');
-    }
-
-    fn str_array(&mut self, key: &str, values: &[String]) {
-        self.key(key);
-        self.buf.push('[');
-        for (i, v) in values.iter().enumerate() {
-            if i > 0 {
-                self.buf.push_str(", ");
-            }
-            self.buf.push('"');
-            self.buf.push_str(&json_escape(v));
-            self.buf.push('"');
-        }
-        self.buf.push(']');
-    }
-
-    fn num(&mut self, key: &str, value: u64) {
-        self.key(key);
-        self.buf.push_str(&value.to_string());
-    }
-
-    fn f6(&mut self, key: &str, value: f64) {
-        self.key(key);
-        self.buf.push_str(&format!("{value:.6}"));
-    }
-
-    fn f2(&mut self, key: &str, value: f64) {
-        self.key(key);
-        self.buf.push_str(&format!("{value:.2}"));
-    }
-
-    fn f0(&mut self, key: &str, value: f64) {
-        self.key(key);
-        self.buf.push_str(&format!("{value:.0}"));
-    }
-
-    fn raw(&mut self, key: &str, value: &str) {
-        self.key(key);
-        self.buf.push_str(value);
-    }
-
-    fn finish(mut self) -> String {
-        self.buf.push_str("\n}");
-        self.buf
     }
 }
 

@@ -8,6 +8,8 @@
 //! flowzip compress   chunk-00.tsh chunk-01.tsh chunk-02.tsh -o web.fzc --readers 3
 //! flowzip compress   'trace-*.tsh' -o web.fzc --readers 4 --prefetch-mb 4
 //! flowzip compress   web.tsh -o web.fzc --format v1
+//! flowzip compress   web.tsh -o web.fzc --threads 4 --stats-interval 1 --metrics --json
+//! flowzip compress   web.tsh -o web.fzc --threads 4 --profile trace.json
 //! flowzip info       web.fzc [--json]
 //! flowzip decompress web.fzc -o web-restored.tsh [--json] [--out-format tsh|pcap]
 //! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
@@ -41,6 +43,8 @@
 //! is byte-identical either way).
 
 use flowzip::core::{synthesize, CompressedTrace};
+use flowzip::obs::log::{self, Level};
+use flowzip::obs::{Metrics, Profiler, SnapshotFormat};
 use flowzip::pipeline::{Input, Pipeline, Report, Routing, Sink};
 use flowzip::prelude::*;
 use flowzip::trace::reader::CaptureFormat;
@@ -71,12 +75,19 @@ const USAGE: &str = "usage:
                      [--readers N] [--prefetch-mb N] [--routing serial|parallel] [--json]
                      (any engine/reader flag implies --streaming;
                       multiple inputs always stream)
+                     [--metrics] (embed the per-stage metrics dump in the report)
+                     [--stats-interval SECS] [--stats-format json|human]
+                     (live stats snapshots to stderr while compressing)
+                     [--profile TRACE.json] (chrome://tracing span timeline)
   flowzip info       IN.fzc [--json]
   flowzip decompress IN.fzc  -o OUT.tsh [--seed K] [--json] [--out-format tsh|pcap]
-  flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh";
+  flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh
+
+global: [-q|--quiet] [-v|--verbose] and the FLOWZIP_LOG env var
+        (quiet|normal|verbose) set how much lands on stderr";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["streaming", "json"];
+const BOOL_FLAGS: &[&str] = &["streaming", "json", "metrics", "quiet", "verbose"];
 
 struct Opts {
     positional: Vec<String>,
@@ -104,6 +115,10 @@ impl Opts {
                 let value = args.get(i + 1).ok_or("missing value for -o")?;
                 flags.push(("out".to_string(), value.clone()));
                 i += 2;
+            } else if args[i] == "-q" || args[i] == "-v" {
+                let key = if args[i] == "-q" { "quiet" } else { "verbose" };
+                flags.push((key.to_string(), "true".to_string()));
+                i += 1;
             } else {
                 positional.push(args[i].clone());
                 i += 1;
@@ -150,6 +165,16 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("no command given".into());
     };
     let opts = Opts::parse(&args[1..])?;
+    // FLOWZIP_LOG sets the base level; an explicit flag overrides it.
+    log::init_from_env();
+    if opts.get_bool("quiet") && opts.get_bool("verbose") {
+        return Err("--quiet and --verbose contradict each other".into());
+    }
+    if opts.get_bool("quiet") {
+        log::set_level(Level::Quiet);
+    } else if opts.get_bool("verbose") {
+        log::set_level(Level::Verbose);
+    }
     match cmd.as_str() {
         "generate" => generate(&opts),
         "stats" => stats(&opts),
@@ -263,7 +288,39 @@ fn compress(opts: &Opts) -> Result<(), String> {
         session = session.streaming(true);
     }
 
+    // Observability: --metrics embeds the final registry dump in the
+    // report, --stats-interval streams live snapshots to stderr (and
+    // implies metrics), --profile dumps a chrome://tracing timeline.
+    if opts.get_bool("metrics") {
+        session = session.metrics(Metrics::enabled());
+    }
+    if opts.get("stats-interval").is_some() {
+        let secs = opts.get_u64("stats-interval", 0)?;
+        if secs == 0 {
+            return Err("--stats-interval wants a whole number of seconds ≥ 1".into());
+        }
+        session = session.stats_interval(std::time::Duration::from_secs(secs));
+        if let Some(name) = opts.get("stats-format") {
+            session = session.stats_format(SnapshotFormat::parse(name)?);
+        }
+    } else if opts.get("stats-format").is_some() {
+        return Err("--stats-format needs --stats-interval SECS".into());
+    }
+    let profile_path = opts.get("profile").map(PathBuf::from);
+    let profiler = profile_path.is_some().then(Profiler::enabled);
+    if let Some(p) = &profiler {
+        session = session.profiler(p.clone());
+    }
+
     let result = session.run().map_err(|e| e.to_string())?;
+    if let (Some(path), Some(p)) = (&profile_path, &profiler) {
+        p.write_to(path)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        log::info(&format!(
+            "wrote {} (trace-event JSON; open in chrome://tracing or Perfetto)",
+            path.display()
+        ));
+    }
     let report = &result.report;
     if json {
         println!("{}", report.to_json());
@@ -283,7 +340,7 @@ fn compress(opts: &Opts) -> Result<(), String> {
         report.output_bytes
     );
     if json {
-        eprintln!("{notice}");
+        log::info(&notice);
     } else {
         println!("{notice}");
     }
@@ -340,7 +397,7 @@ fn decompress(opts: &Opts) -> Result<(), String> {
     );
     if json {
         println!("{}", report.to_json());
-        eprintln!("{notice}");
+        log::info(&notice);
     } else {
         println!("{notice}");
     }

@@ -17,6 +17,7 @@
 //! | [`core`] | `flowzip-core` | the flow-clustering compressor (§2–§4) |
 //! | [`engine`] | `flowzip-engine` | sharded, bounded-memory streaming engine |
 //! | [`io`] | `flowzip-io` | overlapped-I/O input: prefetch, multi-file readers, worker pool |
+//! | [`obs`] | `flowzip-obs` | metrics, live stats snapshots, span profiling, leveled logging |
 //! | [`deflate`] | `flowzip-deflate` | from-scratch DEFLATE/gzip baseline |
 //! | [`vj`] | `flowzip-vj` | Van Jacobson header compression baseline |
 //! | [`peuhkuri`] | `flowzip-peuhkuri` | Peuhkuri flow-based baseline |
@@ -89,6 +90,7 @@ pub use flowzip_deflate as deflate;
 pub use flowzip_engine as engine;
 pub use flowzip_io as io;
 pub use flowzip_netbench as netbench;
+pub use flowzip_obs as obs;
 pub use flowzip_peuhkuri as peuhkuri;
 pub use flowzip_pipeline as pipeline;
 pub use flowzip_radix as radix;
@@ -110,6 +112,7 @@ pub mod prelude {
         WorkerPool,
     };
     pub use flowzip_netbench::{BenchConfig, BenchKind, BenchReport, PacketProcessor};
+    pub use flowzip_obs::{Metrics, Profiler, SnapshotFormat, StatsSink, StatsSnapshot};
     pub use flowzip_pipeline::{Input, Pipeline, PipelineError, Report, RunResult, Sink};
     pub use flowzip_radix::{RadixTable, TableGen};
     pub use flowzip_trace::prelude::*;
@@ -126,6 +129,7 @@ mod tests {
         let _ = crate::engine::StreamingEngine::builder;
         let _ = crate::io::WorkerPool::new(2);
         let _ = crate::pipeline::Pipeline::compress;
+        let _ = crate::obs::Metrics::enabled();
         let _ = crate::cachesim::CacheConfig::netbench_l1();
         let _ = crate::trace::TcpFlags::SYN;
         let _ = crate::netbench::BenchKind::Route;

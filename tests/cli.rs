@@ -551,6 +551,141 @@ fn cli_source_has_no_direct_engine_compress_calls() {
     );
 }
 
+/// The observability acceptance pins: `--stats-interval` emits at least
+/// one valid JSON-lines snapshot to stderr (even when the run is
+/// shorter than the interval), `--metrics --json` embeds the final
+/// registry dump, `--profile` writes chrome://tracing trace-event JSON,
+/// and `--quiet` silences the stderr chatter.
+#[test]
+fn observability_flags() {
+    use flowzip::obs::json::is_valid_json;
+
+    let dir = tmpdir("obsflags");
+    let tsh = dir.join("web.tsh");
+    let out = bin()
+        .args([
+            "generate", "--flows", "200", "--secs", "20", "--seed", "17", "-o",
+        ])
+        .arg(&tsh)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // --stats-interval 1 on a sub-second run: the stop-time snapshot
+    // still lands, as one JSON object per line on stderr.
+    let fzc = dir.join("stats.fzc");
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args([
+            "--threads",
+            "2",
+            "--idle-timeout",
+            "60",
+            "--stats-interval",
+            "1",
+            "-o",
+        ])
+        .arg(&fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    let stats: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with(r#"{"type":"flowzip.stats""#))
+        .collect();
+    assert!(!stats.is_empty(), "no stats lines on stderr: {err}");
+    for line in &stats {
+        assert!(is_valid_json(line), "{line}");
+        for key in [
+            r#""packets_per_sec":"#,
+            r#""active_flows":"#,
+            r#""evicted_flows":"#,
+            r#""queue_depth":["#,
+        ] {
+            assert!(line.contains(key), "missing {key}: {line}");
+        }
+    }
+
+    // --metrics --json embeds the final registry dump in the report.
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--threads", "2", "--metrics", "--json", "-o"])
+        .arg(dir.join("metrics.fzc"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"metrics\": {\"counters\":{",
+        "\"engine.packets\":",
+        "\"stage_busy_secs\": ",
+        "\"unattributed_secs\": ",
+    ] {
+        assert!(text.contains(needle), "--metrics --json: {text}");
+    }
+
+    // --profile writes a trace-event file chrome://tracing accepts:
+    // a JSON object with a traceEvents array of complete ("X") spans.
+    let trace_json = dir.join("trace.json");
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--threads", "2", "--profile"])
+        .arg(&trace_json)
+        .arg("-o")
+        .arg(dir.join("prof.fzc"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let profile = std::fs::read_to_string(&trace_json).unwrap();
+    assert!(is_valid_json(&profile), "{profile}");
+    assert!(profile.contains("\"traceEvents\""), "{profile}");
+    assert!(profile.contains("\"ph\":\"X\""), "{profile}");
+
+    // --quiet silences the json-mode notice but not the report.
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--json", "--quiet", "-o"])
+        .arg(dir.join("quiet.fzc"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"mode\": \"compress\""));
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("wrote"),
+        "--quiet suppresses the notice"
+    );
+
+    // Contradictory levels are rejected.
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["-q", "-v", "-o"])
+        .arg(dir.join("never.fzc"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("contradict"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// pcap input is auto-detected and streamed through `PcapReader` — the
 /// archive matches what the same packets compress to from TSH.
 #[test]
