@@ -7,11 +7,13 @@
 pub mod cdf;
 pub mod histogram;
 pub mod series;
+pub mod stream;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use histogram::BucketedHistogram;
 pub use series::write_dat;
+pub use stream::{analyze_archive, analyze_sections, ArchivePasses, SectionPoint};
 pub use table::TextTable;
 
 /// Two-sample Kolmogorov–Smirnov statistic: the maximum vertical gap

@@ -1,0 +1,206 @@
+//! **Section-stream analysis passes**: build the paper's CDFs,
+//! histograms and series directly from a v2 archive, one section at a
+//! time, without ever reconstructing the full `time-seq` dataset (let
+//! alone decompressing packets).
+//!
+//! The input is [`flowzip_core::SectionStream`] — global context
+//! (short-flow templates, addresses, the v2.1 metadata block) parses
+//! once, then each section's flow records decode and fold into the
+//! accumulators before the next section is touched. Peak memory is
+//! O(global datasets + one section + flows-worth of samples), which is
+//! what makes the passes usable on archives whose expansion would not
+//! fit.
+
+use crate::{BucketedHistogram, Cdf};
+use flowzip_core::datasets::CodecError;
+use flowzip_core::SectionStream;
+
+/// One archive section reduced to series points — the per-section
+/// rollup the time-series pass plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectionPoint {
+    /// Position in the archive's section order.
+    pub index: usize,
+    /// Flow records in the section.
+    pub flows: u64,
+    /// Packets the section's flows expand to.
+    pub packets: u64,
+    /// Earliest flow start in the section, seconds.
+    pub first_ts_s: f64,
+    /// Latest flow start in the section, seconds.
+    pub last_ts_s: f64,
+}
+
+/// The streaming passes' combined result: distribution passes (CDF +
+/// Figure 3 histogram over packets-per-flow, RTT CDF) and the
+/// per-section series pass.
+#[derive(Debug, Clone)]
+pub struct ArchivePasses {
+    /// Flow records across all sections.
+    pub flows: u64,
+    /// Packets across all sections (template expansion counts).
+    pub packets: u64,
+    /// CDF of packets per flow.
+    pub packets_per_flow: Cdf,
+    /// Figure 3 histogram of packets per flow.
+    pub flow_size_histogram: BucketedHistogram,
+    /// CDF of short-flow RTTs in milliseconds.
+    pub rtt_ms: Cdf,
+    /// One rollup point per section, in section order.
+    pub sections: Vec<SectionPoint>,
+}
+
+impl ArchivePasses {
+    /// The per-section series as parallel columns for
+    /// [`write_dat`](crate::write_dat): `(start seconds, flows,
+    /// packets)` per section.
+    pub fn section_series(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let start: Vec<f64> = self.sections.iter().map(|s| s.first_ts_s).collect();
+        let flows: Vec<f64> = self.sections.iter().map(|s| s.flows as f64).collect();
+        let packets: Vec<f64> = self.sections.iter().map(|s| s.packets as f64).collect();
+        (start, flows, packets)
+    }
+}
+
+/// Runs the streaming passes over `stream` to exhaustion.
+///
+/// # Errors
+///
+/// [`CodecError`] when a section payload is malformed; sections decoded
+/// before the error are discarded.
+pub fn analyze_sections(mut stream: SectionStream<'_>) -> Result<ArchivePasses, CodecError> {
+    let mut sizes: Vec<f64> = Vec::new();
+    let mut rtts: Vec<f64> = Vec::new();
+    let mut histogram = BucketedHistogram::figure3();
+    let mut sections = Vec::with_capacity(stream.sections());
+    let mut packets_total = 0u64;
+
+    // Short-template expansion sizes are global and reused per record.
+    let short_len: Vec<usize> = stream.short_templates().iter().map(Vec::len).collect();
+
+    while let Some(section) = stream.next_section() {
+        let section = section?;
+        let mut packets = 0u64;
+        for r in &section.records {
+            let n = if r.is_long {
+                section.long_templates[(r.template_idx - section.long_base) as usize]
+                    .entries
+                    .len()
+            } else {
+                short_len[r.template_idx as usize]
+            };
+            packets += n as u64;
+            sizes.push(n as f64);
+            histogram.add(n as f64);
+            if !r.is_long {
+                rtts.push(r.rtt.as_micros() as f64 / 1_000.0);
+            }
+        }
+        packets_total += packets;
+        let secs = |r: &flowzip_core::FlowRecord| r.first_ts.as_micros() as f64 / 1e6;
+        sections.push(SectionPoint {
+            index: section.index,
+            flows: section.records.len() as u64,
+            packets,
+            first_ts_s: section.records.first().map_or(0.0, secs),
+            last_ts_s: section.records.last().map_or(0.0, secs),
+        });
+    }
+
+    Ok(ArchivePasses {
+        flows: sizes.len() as u64,
+        packets: packets_total,
+        packets_per_flow: Cdf::from_samples(sizes),
+        flow_size_histogram: histogram,
+        rtt_ms: Cdf::from_samples(rtts),
+        sections,
+    })
+}
+
+/// [`analyze_sections`] over raw v2 archive bytes.
+///
+/// # Errors
+///
+/// [`CodecError`] when `data` is not a well-formed v2 archive.
+pub fn analyze_archive(data: &[u8]) -> Result<ArchivePasses, CodecError> {
+    analyze_sections(SectionStream::open(data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowzip_core::{Compressor, Params};
+    use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn archive_bytes(flows: usize, seed: u64) -> Vec<u8> {
+        let trace = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate();
+        Compressor::new(Params::paper())
+            .compress(&trace)
+            .0
+            .to_bytes_v2()
+    }
+
+    #[test]
+    fn streaming_passes_match_full_reconstruction() {
+        let bytes = archive_bytes(200, 31);
+        let passes = analyze_archive(&bytes).unwrap();
+        // Reference: the fully-reconstructed archive.
+        let ct = flowzip_core::CompressedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(passes.flows, ct.time_seq.len() as u64);
+        assert_eq!(passes.packets, ct.packet_count());
+        assert_eq!(passes.packets_per_flow.len(), ct.time_seq.len());
+        assert_eq!(passes.flow_size_histogram.total(), ct.time_seq.len() as u64);
+        let shorts = ct.time_seq.iter().filter(|r| !r.is_long).count();
+        assert_eq!(passes.rtt_ms.len(), shorts);
+        // Section rollups tile the archive.
+        assert_eq!(
+            passes.sections.iter().map(|s| s.flows).sum::<u64>(),
+            passes.flows
+        );
+        assert_eq!(
+            passes.sections.iter().map(|s| s.packets).sum::<u64>(),
+            passes.packets
+        );
+        for s in &passes.sections {
+            assert!(s.first_ts_s <= s.last_ts_s);
+        }
+        // Distribution sanity: every flow has at least one packet, and
+        // the CDF agrees with the histogram about the mass at small n.
+        assert!(passes.packets_per_flow.quantile(0.0).unwrap() >= 1.0);
+        assert!(passes.rtt_ms.quantile(0.5).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn section_series_columns_are_parallel() {
+        let bytes = archive_bytes(80, 32);
+        let passes = analyze_archive(&bytes).unwrap();
+        let (start, flows, packets) = passes.section_series();
+        assert_eq!(start.len(), passes.sections.len());
+        assert_eq!(flows.len(), passes.sections.len());
+        assert_eq!(packets.len(), passes.sections.len());
+    }
+
+    #[test]
+    fn v1_bytes_are_rejected() {
+        let trace = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 30,
+                ..WebTrafficConfig::default()
+            },
+            33,
+        )
+        .generate();
+        let v1 = Compressor::new(Params::paper())
+            .compress(&trace)
+            .0
+            .to_bytes();
+        assert!(analyze_archive(&v1).is_err(), "v1 has no sections");
+    }
+}

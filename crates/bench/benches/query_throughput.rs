@@ -1,0 +1,223 @@
+//! query_throughput — pruned `flowzip query` vs. full archive decode.
+//!
+//! Builds one multi-section v2.1 archive (flows sharded round-robin
+//! across N sections, like the streaming engine lays them out), then
+//! measures three ways of answering "give me this flow's packets":
+//!
+//! * `full_decode` — decompress everything, filter nothing: the cost a
+//!   reader paid before archives carried metadata.
+//! * `scan_filter` — a query with the metadata ignored (wrong seed
+//!   disables Bloom pruning and no time bounds are given), i.e. decode
+//!   every section and filter: the planner's worst case.
+//! * `query/flow` — the real planner: per-section time ranges and
+//!   flow-key Bloom filters prune sections before any payload decode.
+//!
+//! The headline figure is queries/s; `speedup_vs_1` is each point's
+//! throughput over `full_decode`, which is what CI gates on — pruned
+//! queries regressing to full-decode cost fails the build.
+//!
+//! Besides the console report it writes machine-readable
+//! `target/BENCH_query.json` gated against
+//! `ci/BENCH_query.baseline.json`.
+//!
+//! Knobs (environment):
+//!
+//! * `FLOWZIP_BENCH_FLOWS` — flows in the archive (default 4_000).
+//! * `FLOWZIP_BENCH_SECTIONS` — archive sections (default 8).
+//! * `FLOWZIP_BENCH_RUNS` — timed runs per point, best taken (default 3).
+//! * `FLOWZIP_BENCH_QUERIES` — queries per timed run (default 32).
+//! * `FLOWZIP_BENCH_JSON` — output path override.
+
+use criterion::black_box;
+use flowzip_core::{
+    assemble_sections, query_bytes, CompressedTrace, DecompressParams, Decompressor,
+    FlowAccumulator, FlowAssembler, FlowQuery, Params,
+};
+use flowzip_trace::{tsh, FiveTuple};
+use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+use std::time::Instant;
+
+const SEED: u64 = 0x9E4;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Point {
+    label: String,
+    seconds: f64,
+    queries_per_sec: f64,
+    sections_scanned: u64,
+}
+
+fn time_best<F: FnMut() -> u64>(runs: u64, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut scanned = 0;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        scanned = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, scanned)
+}
+
+fn main() {
+    let flows = env_u64("FLOWZIP_BENCH_FLOWS", 4_000) as usize;
+    let shards = env_u64("FLOWZIP_BENCH_SECTIONS", 8).max(1) as usize;
+    let runs = env_u64("FLOWZIP_BENCH_RUNS", 3).max(1);
+    let queries = env_u64("FLOWZIP_BENCH_QUERIES", 32).max(1);
+    eprintln!("building a {shards}-section archive of {flows} web flows (seed {SEED:#x})...");
+
+    let trace = WebTrafficGenerator::new(
+        WebTrafficConfig {
+            flows,
+            ..WebTrafficConfig::default()
+        },
+        SEED,
+    )
+    .generate();
+    let params = Params::paper();
+    let mut acc = FlowAccumulator::new(params.clone());
+    for p in &trace {
+        acc.push(p);
+    }
+    let finished = acc.finish();
+    let mut asms: Vec<FlowAssembler> = (0..shards)
+        .map(|_| FlowAssembler::new(params.clone()))
+        .collect();
+    for (i, flow) in finished.iter().enumerate() {
+        asms[i % shards].consume(flow);
+    }
+    let sections = asms.into_iter().map(FlowAssembler::into_section).collect();
+    let bytes = assemble_sections(
+        &params,
+        sections,
+        tsh::file_size(&trace),
+        trace.header_bytes(),
+    )
+    .0;
+    let packets = trace.len() as u64;
+    drop(trace);
+    drop(finished);
+
+    // Query targets: distinct conversations spread across the archive.
+    let dp = DecompressParams::default();
+    let full =
+        Decompressor::new(dp.clone()).decompress(&CompressedTrace::from_bytes(&bytes).unwrap());
+    let mut targets: Vec<FiveTuple> = Vec::new();
+    let stride = (full.len() / queries as usize).max(1);
+    for p in full.packets().iter().step_by(stride) {
+        if targets.len() == queries as usize {
+            break;
+        }
+        if !targets.iter().any(|k| k.same_conversation(&p.tuple())) {
+            targets.push(p.tuple());
+        }
+    }
+    drop(full);
+    let queries = targets.len() as u64;
+    eprintln!(
+        "archive ready: {packets} packets, {} B, {shards} sections; {queries} query targets",
+        bytes.len()
+    );
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut push = |label: String, seconds: f64, scanned: u64| {
+        let p = Point {
+            label,
+            seconds,
+            queries_per_sec: queries as f64 / seconds,
+            sections_scanned: scanned,
+        };
+        println!(
+            "query_throughput/{:<12}  best {:>8.3}s  {:>10.1} queries/s  {:>4} sections scanned",
+            p.label, p.seconds, p.queries_per_sec, p.sections_scanned
+        );
+        points.push(p);
+    };
+
+    // Full decode per query: the pre-metadata cost of any lookup.
+    let (best, scanned) = time_best(runs, || {
+        let mut scanned = 0;
+        for _ in &targets {
+            let archive = CompressedTrace::from_bytes(&bytes).unwrap();
+            black_box(Decompressor::new(dp.clone()).decompress(&archive));
+            scanned += shards as u64;
+        }
+        scanned
+    });
+    push("full_decode".into(), best, scanned);
+
+    // Scan+filter: the planner with pruning disabled (a foreign seed
+    // ignores the Bloom filters; no time bounds are given) — isolates
+    // what metadata pruning saves beyond record-level filtering.
+    let foreign = DecompressParams {
+        seed: dp.seed ^ 1,
+        ..dp.clone()
+    };
+    let (best, scanned) = time_best(runs, || {
+        let mut scanned = 0;
+        for t in &targets {
+            let q = FlowQuery {
+                flow: Some(*t),
+                ..FlowQuery::default()
+            };
+            let out = query_bytes(&bytes, &q, &foreign).unwrap();
+            scanned += out.stats.sections_scanned;
+            black_box(out);
+        }
+        scanned
+    });
+    push("scan_filter".into(), best, scanned);
+
+    // The real planner: Bloom + time-range pruning.
+    let (best, scanned) = time_best(runs, || {
+        let mut scanned = 0;
+        for t in &targets {
+            let q = FlowQuery {
+                flow: Some(*t),
+                ..FlowQuery::default()
+            };
+            let out = query_bytes(&bytes, &q, &dp).unwrap();
+            scanned += out.stats.sections_scanned;
+            black_box(out);
+        }
+        scanned
+    });
+    push("query/flow".into(), best, scanned);
+
+    let base = points[0].queries_per_sec;
+    let results: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"label\": \"{}\", \"seconds\": {:.6}, \"queries_per_sec\": {:.1}, \
+                 \"sections_scanned\": {}, \"speedup_vs_1\": {:.3}}}",
+                p.label,
+                p.seconds,
+                p.queries_per_sec,
+                p.sections_scanned,
+                p.queries_per_sec / base
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"query_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"sections\": {shards},\n  \"queries\": {queries},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+
+    let path = std::env::var("FLOWZIP_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_query.json").to_string()
+    });
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_query.json");
+    eprintln!("wrote {path}");
+}

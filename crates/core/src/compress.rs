@@ -243,6 +243,19 @@ impl FlowAssembler {
         }
         let time_seq_bytes = payload.len() as u64 - long_template_bytes;
 
+        // The v2.1 metadata record, including the Bloom filter over the
+        // flow keys decompression will synthesize for these records —
+        // O(flows) hashing that belongs here, on the shard's thread, not
+        // in the writer's serial tail.
+        let meta = crate::meta::SectionMeta::from_records(
+            crate::decompress::DEFAULT_SEED,
+            self.packets,
+            long_template_bytes,
+            time_seq_bytes,
+            &records,
+            |r| addresses[r.addr_idx as usize],
+        );
+
         ShardSection {
             store: self.store,
             addresses,
@@ -254,6 +267,7 @@ impl FlowAssembler {
             payload,
             long_template_bytes,
             time_seq_bytes,
+            meta,
         }
     }
 }

@@ -21,8 +21,22 @@
 //! │ section payloads, concatenated; each self-contained:             │
 //! │   long-flows-template slice + time-seq slice (local indices,     │
 //! │   locally time-sorted, delta timestamps restart per section)     │
+//! │ v2.1: optional trailing metadata block ("FZM1"): per section the │
+//! │   time range, packet/flow counts, byte split and a flow-key      │
+//! │   Bloom filter — what `flowzip query` prunes sections with       │
 //! └──────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! **Format rev 2.1.** The magic and version byte stay `FZC2`/2; the
+//! only change is the optional [`meta`](crate::meta) block after the
+//! last payload. Compat rules: the block never participates in
+//! [`CompressedTrace`] reconstruction (decoding a v2.1 file and its
+//! metadata-stripped v2 twin yields equal archives), a reader accepts
+//! files with or without it, and writers that must interoperate with
+//! strict pre-2.1 readers emit plain v2 via
+//! [`CompressedTrace::encode_v2_opts`]. When present the block is
+//! validated, not blindly skipped — a corrupt or truncated block is a
+//! [`CodecError`], never a panic or a silently wrong query index.
 //!
 //! **Equivalence guarantee.** Reading a v2 archive reconstructs the
 //! *identical* [`CompressedTrace`] the v1 path would have produced from
@@ -39,6 +53,8 @@ use crate::datasets::{
     get_varint, put_varint, CodecError, CompressedTrace, DatasetSizes, FlowRecord, LongTemplate,
     MAGIC, RTT_SHIFT,
 };
+use crate::decompress::DEFAULT_SEED;
+use crate::meta::{ArchiveMeta, SectionMeta};
 use crate::Params;
 use flowzip_trace::{Duration, Timestamp};
 use std::collections::HashMap;
@@ -75,7 +91,9 @@ impl ArchiveFormat {
         }
     }
 
-    /// Parses a CLI-style name (`"v1"` / `"v2"`).
+    /// Parses a CLI-style name (`"v1"` / `"v2"`; `"v2.1"` is the same
+    /// container — rev 2.1 only adds the optional trailing metadata
+    /// block, which v2 writes carry by default).
     ///
     /// # Errors
     ///
@@ -83,7 +101,7 @@ impl ArchiveFormat {
     pub fn parse(name: &str) -> Result<ArchiveFormat, String> {
         match name {
             "v1" | "1" => Ok(ArchiveFormat::V1),
-            "v2" | "2" => Ok(ArchiveFormat::V2),
+            "v2" | "2" | "v2.1" | "2.1" => Ok(ArchiveFormat::V2),
             other => Err(format!("unknown archive format `{other}` (want v1 or v2)")),
         }
     }
@@ -127,6 +145,10 @@ pub struct ShardSection {
     pub long_template_bytes: u64,
     /// Bytes of the payload's time-seq slice.
     pub time_seq_bytes: u64,
+    /// The section's v2.1 metadata record (time range, counts, flow-key
+    /// Bloom filter), computed on the shard's thread alongside the
+    /// payload encode.
+    pub meta: SectionMeta,
 }
 
 /// Appends one long template in the shared record encoding (identical to
@@ -153,17 +175,19 @@ pub(crate) fn put_time_seq_record(r: &FlowRecord, last_ts: &mut u64, out: &mut V
     }
 }
 
-/// One parsed section-index entry.
-struct SectionEntry {
-    payload_len: usize,
-    flow_count: usize,
-    long_count: usize,
+/// One parsed section-index entry (shared with the query planner in
+/// [`crate::query`], which decodes only the sections that survive
+/// pruning).
+pub(crate) struct SectionEntry {
+    pub(crate) payload_len: usize,
+    pub(crate) flow_count: usize,
+    pub(crate) long_count: usize,
     /// Local short-template index → global index.
-    short_remap: Vec<u32>,
+    pub(crate) short_remap: Vec<u32>,
     /// Local address index → global index.
-    addr_remap: Vec<u32>,
+    pub(crate) addr_remap: Vec<u32>,
     /// Global index of this section's first long template.
-    long_base: u32,
+    pub(crate) long_base: u32,
 }
 
 /// What the index-assembly merge learned — the clustering figures that
@@ -264,11 +288,24 @@ pub fn write_sections(
 
     let mut long_template_bytes = 0u64;
     let mut time_seq_bytes = 0u64;
-    for section in sections.iter() {
+    let mut metas = Vec::with_capacity(sections.len());
+    for section in sections {
         out.extend_from_slice(&section.payload);
         long_template_bytes += section.long_template_bytes;
         time_seq_bytes += section.time_seq_bytes;
+        metas.push(section.meta);
     }
+
+    // Rev 2.1: the trailing metadata block. The Bloom keys inside were
+    // computed shard-side against real addresses and timestamps, so the
+    // global merge above cannot invalidate them.
+    let mark = out.len();
+    ArchiveMeta {
+        seed: DEFAULT_SEED,
+        sections: metas,
+    }
+    .encode(&mut out);
+    let metadata_bytes = (out.len() - mark) as u64;
 
     let sizes = DatasetSizes {
         header: preamble + index_bytes,
@@ -276,6 +313,7 @@ pub fn write_sections(
         long_templates: long_template_bytes,
         addresses: addr_bytes,
         time_seq: time_seq_bytes,
+        metadata: metadata_bytes,
     };
     debug_assert_eq!(sizes.total(), out.len() as u64);
     let stats = SectionMergeStats {
@@ -296,7 +334,7 @@ fn clamped_capacity(count: usize, remaining: usize) -> usize {
 }
 
 /// Decodes one section payload into globally-indexed datasets.
-fn decode_section(
+pub(crate) fn decode_section(
     payload: &[u8],
     entry: &SectionEntry,
     n_short: usize,
@@ -370,16 +408,23 @@ fn decode_section(
     Ok((long_templates, time_seq))
 }
 
-/// Parses a v2 archive into the same global [`CompressedTrace`] the v1
-/// path would produce. Sections decode in parallel (chunked across at
-/// most `available_parallelism` threads); the time-seq slices then
-/// k-way merge stably by `(first_ts, section index)`.
-///
-/// # Errors
-///
-/// [`CodecError`] for malformed input; the result additionally passes
-/// [`CompressedTrace::validate`].
-pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
+/// A v2 archive parsed down to its global datasets, section index and
+/// payload slices — everything *except* the per-section payload decode,
+/// which [`read_v2`] runs for every section and the query planner
+/// ([`crate::query`]) runs only for sections that survive pruning.
+pub(crate) struct ParsedV2<'a> {
+    pub(crate) n_long: usize,
+    pub(crate) short_templates: Vec<Vec<u16>>,
+    pub(crate) addresses: Vec<Ipv4Addr>,
+    pub(crate) entries: Vec<SectionEntry>,
+    pub(crate) payloads: Vec<&'a [u8]>,
+    /// The validated v2.1 metadata block, `None` for plain v2 files.
+    pub(crate) meta: Option<ArchiveMeta>,
+}
+
+/// Parses a v2 archive's preamble, global datasets, section index,
+/// payload extents and (when present) the trailing v2.1 metadata block.
+pub(crate) fn parse_v2(data: &[u8]) -> Result<ParsedV2<'_>, CodecError> {
     if data.len() < 5 || data[0..4] != MAGIC_V2 || data[4] != VERSION_V2 {
         return Err(CodecError::BadHeader);
     }
@@ -444,7 +489,7 @@ pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
     }
 
     // Slice out each payload; the index byte-lengths must tile the rest
-    // of the file exactly.
+    // of the file exactly, up to the optional trailing metadata block.
     let mut payloads = Vec::with_capacity(entries.len());
     for entry in &entries {
         let end = pos
@@ -454,9 +499,57 @@ pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
         payloads.push(&data[pos..end]);
         pos = end;
     }
-    if pos != data.len() {
-        return Err(CodecError::SectionLength(n_sections));
-    }
+    let meta = if pos == data.len() {
+        None // plain v2: no metadata block
+    } else {
+        let block = ArchiveMeta::decode(data, &mut pos, n_sections)?;
+        if pos != data.len() {
+            return Err(CodecError::SectionLength(n_sections));
+        }
+        // The block must agree with the index it summarizes.
+        for (m, entry) in block.sections.iter().zip(&entries) {
+            if m.flows != entry.flow_count as u64 {
+                return Err(CodecError::Metadata("flow count disagrees with index"));
+            }
+            if m.long_template_bytes + m.time_seq_bytes != entry.payload_len as u64 {
+                return Err(CodecError::Metadata("byte split disagrees with index"));
+            }
+        }
+        Some(block)
+    };
+
+    Ok(ParsedV2 {
+        n_long,
+        short_templates,
+        addresses,
+        entries,
+        payloads,
+        meta,
+    })
+}
+
+/// Parses a v2 archive into the same global [`CompressedTrace`] the v1
+/// path would produce. Sections decode in parallel (chunked across at
+/// most `available_parallelism` threads); the time-seq slices then
+/// k-way merge stably by `(first_ts, section index)`. A v2.1 trailing
+/// metadata block, when present, is validated and then ignored — it
+/// never influences the reconstructed archive.
+///
+/// # Errors
+///
+/// [`CodecError`] for malformed input; the result additionally passes
+/// [`CompressedTrace::validate`].
+pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
+    let ParsedV2 {
+        n_long,
+        short_templates,
+        addresses,
+        entries,
+        payloads,
+        meta: _,
+    } = parse_v2(data)?;
+    let n_short = short_templates.len();
+    let n_addr = addresses.len();
 
     // Section-parallel decode: each payload is self-contained, so this
     // is embarrassingly parallel; results come back in section order, so
@@ -497,7 +590,7 @@ pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
 /// Stable k-way merge of per-section time-sorted slices: equal
 /// timestamps resolve to the lower section index, which reproduces v1's
 /// stable sort over the shard-order concatenation exactly.
-fn merge_time_seq(slices: Vec<Vec<FlowRecord>>) -> Vec<FlowRecord> {
+pub(crate) fn merge_time_seq(slices: Vec<Vec<FlowRecord>>) -> Vec<FlowRecord> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -619,9 +712,16 @@ pub fn v2_sizes(data: &[u8]) -> Result<DatasetSizes, CodecError> {
         time_seq_bytes += (payload_len - p) as u64;
         pos = end;
     }
-    if pos != data.len() {
-        return Err(CodecError::SectionLength(n_sections));
-    }
+    let metadata = if pos == data.len() {
+        0
+    } else {
+        let mark = pos;
+        ArchiveMeta::decode(data, &mut pos, n_sections)?;
+        if pos != data.len() {
+            return Err(CodecError::SectionLength(n_sections));
+        }
+        (pos - mark) as u64
+    };
 
     Ok(DatasetSizes {
         header: preamble + index_bytes,
@@ -629,20 +729,46 @@ pub fn v2_sizes(data: &[u8]) -> Result<DatasetSizes, CodecError> {
         long_templates: long_template_bytes,
         addresses: addr_bytes,
         time_seq: time_seq_bytes,
+        metadata,
     })
 }
 
+/// Reads the v2.1 trailing metadata block of a v2 archive, if present:
+/// `Ok(None)` for a plain v2 file, the parsed and validated block for a
+/// rev 2.1 file. This walks only the header and section index — payload
+/// bytes are skipped, which is what makes query planning O(sections)
+/// rather than O(trace).
+///
+/// # Errors
+///
+/// [`CodecError`] when `data` is not a well-formed v2 archive or the
+/// block is corrupt.
+pub fn v2_metadata(data: &[u8]) -> Result<Option<ArchiveMeta>, CodecError> {
+    Ok(parse_v2(data)?.meta)
+}
+
 impl CompressedTrace {
-    /// Serializes this archive as a single-section v2 container. The
-    /// batch compressor's v2 path — and byte-identical to what the
-    /// streaming engine writes with one shard, since a lone shard's
-    /// store merges into an empty global store as the identity.
+    /// Serializes this archive as a single-section v2 container with
+    /// the rev 2.1 metadata block. The batch compressor's v2 path — and
+    /// byte-identical to what the streaming engine writes with one
+    /// shard, since a lone shard's store merges into an empty global
+    /// store as the identity (and both sides compute the metadata from
+    /// the same time-sorted records under [`DEFAULT_SEED`]).
     pub fn to_bytes_v2(&self) -> Vec<u8> {
         self.encode_v2().0
     }
 
     /// [`CompressedTrace::to_bytes_v2`] plus the per-dataset footprint.
     pub fn encode_v2(&self) -> (Vec<u8>, DatasetSizes) {
+        self.encode_v2_opts(true)
+    }
+
+    /// [`CompressedTrace::encode_v2`] with the v2.1 metadata block made
+    /// explicit: `with_metadata = false` writes a plain v2 file (exact
+    /// payload tiling, no trailing block) for interoperability with
+    /// strict pre-2.1 readers — and for the compat tests that pin the
+    /// two layouts decoding identically.
+    pub fn encode_v2_opts(&self, with_metadata: bool) -> (Vec<u8>, DatasetSizes) {
         let mut payload = Vec::new();
         for t in &self.long_templates {
             put_long_template(t, &mut payload);
@@ -694,12 +820,33 @@ impl CompressedTrace {
         let index_bytes = (out.len() - mark) as u64;
 
         out.extend_from_slice(&payload);
+
+        let metadata_bytes = if with_metadata {
+            let mark = out.len();
+            ArchiveMeta {
+                seed: DEFAULT_SEED,
+                sections: vec![SectionMeta::from_records(
+                    DEFAULT_SEED,
+                    self.packet_count(),
+                    long_template_bytes,
+                    time_seq_bytes,
+                    &self.time_seq,
+                    |r| self.addresses[r.addr_idx as usize],
+                )],
+            }
+            .encode(&mut out);
+            (out.len() - mark) as u64
+        } else {
+            0
+        };
+
         let sizes = DatasetSizes {
             header: preamble + index_bytes,
             short_templates,
             long_templates: long_template_bytes,
             addresses: addr_bytes,
             time_seq: time_seq_bytes,
+            metadata: metadata_bytes,
         };
         debug_assert_eq!(sizes.total(), out.len() as u64);
         (out, sizes)
@@ -780,13 +927,95 @@ mod tests {
 
     #[test]
     fn v2_truncation_rejected() {
-        let bytes = web_archive(60, 5).to_bytes_v2();
+        // Plain v2 (no metadata block): every proper prefix is malformed.
+        let bytes = web_archive(60, 5).encode_v2_opts(false).0;
         for cut in 5..bytes.len() {
             assert!(
                 CompressedTrace::from_bytes(&bytes[..cut]).is_err(),
                 "cut {cut}"
             );
         }
+    }
+
+    #[test]
+    fn v21_truncation_rejected_except_at_metadata_boundary() {
+        // With the trailing metadata block, exactly one prefix is legal:
+        // the cut at the block's start, which *is* the plain v2 file.
+        let ct = web_archive(60, 5);
+        let full = ct.to_bytes_v2();
+        let plain_len = ct.encode_v2_opts(false).0.len();
+        assert!(plain_len < full.len());
+        let decoded_full = CompressedTrace::from_bytes(&full).unwrap();
+        for cut in 5..full.len() {
+            let r = CompressedTrace::from_bytes(&full[..cut]);
+            if cut == plain_len {
+                assert_eq!(r.unwrap(), decoded_full, "metadata boundary is plain v2");
+            } else {
+                assert!(r.is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn v21_and_plain_v2_decode_identically() {
+        let ct = web_archive(120, 8);
+        let with = ct.encode_v2_opts(true).0;
+        let without = ct.encode_v2_opts(false).0;
+        assert!(with.len() > without.len());
+        assert_eq!(with[..without.len()], without[..], "block is a pure suffix");
+        assert_eq!(
+            CompressedTrace::from_bytes(&with).unwrap(),
+            CompressedTrace::from_bytes(&without).unwrap(),
+        );
+        assert!(v2_metadata(&with).unwrap().is_some());
+        assert!(v2_metadata(&without).unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_metadata_summarizes_the_archive() {
+        let ct = web_archive(120, 9);
+        let meta = v2_metadata(&ct.to_bytes_v2()).unwrap().unwrap();
+        assert_eq!(meta.seed, DEFAULT_SEED);
+        assert_eq!(meta.sections.len(), 1);
+        let m = &meta.sections[0];
+        assert_eq!(m.flows, ct.time_seq.len() as u64);
+        assert_eq!(m.packets, ct.packet_count());
+        assert_eq!(m.first_ts, ct.time_seq.first().unwrap().first_ts);
+        assert_eq!(m.last_ts, ct.time_seq.last().unwrap().first_ts);
+        for r in &ct.time_seq {
+            let t = crate::decompress::synth_tuple(
+                DEFAULT_SEED,
+                r.first_ts,
+                ct.addresses[r.addr_idx as usize],
+                r.rtt,
+                r.is_long,
+            );
+            assert!(
+                m.bloom.contains(&t),
+                "no false negatives in the file's bloom"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_corrupt_metadata_rejected_not_ignored() {
+        let ct = web_archive(60, 10);
+        let plain_len = ct.encode_v2_opts(false).0.len();
+        let full = ct.to_bytes_v2();
+        // Stomp the block magic: neither a valid block nor a clean end.
+        let mut bad = full.clone();
+        bad[plain_len] ^= 0xFF;
+        assert!(CompressedTrace::from_bytes(&bad).is_err());
+        // Flow-count disagreement between block and index is caught.
+        let meta = v2_metadata(&full).unwrap().unwrap();
+        let mut forged = ct.encode_v2_opts(false).0;
+        let mut tampered = meta.clone();
+        tampered.sections[0].flows += 1;
+        tampered.encode(&mut forged);
+        assert!(matches!(
+            CompressedTrace::from_bytes(&forged),
+            Err(CodecError::Metadata(_))
+        ));
     }
 
     #[test]

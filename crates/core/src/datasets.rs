@@ -75,12 +75,19 @@ pub struct DatasetSizes {
     pub addresses: u64,
     /// `time-seq` bytes.
     pub time_seq: u64,
+    /// v2.1 trailing metadata-block bytes (zero for v1 and plain v2).
+    pub metadata: u64,
 }
 
 impl DatasetSizes {
     /// Total container size.
     pub fn total(&self) -> u64 {
-        self.header + self.short_templates + self.long_templates + self.addresses + self.time_seq
+        self.header
+            + self.short_templates
+            + self.long_templates
+            + self.addresses
+            + self.time_seq
+            + self.metadata
     }
 }
 
@@ -88,12 +95,13 @@ impl fmt::Display for DatasetSizes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "total {} B (short-tmpl {} B, long-tmpl {} B, addr {} B, time-seq {} B)",
+            "total {} B (short-tmpl {} B, long-tmpl {} B, addr {} B, time-seq {} B, meta {} B)",
             self.total(),
             self.short_templates,
             self.long_templates,
             self.addresses,
-            self.time_seq
+            self.time_seq,
+            self.metadata
         )
     }
 }
@@ -113,6 +121,8 @@ pub enum CodecError {
     /// A v2 section payload decoded to a different byte length than its
     /// index entry promised.
     SectionLength(usize),
+    /// The v2.1 trailing metadata block is structurally invalid.
+    Metadata(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -127,6 +137,7 @@ impl fmt::Display for CodecError {
             CodecError::SectionLength(s) => {
                 write!(f, "section {s} payload length disagrees with index")
             }
+            CodecError::Metadata(why) => write!(f, "bad section metadata block: {why}"),
         }
     }
 }
@@ -249,6 +260,7 @@ impl CompressedTrace {
                 long_templates,
                 addresses,
                 time_seq,
+                metadata: 0,
             },
         )
     }
@@ -538,6 +550,7 @@ mod tests {
                 + sizes.long_templates
                 + sizes.addresses
                 + sizes.time_seq
+                + sizes.metadata
         );
     }
 }

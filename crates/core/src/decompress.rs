@@ -12,13 +12,31 @@
 //! Packet direction is itself reconstructed from the dependence bits: the
 //! first packet travels client→server and every dependent packet flips
 //! the direction (it answered the opposite node).
+//!
+//! # Position-independent endpoint synthesis
+//!
+//! The synthesized client address and port are a **pure function of the
+//! record's stored content** — `(seed, first-packet timestamp,
+//! destination address, quantized RTT, S/L bit)` via [`synth_client`] —
+//! not of the record's position in the time-seq stream. That invariance
+//! is what makes archives *queryable*: decoding any subset of a v2
+//! archive's sections reproduces, flow for flow, the exact endpoints a
+//! full decompression synthesizes, so section pruning can never change a
+//! query's answer. It is also what the v2.1 metadata block's Bloom
+//! filters index ([`meta`](crate::meta)): the same function runs at
+//! encode time to compute the flow keys a future query will look for.
 
 use crate::characterize::{size_class_representative, Dependence};
-use crate::datasets::CompressedTrace;
+use crate::datasets::{CompressedTrace, RTT_SHIFT};
 use crate::Params;
 use flowzip_trace::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Default RNG seed for synthesized client endpoints (`0x5EED`), shared
+/// by [`DecompressParams::default`], the CLI flags and the metadata
+/// writer — Bloom keys in freshly written archives assume it.
+pub const DEFAULT_SEED: u64 = 0x5EED;
 
 /// Decompression knobs.
 #[derive(Debug, Clone)]
@@ -40,7 +58,7 @@ impl Default for DecompressParams {
             params: Params::paper(),
             backtoback_gap: Duration::from_micros(300),
             default_rtt: Duration::from_millis(80),
-            seed: 0x5EED,
+            seed: DEFAULT_SEED,
         }
     }
 }
@@ -59,13 +77,16 @@ impl Decompressor {
 
     /// Expands an archive into a synthetic trace, time-sorted.
     pub fn decompress(&self, ct: &CompressedTrace) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut packets = Vec::with_capacity(ct.packet_count() as usize);
         for record in &ct.time_seq {
             let server = ct.addresses[record.addr_idx as usize];
-            let client = random_class_b_or_c(&mut rng);
-            let client_port = rng.gen_range(1024..=65000u16);
-            let c2s = FiveTuple::tcp(client, client_port, server, 80);
+            let c2s = synth_tuple(
+                self.config.seed,
+                record.first_ts,
+                server,
+                record.rtt,
+                record.is_long,
+            );
             let rtt = if record.rtt.is_zero() {
                 self.config.default_rtt
             } else {
@@ -174,6 +195,72 @@ impl Default for Decompressor {
     fn default() -> Self {
         Decompressor::new(DecompressParams::default())
     }
+}
+
+/// Synthesizes a flow's client endpoint — address in random class B/C
+/// space, port in 1024–65000 — as a **pure function of the record's
+/// stored content**: the decompression seed, the flow's first-packet
+/// timestamp, its server address, its RTT (quantized exactly as the
+/// container quantizes it, so in-memory and decoded archives agree) and
+/// its short/long bit. Every consumer of a record — full decompression,
+/// a pruned query decode, the encode-time Bloom-key writer — derives the
+/// identical endpoint, regardless of which sections around it were
+/// decoded.
+pub fn synth_client(
+    seed: u64,
+    first_ts: Timestamp,
+    server: Ipv4Addr,
+    rtt: Duration,
+    is_long: bool,
+) -> (Ipv4Addr, u16) {
+    // FNV-1a over the record's canonical content, then used to seed the
+    // same RNG draw sequence §4 prescribes.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in seed.to_le_bytes() {
+        eat(b);
+    }
+    for b in first_ts.as_micros().to_le_bytes() {
+        eat(b);
+    }
+    for b in server.octets() {
+        eat(b);
+    }
+    // Long flows store no RTT (it is Duration::ZERO by construction);
+    // short-flow RTTs reach a decoder only at 128 µs granularity.
+    let rtt_q = if is_long {
+        0
+    } else {
+        rtt.as_micros() >> RTT_SHIFT
+    };
+    for b in rtt_q.to_le_bytes() {
+        eat(b);
+    }
+    eat(is_long as u8);
+
+    let mut rng = StdRng::seed_from_u64(h);
+    let client = random_class_b_or_c(&mut rng);
+    let port = rng.gen_range(1024..=65000u16);
+    (client, port)
+}
+
+/// [`synth_client`] packaged as the flow's client→server five-tuple
+/// (server side on port 80, per §4) — the flow key the v2.1 metadata
+/// Bloom filters store and `flowzip query` matches against.
+pub fn synth_tuple(
+    seed: u64,
+    first_ts: Timestamp,
+    server: Ipv4Addr,
+    rtt: Duration,
+    is_long: bool,
+) -> FiveTuple {
+    let (client, port) = synth_client(seed, first_ts, server, rtt, is_long);
+    FiveTuple::tcp(client, port, server, 80)
 }
 
 /// "For source address, we assign randomly an IP class B or C address."
@@ -353,5 +440,91 @@ mod tests {
     fn empty_archive_decompresses_to_empty_trace() {
         let dec = Decompressor::default().decompress(&CompressedTrace::default());
         assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn endpoint_synthesis_is_position_independent() {
+        // Dropping records from the stream must not change the endpoints
+        // synthesized for the remaining ones — the invariant that makes
+        // pruned (per-section) query decodes byte-identical to filtering
+        // a full decompression.
+        let orig = web_trace(80, 10);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
+        let full = Decompressor::default().decompress(&ct);
+        let mut sub = ct.clone();
+        sub.time_seq = ct.time_seq.iter().step_by(2).copied().collect();
+        let dec_sub = Decompressor::default().decompress(&sub);
+        let full_set: std::collections::HashSet<_> = full
+            .iter()
+            .map(|p| (p.timestamp(), p.tuple(), p.payload_len(), p.flags().bits()))
+            .collect();
+        assert!(!dec_sub.is_empty());
+        for p in &dec_sub {
+            assert!(
+                full_set.contains(&(p.timestamp(), p.tuple(), p.payload_len(), p.flags().bits())),
+                "subset decode synthesized a packet the full decode never produced"
+            );
+        }
+    }
+
+    #[test]
+    fn in_memory_and_serialized_archives_synthesize_identically() {
+        // synth_client quantizes the RTT exactly as the container does,
+        // so an in-memory archive (raw RTTs) and its decoded serialized
+        // form (quantized RTTs) synthesize the same endpoints — only the
+        // packet *timing* reflects the RTT precision loss. And the two
+        // serialized forms quantize identically, so their expansions are
+        // equal outright.
+        let orig = web_trace(70, 11);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
+        let direct = Decompressor::default().decompress(&ct);
+        let via_v1 = Decompressor::default()
+            .decompress_bytes(&ct.to_bytes())
+            .unwrap();
+        let via_v2 = Decompressor::default()
+            .decompress_bytes(&ct.to_bytes_v2())
+            .unwrap();
+        assert_eq!(via_v1, via_v2);
+        assert_eq!(direct.len(), via_v1.len());
+        // RTT precision loss can nudge timestamps (and thus packet
+        // order), but the synthesized endpoint multiset is invariant.
+        let tuples = |t: &Trace| {
+            let mut v: Vec<FiveTuple> = t.packets().iter().map(|p| p.tuple()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            tuples(&direct),
+            tuples(&via_v1),
+            "endpoints must survive quantization"
+        );
+    }
+
+    #[test]
+    fn synth_tuple_matches_decompressed_flows() {
+        // The tuple the metadata writer computes per record is exactly
+        // the tuple the decompressor gives that record's packets.
+        let orig = web_trace(50, 12);
+        let (ct, _) = Compressor::new(Params::paper()).compress(&orig);
+        let params = DecompressParams::default();
+        let dec = Decompressor::new(params.clone()).decompress(&ct);
+        let expected: std::collections::HashSet<FiveTuple> = ct
+            .time_seq
+            .iter()
+            .map(|r| {
+                synth_tuple(
+                    params.seed,
+                    r.first_ts,
+                    ct.addresses[r.addr_idx as usize],
+                    r.rtt,
+                    r.is_long,
+                )
+            })
+            .collect();
+        for p in &dec {
+            let t = p.tuple();
+            let c2s = if t.dst_port == 80 { t } else { t.reversed() };
+            assert!(expected.contains(&c2s), "packet tuple {t} not predicted");
+        }
     }
 }

@@ -45,6 +45,8 @@
 //! assert_eq!(restored.len() > 0, true);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod accumulate;
 pub mod characterize;
 pub mod cluster;
@@ -52,7 +54,9 @@ pub mod compress;
 pub mod container;
 pub mod datasets;
 pub mod decompress;
+pub mod meta;
 pub mod model;
+pub mod query;
 pub mod synth;
 
 pub use accumulate::{FinishedFlow, FlowAccumulator};
@@ -61,9 +65,11 @@ pub use cluster::{SearchIndex, TemplateStore};
 pub use compress::{
     assemble_sections, assemble_shards, CompressionReport, Compressor, FlowAssembler,
 };
-pub use container::{read_v2, ArchiveFormat, SectionMergeStats, ShardSection};
+pub use container::{read_v2, v2_metadata, ArchiveFormat, SectionMergeStats, ShardSection};
 pub use datasets::{CompressedTrace, DatasetSizes, FlowRecord};
-pub use decompress::{DecompressParams, Decompressor};
+pub use decompress::{synth_client, synth_tuple, DecompressParams, Decompressor, DEFAULT_SEED};
+pub use meta::{ArchiveMeta, FlowKeyBloom, SectionMeta};
+pub use query::{query_bytes, FlowQuery, QueryOutcome, QueryStats, SectionStream};
 pub use synth::{synthesize, ArchiveModel, SynthConfig, SynthGenerator};
 
 /// All knobs of the compression pipeline, with the paper's values as

@@ -1,0 +1,586 @@
+//! The **query planner**: answer "which packets belong to this flow /
+//! this time window" by decoding *only the sections that can contain
+//! them*, using the v2.1 metadata block ([`crate::meta`]) as the index.
+//!
+//! # How pruning stays exact
+//!
+//! Every pruning decision is conservative:
+//!
+//! - **Time.** A section's metadata records the `[first_ts, last_ts]`
+//!   range of its flows' start timestamps; a section is skipped only
+//!   when that range misses the query window entirely
+//!   ([`SectionMeta::intersects`]).
+//! - **Flow.** The Bloom filter stores exactly the synthesized
+//!   client→server tuples decompression will emit for the section's
+//!   records (see [`crate::meta`]); membership is probed in both
+//!   orientations, and a Bloom filter has no false negatives. A false
+//!   positive merely decodes a section the record-level filter then
+//!   empties. When the archive's metadata was built under a *different*
+//!   synthesis seed than the query runs with, the filters describe
+//!   tuples that will never exist — they are ignored (time pruning
+//!   stays valid).
+//!
+//! Surviving sections decode on the shared worker pool (the same
+//! section-parallel path [`read_v2`](crate::container::read_v2) uses),
+//! their time-seq slices merge with the same stable k-way merge, and a
+//! record-level filter — the ground truth the Bloom only approximates —
+//! keeps exactly the flows that match. Because endpoint synthesis is
+//! position-independent ([`synth_tuple`]), decompressing the filtered
+//! subset yields **byte-identical packets** to filtering a full
+//! decompression after the fact; the query tests pin this.
+
+use crate::container::{decode_section, merge_time_seq, parse_v2, ArchiveFormat, SectionEntry};
+use crate::datasets::{CodecError, CompressedTrace, FlowRecord, LongTemplate};
+use crate::decompress::{synth_tuple, DecompressParams, Decompressor};
+use crate::meta::{ArchiveMeta, SectionMeta};
+use flowzip_trace::{FiveTuple, Timestamp, Trace};
+use std::net::Ipv4Addr;
+
+/// What to look for: a conversation, a time window, or both. An empty
+/// query matches everything (a full decompression with statistics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowQuery {
+    /// Match flows whose synthesized five-tuple is the same
+    /// conversation (either direction) as this one.
+    pub flow: Option<FiveTuple>,
+    /// Keep only flows whose *first packet* is at or after this time.
+    pub from: Option<Timestamp>,
+    /// Keep only flows whose first packet is at or before this time.
+    pub to: Option<Timestamp>,
+}
+
+impl FlowQuery {
+    /// `true` when `record` (resolving addresses through `addresses`)
+    /// satisfies this query under synthesis seed `seed` — the exact
+    /// record-level filter that pruning approximates.
+    pub fn matches(&self, seed: u64, addresses: &[Ipv4Addr], record: &FlowRecord) -> bool {
+        if self.from.is_some_and(|t| record.first_ts < t) {
+            return false;
+        }
+        if self.to.is_some_and(|t| record.first_ts > t) {
+            return false;
+        }
+        match &self.flow {
+            None => true,
+            Some(q) => synth_tuple(
+                seed,
+                record.first_ts,
+                addresses[record.addr_idx as usize],
+                record.rtt,
+                record.is_long,
+            )
+            .same_conversation(q),
+        }
+    }
+}
+
+/// Planner effectiveness counters — what `flowzip query` reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Sections in the archive.
+    pub sections_total: u64,
+    /// Sections actually decoded.
+    pub sections_scanned: u64,
+    /// Sections skipped because their time range misses the window.
+    pub sections_skipped_time: u64,
+    /// Sections skipped because the Bloom filter rejects the flow.
+    pub sections_skipped_bloom: u64,
+    /// Whether the archive carried a v2.1 metadata block (without one,
+    /// every section is scanned).
+    pub has_metadata: bool,
+    /// Flow records in the whole archive.
+    pub flows_total: u64,
+    /// Flow records that matched the query.
+    pub flows_matched: u64,
+    /// Packets in the query result.
+    pub packets: u64,
+}
+
+impl QueryStats {
+    /// Sections pruned without decoding (time + Bloom).
+    pub fn sections_skipped(&self) -> u64 {
+        self.sections_skipped_time + self.sections_skipped_bloom
+    }
+}
+
+/// A query's result: the decompressed matching packets and the planner
+/// counters.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Matching packets, time-sorted — byte-identical to filtering a
+    /// full decompression of the same archive.
+    pub trace: Trace,
+    /// What the planner did to produce it.
+    pub stats: QueryStats,
+}
+
+/// Plans and runs `query` against serialized archive bytes (v1 or v2;
+/// pruning needs v2 with the rev 2.1 metadata block — anything else
+/// degrades to scanning every section, never to a wrong answer).
+///
+/// # Errors
+///
+/// [`CodecError`] for malformed input.
+pub fn query_bytes(
+    data: &[u8],
+    query: &FlowQuery,
+    dp: &DecompressParams,
+) -> Result<QueryOutcome, CodecError> {
+    match ArchiveFormat::detect(data)? {
+        ArchiveFormat::V1 => {
+            let ct = CompressedTrace::from_bytes(data)?;
+            let flows_total = ct.time_seq.len() as u64;
+            let stats = QueryStats {
+                sections_total: 1,
+                sections_scanned: 1,
+                flows_total,
+                ..QueryStats::default()
+            };
+            Ok(finish(ct, query, dp, stats))
+        }
+        ArchiveFormat::V2 => query_v2(data, query, dp),
+    }
+}
+
+/// Should the planner decode section `i`? Updates the skip counters.
+fn survives(
+    meta: &ArchiveMeta,
+    i: usize,
+    query: &FlowQuery,
+    seed: u64,
+    stats: &mut QueryStats,
+) -> bool {
+    let m = &meta.sections[i];
+    if !m.intersects(query.from, query.to) {
+        stats.sections_skipped_time += 1;
+        return false;
+    }
+    if let Some(flow) = &query.flow {
+        // The filters index tuples synthesized under the *archive's*
+        // seed; under any other decompression seed they are inapplicable.
+        if meta.seed == seed && !m.bloom.contains_conversation(flow) {
+            stats.sections_skipped_bloom += 1;
+            return false;
+        }
+    }
+    true
+}
+
+fn query_v2(
+    data: &[u8],
+    query: &FlowQuery,
+    dp: &DecompressParams,
+) -> Result<QueryOutcome, CodecError> {
+    let parsed = parse_v2(data)?;
+    let n_short = parsed.short_templates.len();
+    let n_addr = parsed.addresses.len();
+
+    let mut stats = QueryStats {
+        sections_total: parsed.entries.len() as u64,
+        has_metadata: parsed.meta.is_some(),
+        flows_total: parsed.entries.iter().map(|e| e.flow_count as u64).sum(),
+        ..QueryStats::default()
+    };
+    let survivors: Vec<usize> = match &parsed.meta {
+        None => (0..parsed.entries.len()).collect(),
+        Some(meta) => (0..parsed.entries.len())
+            .filter(|&i| survives(meta, i, query, dp.seed, &mut stats))
+            .collect(),
+    };
+    stats.sections_scanned = survivors.len() as u64;
+
+    // Decode only the survivors, on the shared pool — the same
+    // section-parallel shape as a full read, minus the pruned work.
+    let pairs: Vec<(&SectionEntry, &[u8])> = survivors
+        .iter()
+        .map(|&i| (&parsed.entries[i], parsed.payloads[i]))
+        .collect();
+    let decoded: Vec<(Vec<LongTemplate>, Vec<FlowRecord>)> =
+        flowzip_io::WorkerPool::with_available_parallelism()
+            .run(
+                pairs
+                    .iter()
+                    .map(|(entry, payload)| move || decode_section(payload, entry, n_short, n_addr))
+                    .collect(),
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, CodecError>>()?;
+
+    // Compact the surviving sections' long templates and re-base the
+    // records' global indices onto the compacted table.
+    let mut long_templates = Vec::new();
+    let mut slices = Vec::with_capacity(decoded.len());
+    for (&i, (longs, mut seq)) in survivors.iter().zip(decoded) {
+        let new_base = long_templates.len() as u32;
+        let old_base = parsed.entries[i].long_base;
+        for r in &mut seq {
+            if r.is_long {
+                r.template_idx = r.template_idx - old_base + new_base;
+            }
+        }
+        long_templates.extend(longs);
+        slices.push(seq);
+    }
+
+    // Survivors keep their relative order, so the stable k-way merge of
+    // the subset is a subsequence of the full merge — order preserved.
+    let ct = CompressedTrace {
+        short_templates: parsed.short_templates,
+        long_templates,
+        addresses: parsed.addresses,
+        time_seq: merge_time_seq(slices),
+    };
+    ct.validate()?;
+    Ok(finish(ct, query, dp, stats))
+}
+
+/// Record-level filtering + decompression — the tail both format paths
+/// share. `stats` arrives with the planner counters already set.
+fn finish(
+    mut ct: CompressedTrace,
+    query: &FlowQuery,
+    dp: &DecompressParams,
+    mut stats: QueryStats,
+) -> QueryOutcome {
+    let addresses = ct.addresses.clone();
+    ct.time_seq
+        .retain(|r| query.matches(dp.seed, &addresses, r));
+    stats.flows_matched = ct.time_seq.len() as u64;
+    let trace = Decompressor::new(dp.clone()).decompress(&ct);
+    stats.packets = trace.len() as u64;
+    QueryOutcome { trace, stats }
+}
+
+/// One archive section decoded for streaming analysis: the section's
+/// flow records (globally-indexed) plus its slice of the long-template
+/// table.
+#[derive(Debug, Clone)]
+pub struct DecodedSection {
+    /// Position in the archive's section order.
+    pub index: usize,
+    /// The section's v2.1 metadata record, when the archive carries one.
+    pub meta: Option<SectionMeta>,
+    /// The section's long templates; a record with `is_long` indexes
+    /// this table at `template_idx - long_base`.
+    pub long_templates: Vec<LongTemplate>,
+    /// Global index of `long_templates[0]`.
+    pub long_base: u32,
+    /// The section's flow records, time-sorted, with global short
+    /// template and address indices.
+    pub records: Vec<FlowRecord>,
+}
+
+/// Streaming, section-at-a-time access to a v2 archive — what the
+/// analysis passes consume to build CDFs and histograms without ever
+/// materializing the whole time-seq dataset.
+///
+/// Global context (short templates, addresses, metadata) parses once at
+/// [`SectionStream::open`]; each [`SectionStream::next_section`] call
+/// decodes exactly one payload.
+pub struct SectionStream<'a> {
+    parsed: crate::container::ParsedV2<'a>,
+    next: usize,
+}
+
+impl<'a> SectionStream<'a> {
+    /// Parses a v2 archive's header, index and (optional) metadata
+    /// block, without decoding any payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when `data` is not a well-formed v2 archive (v1
+    /// has no sections to stream).
+    pub fn open(data: &'a [u8]) -> Result<SectionStream<'a>, CodecError> {
+        Ok(SectionStream {
+            parsed: parse_v2(data)?,
+            next: 0,
+        })
+    }
+
+    /// Sections in the archive.
+    pub fn sections(&self) -> usize {
+        self.parsed.entries.len()
+    }
+
+    /// The global short-flows-template dataset (cluster centers).
+    pub fn short_templates(&self) -> &[Vec<u16>] {
+        &self.parsed.short_templates
+    }
+
+    /// The global address dataset.
+    pub fn addresses(&self) -> &[Ipv4Addr] {
+        &self.parsed.addresses
+    }
+
+    /// The archive's v2.1 metadata block, when present.
+    pub fn metadata(&self) -> Option<&ArchiveMeta> {
+        self.parsed.meta.as_ref()
+    }
+
+    /// Decodes the next section, or `None` after the last.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when the section payload is malformed.
+    pub fn next_section(&mut self) -> Option<Result<DecodedSection, CodecError>> {
+        let i = self.next;
+        let entry = self.parsed.entries.get(i)?;
+        self.next += 1;
+        let n_short = self.parsed.short_templates.len();
+        let n_addr = self.parsed.addresses.len();
+        Some(
+            decode_section(self.parsed.payloads[i], entry, n_short, n_addr).map(
+                |(long_templates, records)| DecodedSection {
+                    index: i,
+                    meta: self.parsed.meta.as_ref().map(|m| m.sections[i].clone()),
+                    long_templates,
+                    long_base: entry.long_base,
+                    records,
+                },
+            ),
+        )
+    }
+}
+
+impl Iterator for SectionStream<'_> {
+    type Item = Result<DecodedSection, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_section()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulate::FlowAccumulator;
+    use crate::compress::{assemble_sections, Compressor, FlowAssembler};
+    use crate::Params;
+    use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
+
+    fn web_trace(flows: usize, seed: u64) -> Trace {
+        WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows,
+                ..WebTrafficConfig::default()
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    /// A multi-section v2.1 archive: shard flows round-robin across
+    /// `shards` assemblers, exactly like the streaming engine.
+    fn sectioned_archive(flows: usize, seed: u64, shards: usize) -> Vec<u8> {
+        let trace = web_trace(flows, seed);
+        let params = Params::paper();
+        let mut acc = FlowAccumulator::new(params.clone());
+        for p in &trace {
+            acc.push(p);
+        }
+        let finished = acc.finish();
+        let mut asms: Vec<FlowAssembler> = (0..shards)
+            .map(|_| FlowAssembler::new(params.clone()))
+            .collect();
+        for (i, flow) in finished.iter().enumerate() {
+            asms[i % shards].consume(flow);
+        }
+        let sections = asms.into_iter().map(FlowAssembler::into_section).collect();
+        let tsh = flowzip_trace::tsh::file_size(&trace);
+        let hdr = trace.header_bytes();
+        assemble_sections(&params, sections, tsh, hdr).0
+    }
+
+    /// The reference a query must equal: decompress *everything*, then
+    /// filter packets to the conversation.
+    fn filter_after_full_decode(bytes: &[u8], dp: &DecompressParams, q: &FiveTuple) -> Trace {
+        let full =
+            Decompressor::new(dp.clone()).decompress(&CompressedTrace::from_bytes(bytes).unwrap());
+        Trace::from_packets(
+            full.packets()
+                .iter()
+                .filter(|p| p.tuple().same_conversation(q))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn flow_query_prunes_and_matches_reference() {
+        let bytes = sectioned_archive(400, 21, 6);
+        let dp = DecompressParams::default();
+        let full =
+            Decompressor::new(dp.clone()).decompress(&CompressedTrace::from_bytes(&bytes).unwrap());
+        // Query every distinct conversation in the archive: each must
+        // come back byte-identical to filter-after-full-decode, and at
+        // least one must actually prune (shards split the key space).
+        let mut keys: Vec<FiveTuple> = Vec::new();
+        for p in full.packets() {
+            if !keys.iter().any(|k| k.same_conversation(&p.tuple())) {
+                keys.push(p.tuple());
+            }
+        }
+        assert!(keys.len() > 10);
+        let mut pruned_any = false;
+        for q in keys.iter().take(24) {
+            let out = query_bytes(
+                &bytes,
+                &FlowQuery {
+                    flow: Some(*q),
+                    ..FlowQuery::default()
+                },
+                &dp,
+            )
+            .unwrap();
+            assert!(out.stats.has_metadata);
+            assert_eq!(out.stats.sections_total, 6);
+            assert!(out.stats.flows_matched >= 1);
+            assert_eq!(out.stats.packets, out.trace.len() as u64);
+            pruned_any |= out.stats.sections_skipped_bloom > 0;
+            let reference = filter_after_full_decode(&bytes, &dp, q);
+            assert_eq!(out.trace.packets(), reference.packets());
+        }
+        assert!(pruned_any, "no query skipped any section via the Bloom");
+    }
+
+    #[test]
+    fn time_window_query_prunes_and_matches_reference() {
+        let bytes = sectioned_archive(300, 22, 5);
+        let dp = DecompressParams::default();
+        let full_ct = CompressedTrace::from_bytes(&bytes).unwrap();
+        let span_start = full_ct.time_seq.first().unwrap().first_ts;
+        let span_end = full_ct.time_seq.last().unwrap().first_ts;
+        let mid = Timestamp::from_micros((span_start.as_micros() + span_end.as_micros()) / 2);
+        let query = FlowQuery {
+            from: Some(span_start),
+            to: Some(mid),
+            ..FlowQuery::default()
+        };
+        let out = query_bytes(&bytes, &query, &dp).unwrap();
+        // Reference: record-filter the fully-decoded archive, decompress.
+        let mut ref_ct = full_ct.clone();
+        ref_ct
+            .time_seq
+            .retain(|r| query.matches(dp.seed, &ref_ct.addresses.clone(), r));
+        let reference = Decompressor::new(dp.clone()).decompress(&ref_ct);
+        assert_eq!(out.trace.packets(), reference.packets());
+        assert_eq!(out.stats.flows_matched, ref_ct.time_seq.len() as u64);
+    }
+
+    #[test]
+    fn empty_query_is_full_decompression() {
+        let bytes = sectioned_archive(200, 23, 4);
+        let dp = DecompressParams::default();
+        let out = query_bytes(&bytes, &FlowQuery::default(), &dp).unwrap();
+        let full =
+            Decompressor::new(dp.clone()).decompress(&CompressedTrace::from_bytes(&bytes).unwrap());
+        assert_eq!(out.trace.packets(), full.packets());
+        assert_eq!(out.stats.sections_scanned, out.stats.sections_total);
+        assert_eq!(out.stats.flows_matched, out.stats.flows_total);
+    }
+
+    #[test]
+    fn plain_v2_without_metadata_scans_everything_correctly() {
+        let trace = web_trace(150, 24);
+        let ct = Compressor::new(Params::paper()).compress(&trace).0;
+        let bytes = ct.encode_v2_opts(false).0;
+        let dp = DecompressParams::default();
+        let full = Decompressor::new(dp.clone()).decompress(&ct);
+        let q = full.packets()[0].tuple();
+        let out = query_bytes(
+            &bytes,
+            &FlowQuery {
+                flow: Some(q),
+                ..FlowQuery::default()
+            },
+            &dp,
+        )
+        .unwrap();
+        assert!(!out.stats.has_metadata);
+        assert_eq!(out.stats.sections_scanned, out.stats.sections_total);
+        assert_eq!(out.stats.sections_skipped(), 0);
+        let reference = filter_after_full_decode(&bytes, &dp, &q);
+        assert_eq!(out.trace.packets(), reference.packets());
+    }
+
+    #[test]
+    fn foreign_seed_ignores_bloom_but_stays_correct() {
+        let bytes = sectioned_archive(200, 25, 4);
+        let dp = DecompressParams {
+            seed: 0xD1FF,
+            ..DecompressParams::default()
+        };
+        let full =
+            Decompressor::new(dp.clone()).decompress(&CompressedTrace::from_bytes(&bytes).unwrap());
+        let q = full.packets()[0].tuple();
+        let out = query_bytes(
+            &bytes,
+            &FlowQuery {
+                flow: Some(q),
+                ..FlowQuery::default()
+            },
+            &dp,
+        )
+        .unwrap();
+        // The archive's Bloom keys assume DEFAULT_SEED; under 0xD1FF
+        // they are inapplicable and must not prune.
+        assert_eq!(out.stats.sections_skipped_bloom, 0);
+        assert!(out.stats.flows_matched >= 1);
+        let reference = filter_after_full_decode(&bytes, &dp, &q);
+        assert_eq!(out.trace.packets(), reference.packets());
+    }
+
+    #[test]
+    fn v1_archive_queries_as_one_section() {
+        let trace = web_trace(120, 26);
+        let ct = Compressor::new(Params::paper()).compress(&trace).0;
+        let bytes = ct.to_bytes();
+        let dp = DecompressParams::default();
+        let full = Decompressor::new(dp.clone()).decompress(&ct);
+        let q = full.packets()[0].tuple();
+        let out = query_bytes(
+            &bytes,
+            &FlowQuery {
+                flow: Some(q),
+                ..FlowQuery::default()
+            },
+            &dp,
+        )
+        .unwrap();
+        assert_eq!(out.stats.sections_total, 1);
+        assert_eq!(out.stats.sections_scanned, 1);
+        let reference = filter_after_full_decode(&bytes, &dp, &q);
+        assert_eq!(out.trace.packets(), reference.packets());
+    }
+
+    #[test]
+    fn section_stream_visits_every_record_once() {
+        let bytes = sectioned_archive(250, 27, 5);
+        let full = CompressedTrace::from_bytes(&bytes).unwrap();
+        let mut stream = SectionStream::open(&bytes).unwrap();
+        assert_eq!(stream.sections(), 5);
+        assert_eq!(stream.short_templates(), &full.short_templates[..]);
+        assert_eq!(stream.addresses(), &full.addresses[..]);
+        assert!(stream.metadata().is_some());
+        let mut records = 0usize;
+        let mut longs = 0usize;
+        while let Some(section) = stream.next_section() {
+            let section = section.unwrap();
+            assert_eq!(
+                section.meta.as_ref().unwrap().flows,
+                section.records.len() as u64
+            );
+            // Long records index the section-local table via long_base.
+            for r in &section.records {
+                if r.is_long {
+                    let local = (r.template_idx - section.long_base) as usize;
+                    assert!(local < section.long_templates.len());
+                }
+            }
+            records += section.records.len();
+            longs += section.long_templates.len();
+        }
+        assert_eq!(records, full.time_seq.len());
+        assert_eq!(longs, full.long_templates.len());
+    }
+}

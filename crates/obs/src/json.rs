@@ -102,6 +102,12 @@ impl JsonObject {
         let _ = write!(self.buf, "{value}");
     }
 
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
     /// Adds a float field with six decimal places (the timing style).
     pub fn f6(&mut self, key: &str, value: f64) {
         self.key(key);

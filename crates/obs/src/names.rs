@@ -27,6 +27,19 @@ pub const IO_READ_WAIT_NS: &str = "io.read_wait_ns";
 /// Chunks sitting in the prefetch hand-off buffer right now (gauge).
 pub const IO_PREFETCH_OCCUPANCY: &str = "io.prefetch.occupancy";
 
+/// Sections in the archive a query planned over (counter).
+pub const QUERY_SECTIONS_TOTAL: &str = "query.sections_total";
+/// Sections a query actually decoded (counter).
+pub const QUERY_SECTIONS_SCANNED: &str = "query.sections_scanned";
+/// Sections a query skipped via the metadata time range (counter).
+pub const QUERY_SECTIONS_SKIPPED_TIME: &str = "query.sections_skipped_time";
+/// Sections a query skipped via the flow-key Bloom filter (counter).
+pub const QUERY_SECTIONS_SKIPPED_BLOOM: &str = "query.sections_skipped_bloom";
+/// Flow records that matched a query (counter).
+pub const QUERY_FLOWS_MATCHED: &str = "query.flows_matched";
+/// Packets a query's result expanded to (counter).
+pub const QUERY_PACKETS: &str = "query.packets";
+
 /// Prefix every per-shard instrument name starts with.
 pub const SHARD_PREFIX: &str = "engine.shard.";
 /// Suffix of per-shard queue-depth gauges.

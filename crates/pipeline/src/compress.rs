@@ -545,6 +545,7 @@ fn streaming_report(er: EngineReport, format: ArchiveFormat, stats: Option<&IoSt
         long_templates: er.report.long_flows,
         addresses: er.report.addresses,
         sizes: Some(er.report.sizes),
+        has_metadata: matches!(format, ArchiveFormat::V2),
     });
     // Raw-iterator runs carry no stats handle; their read-wait stays at
     // the engine's zero.
@@ -659,6 +660,7 @@ fn run_batch(
         long_templates: comp.long_flows,
         addresses: comp.addresses,
         sizes: Some(comp.sizes),
+        has_metadata: matches!(format, ArchiveFormat::V2),
     });
     let mut timing = Timing::new(
         started.elapsed().as_secs_f64(),

@@ -74,6 +74,7 @@ pub mod compress;
 pub mod decompress;
 pub mod error;
 pub mod input;
+pub mod query;
 pub mod report;
 pub mod sink;
 
@@ -81,6 +82,7 @@ pub use compress::{CompressBuilder, RunResult};
 pub use decompress::DecompressBuilder;
 pub use error::PipelineError;
 pub use flowzip_engine::Routing;
+pub use query::{parse_flow_spec, QueryBuilder};
 // Observability knobs a session takes (`.metrics()`, `.profiler()`,
 // `.stats_interval()`, …), re-exported so embedders need no direct
 // `flowzip-obs` dependency.

@@ -30,6 +30,9 @@ pub enum Mode {
     Decompress,
     /// Archive metadata only (`flowzip info`).
     Info,
+    /// Archive in, *matching* packets out (`flowzip query`): the
+    /// planner decodes only sections the v2.1 metadata cannot rule out.
+    Query,
 }
 
 impl Mode {
@@ -39,6 +42,7 @@ impl Mode {
             Mode::Compress => "compress",
             Mode::Decompress => "decompress",
             Mode::Info => "info",
+            Mode::Query => "query",
         }
     }
 }
@@ -62,6 +66,9 @@ pub struct ArchiveSummary {
     /// (inspection and compress runs always do; decompress skips the
     /// measurement when it would cost a full v1 re-encode).
     pub sizes: Option<DatasetSizes>,
+    /// Whether the archive carries the rev 2.1 per-section metadata
+    /// block (always `false` for v1).
+    pub has_metadata: bool,
 }
 
 impl ArchiveSummary {
@@ -98,6 +105,16 @@ impl ArchiveSummary {
                 Some(container::v2_sizes(bytes)?),
             ),
         };
+        let has_metadata = match format {
+            ArchiveFormat::V1 => false,
+            // `from_bytes` above already validated the block, so the
+            // size measurement (when taken) or a direct header walk
+            // answers presence cheaply.
+            ArchiveFormat::V2 => match &sizes {
+                Some(s) => s.metadata > 0,
+                None => container::v2_metadata(bytes)?.is_some(),
+            },
+        };
         let summary = ArchiveSummary {
             format,
             sections,
@@ -106,6 +123,7 @@ impl ArchiveSummary {
             long_templates: archive.long_templates.len() as u64,
             addresses: archive.addresses.len() as u64,
             sizes,
+            has_metadata,
         };
         Ok((archive, summary))
     }
@@ -186,6 +204,8 @@ pub struct Report {
     pub engine: Option<EngineSummary>,
     /// Archive container facts (every mode that touched an archive).
     pub archive: Option<ArchiveSummary>,
+    /// Query-planner effectiveness counters (query runs only).
+    pub query: Option<flowzip_core::QueryStats>,
     /// Wall-clock accounting (compress and decompress runs).
     pub timing: Option<Timing>,
     /// Bytes delivered to the sink.
@@ -210,6 +230,7 @@ impl Report {
             compression: None,
             engine: None,
             archive: None,
+            query: None,
             timing: None,
             output_bytes: 0,
             metrics: None,
@@ -270,6 +291,7 @@ impl Report {
         if let Some(a) = &self.archive {
             j.str("format", &a.format.to_string());
             j.num("sections", a.sections);
+            j.bool("has_metadata", a.has_metadata);
             j.num("file_bytes", a.file_bytes);
             j.num("archive_bytes", a.file_bytes);
             j.num("short_templates", a.short_templates);
@@ -277,6 +299,15 @@ impl Report {
             if self.compression.is_none() {
                 j.num("addresses", a.addresses);
             }
+        }
+        if let Some(q) = &self.query {
+            j.num("sections_total", q.sections_total);
+            j.num("sections_scanned", q.sections_scanned);
+            j.num("sections_skipped", q.sections_skipped());
+            j.num("sections_skipped_time", q.sections_skipped_time);
+            j.num("sections_skipped_bloom", q.sections_skipped_bloom);
+            j.num("flows_total", q.flows_total);
+            j.num("flows_matched", q.flows_matched);
         }
         if let Some(t) = &self.timing {
             j.f6("elapsed_secs", t.elapsed_secs);
@@ -301,7 +332,8 @@ impl Report {
                         "    \"short_templates\": {},\n",
                         "    \"long_templates\": {},\n",
                         "    \"addresses\": {},\n",
-                        "    \"time_seq\": {}\n",
+                        "    \"time_seq\": {},\n",
+                        "    \"metadata\": {}\n",
                         "  }}"
                     ),
                     sizes.header,
@@ -309,6 +341,7 @@ impl Report {
                     sizes.long_templates,
                     sizes.addresses,
                     sizes.time_seq,
+                    sizes.metadata,
                 ),
             );
         }
@@ -376,6 +409,30 @@ impl fmt::Display for Report {
                     "{format} archive: {} flows, {} packets, {bytes} B",
                     self.flows, self.packets
                 )
+            }
+            Mode::Query => {
+                write!(
+                    f,
+                    "query matched {} of {} flows ({} packets)",
+                    self.query.as_ref().map_or(self.flows, |q| q.flows_matched),
+                    self.query.as_ref().map_or(0, |q| q.flows_total),
+                    self.packets,
+                )?;
+                if let Some(q) = &self.query {
+                    write!(
+                        f,
+                        "; scanned {}/{} sections ({} skipped: {} by time, {} by bloom)",
+                        q.sections_scanned,
+                        q.sections_total,
+                        q.sections_skipped(),
+                        q.sections_skipped_time,
+                        q.sections_skipped_bloom,
+                    )?;
+                    if !q.has_metadata {
+                        write!(f, "; no v2.1 metadata — full scan")?;
+                    }
+                }
+                Ok(())
             }
         }
     }

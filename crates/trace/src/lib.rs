@@ -35,6 +35,8 @@
 //! assert_eq!(pkt.payload_len(), 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod flags;
 pub mod flow;

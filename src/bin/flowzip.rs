@@ -12,6 +12,7 @@
 //! flowzip compress   web.tsh -o web.fzc --threads 4 --profile trace.json
 //! flowzip info       web.fzc [--json]
 //! flowzip decompress web.fzc -o web-restored.tsh [--json] [--out-format tsh|pcap]
+//! flowzip query      web.fzc --flow 172.20.1.9:4242->193.5.9.1:80 [--from 0 --to 30] [--json]
 //! flowzip synth      web.fzc --flows 10000 -o scaled.tsh
 //! ```
 //!
@@ -81,6 +82,10 @@ const USAGE: &str = "usage:
                      [--profile TRACE.json] (chrome://tracing span timeline)
   flowzip info       IN.fzc [--json]
   flowzip decompress IN.fzc  -o OUT.tsh [--seed K] [--json] [--out-format tsh|pcap]
+  flowzip query      IN.fzc  [--flow SRC_IP:PORT->DST_IP:PORT] [--from SECS] [--to SECS]
+                     [-o OUT.tsh [--out-format tsh|pcap]] [--seed K] [--json] [--metrics]
+                     (decodes only archive sections the v2.1 per-section
+                      metadata cannot rule out; without -o, reports only)
   flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh
 
 global: [-q|--quiet] [-v|--verbose] and the FLOWZIP_LOG env var
@@ -146,6 +151,16 @@ impl Opts {
         self.get(key).is_some()
     }
 
+    fn get_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} wants a number of seconds")),
+        }
+    }
+
     fn out(&self) -> Result<PathBuf, String> {
         self.get("out")
             .map(PathBuf::from)
@@ -181,6 +196,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compress" => compress(&opts),
         "info" => info(&opts),
         "decompress" => decompress(&opts),
+        "query" => query(&opts),
         "synth" => synth(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -358,9 +374,15 @@ fn info(opts: &Opts) -> Result<(), String> {
     }
     let archive = report.archive.as_ref().expect("info always summarizes");
     println!("archive: {input}");
-    match archive.format {
-        ArchiveFormat::V1 => println!("  format           : v1"),
-        ArchiveFormat::V2 => println!("  format           : v2 ({} sections)", archive.sections),
+    match (archive.format, archive.has_metadata) {
+        (ArchiveFormat::V1, _) => println!("  format           : v1"),
+        (ArchiveFormat::V2, false) => {
+            println!("  format           : v2 ({} sections)", archive.sections);
+        }
+        (ArchiveFormat::V2, true) => println!(
+            "  format           : v2.1 ({} sections, per-section metadata)",
+            archive.sections
+        ),
     }
     println!("  flows            : {}", report.flows);
     println!("  packets          : {}", report.packets);
@@ -400,6 +422,57 @@ fn decompress(opts: &Opts) -> Result<(), String> {
         log::info(&notice);
     } else {
         println!("{notice}");
+    }
+    Ok(())
+}
+
+fn query(opts: &Opts) -> Result<(), String> {
+    let input = opts.input()?;
+    let json = opts.get_bool("json");
+    let out = opts.get("out").map(PathBuf::from);
+    let out_format = match opts.get("out-format") {
+        None | Some("tsh") => CaptureFormat::Tsh,
+        Some("pcap") => CaptureFormat::Pcap,
+        Some(other) => return Err(format!("unknown --out-format `{other}` (want tsh or pcap)")),
+    };
+    let mut session = Pipeline::query()
+        .input(Input::file(input))
+        .seed(opts.get_u64("seed", 0x5EED)?)
+        .output_format(out_format);
+    if let Some(spec) = opts.get("flow") {
+        session = session.flow_spec(spec).map_err(|e| e.to_string())?;
+    }
+    if let Some(secs) = opts.get_f64("from")? {
+        session = session.from_secs(secs);
+    }
+    if let Some(secs) = opts.get_f64("to")? {
+        session = session.to_secs(secs);
+    }
+    if let Some(path) = &out {
+        session = session.sink(Sink::file(path));
+    }
+    if opts.get_bool("metrics") {
+        session = session.metrics(Metrics::enabled());
+    }
+    let result = session.run().map_err(|e| e.to_string())?;
+    let report = &result.report;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if let Some(path) = &out {
+        let notice = format!(
+            "wrote {}: {} packets ({} bytes)",
+            path.display(),
+            report.packets,
+            report.output_bytes
+        );
+        if json {
+            log::info(&notice);
+        } else {
+            println!("{notice}");
+        }
     }
     Ok(())
 }

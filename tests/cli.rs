@@ -735,3 +735,106 @@ fn pcap_input_is_auto_detected() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn query_subcommand_prunes_and_matches_full_decode() {
+    let dir = tmpdir("query");
+    let tsh = dir.join("web.tsh");
+    let fzc = dir.join("web.fzc");
+    let hit = dir.join("hit.tsh");
+
+    let out = bin()
+        .args([
+            "generate", "--flows", "250", "--secs", "30", "--seed", "11", "-o",
+        ])
+        .arg(&tsh)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .arg("compress")
+        .arg(&tsh)
+        .args(["--streaming", "--threads", "4", "-o"])
+        .arg(&fzc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `info` names the revision: sections carry the v2.1 metadata block.
+    let out = bin().arg("info").arg(&fzc).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("v2.1 (4 sections, per-section metadata)"),
+        "{text}"
+    );
+
+    // Pick a real conversation out of the archive via the library, then
+    // ask the CLI for exactly that flow.
+    let bytes = std::fs::read(&fzc).unwrap();
+    let full = flowzip::core::Decompressor::new(flowzip::core::DecompressParams::default())
+        .decompress(&flowzip::core::CompressedTrace::from_bytes(&bytes).unwrap());
+    let target = full.packets()[0].tuple();
+    let spec = format!(
+        "{}:{}->{}:{}",
+        target.src_ip, target.src_port, target.dst_ip, target.dst_port
+    );
+    let out = bin()
+        .arg("query")
+        .arg(&fzc)
+        .args(["--flow", &spec, "--json", "-o"])
+        .arg(&hit)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"mode\": \"query\"",
+        "\"sections_total\": 4",
+        "\"has_metadata\": true",
+        "\"sections_scanned\"",
+    ] {
+        assert!(text.contains(needle), "query --json: {text}");
+    }
+
+    // The written trace is byte-identical to filtering a full decode.
+    let expected: Vec<_> = full
+        .packets()
+        .iter()
+        .filter(|p| p.tuple().same_conversation(&target))
+        .cloned()
+        .collect();
+    assert!(!expected.is_empty());
+    let expected_tsh =
+        flowzip::trace::tsh::to_bytes(&flowzip::trace::Trace::from_packets(expected));
+    assert_eq!(std::fs::read(&hit).unwrap(), expected_tsh);
+
+    // Report-only mode (no -o) and human output both work.
+    let out = bin()
+        .arg("query")
+        .arg(&fzc)
+        .args(["--from", "0", "--to", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sections"), "human query output: {text}");
+
+    // A bad flow spec is a usage error, not a panic.
+    let out = bin()
+        .arg("query")
+        .arg(&fzc)
+        .args(["--flow", "nonsense"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
