@@ -4,13 +4,17 @@
 //! Decompressed trace show similar behavior"), text tables and
 //! gnuplot-style series files.
 
+#![warn(missing_docs)]
+
 pub mod cdf;
+pub mod complexity;
 pub mod histogram;
 pub mod series;
 pub mod stream;
 pub mod table;
 
 pub use cdf::Cdf;
+pub use complexity::TraceComplexity;
 pub use histogram::BucketedHistogram;
 pub use series::write_dat;
 pub use stream::{analyze_archive, analyze_sections, ArchivePasses, SectionPoint};

@@ -11,6 +11,7 @@
 //! what makes the passes usable on archives whose expansion would not
 //! fit.
 
+use crate::complexity::TraceComplexity;
 use crate::{BucketedHistogram, Cdf};
 use flowzip_core::datasets::CodecError;
 use flowzip_core::SectionStream;
@@ -46,6 +47,17 @@ pub struct ArchivePasses {
     pub flow_size_histogram: BucketedHistogram,
     /// CDF of short-flow RTTs in milliseconds.
     pub rtt_ms: Cdf,
+    /// CDF of *measured* per-flow RTT estimates in milliseconds, from
+    /// the rev 2.2 `FZT1` telemetry side-section (flows with at least
+    /// one sample; empty when the archive carries no telemetry).
+    pub measured_rtt_ms: Cdf,
+    /// CDF of retransmitted segments per flow (fast + timeout), from the
+    /// telemetry side-section (empty when absent).
+    pub retransmissions_per_flow: Cdf,
+    /// Whether the archive carried an `FZT1` telemetry block.
+    pub has_telemetry: bool,
+    /// The trace-complexity decomposition over flow sizes and arrivals.
+    pub complexity: TraceComplexity,
     /// One rollup point per section, in section order.
     pub sections: Vec<SectionPoint>,
 }
@@ -70,7 +82,12 @@ impl ArchivePasses {
 /// before the error are discarded.
 pub fn analyze_sections(mut stream: SectionStream<'_>) -> Result<ArchivePasses, CodecError> {
     let mut sizes: Vec<f64> = Vec::new();
+    let mut sizes_u: Vec<u64> = Vec::new();
+    let mut starts_us: Vec<u64> = Vec::new();
     let mut rtts: Vec<f64> = Vec::new();
+    let mut measured_rtts: Vec<f64> = Vec::new();
+    let mut retrans: Vec<f64> = Vec::new();
+    let has_telemetry = stream.telemetry().is_some();
     let mut histogram = BucketedHistogram::figure3();
     let mut sections = Vec::with_capacity(stream.sections());
     let mut packets_total = 0u64;
@@ -91,10 +108,20 @@ pub fn analyze_sections(mut stream: SectionStream<'_>) -> Result<ArchivePasses, 
             };
             packets += n as u64;
             sizes.push(n as f64);
+            sizes_u.push(n as u64);
+            starts_us.push(r.first_ts.as_micros());
             histogram.add(n as f64);
             if !r.is_long {
                 rtts.push(r.rtt.as_micros() as f64 / 1_000.0);
             }
+        }
+        // Telemetry rows index-join the section's records, so this is
+        // the same flow population the distribution passes just folded.
+        for t in section.telemetry.iter().flatten() {
+            if t.rtt_samples > 0 {
+                measured_rtts.push(t.rtt_us as f64 / 1_000.0);
+            }
+            retrans.push(t.retransmissions() as f64);
         }
         packets_total += packets;
         let secs = |r: &flowzip_core::FlowRecord| r.first_ts.as_micros() as f64 / 1e6;
@@ -113,6 +140,10 @@ pub fn analyze_sections(mut stream: SectionStream<'_>) -> Result<ArchivePasses, 
         packets_per_flow: Cdf::from_samples(sizes),
         flow_size_histogram: histogram,
         rtt_ms: Cdf::from_samples(rtts),
+        measured_rtt_ms: Cdf::from_samples(measured_rtts),
+        retransmissions_per_flow: Cdf::from_samples(retrans),
+        has_telemetry,
+        complexity: TraceComplexity::from_flows(&sizes_u, &starts_us),
         sections,
     })
 }
@@ -185,6 +216,52 @@ mod tests {
         assert_eq!(start.len(), passes.sections.len());
         assert_eq!(flows.len(), passes.sections.len());
         assert_eq!(packets.len(), passes.sections.len());
+    }
+
+    #[test]
+    fn telemetry_passes_fold_fzt1_rows() {
+        let trace = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 120,
+                ..WebTrafficConfig::default()
+            },
+            34,
+        )
+        .generate();
+        let (ct, _) = Compressor::new(Params::paper()).compress(&trace);
+        let n = ct.time_seq.len();
+        let rows: Vec<flowzip_core::FlowTelemetry> = (0..n as u64)
+            .map(|i| flowzip_core::FlowTelemetry {
+                // The codec rejects an RTT estimate without samples, so
+                // unmeasured flows carry a zeroed pair.
+                rtt_us: if i % 4 == 0 { 0 } else { 1_000 + i * 10 },
+                rtt_samples: if i % 4 == 0 { 0 } else { 2 },
+                retrans_fast: i % 3,
+                retrans_timeout: i % 2,
+                active_us: 5_000,
+                idle_us: 0,
+                bytes: 100,
+            })
+            .collect();
+        let bytes = ct.encode_v2_with_telemetry(&rows).0;
+        let passes = analyze_archive(&bytes).unwrap();
+        assert!(passes.has_telemetry);
+        // One retransmission sample per flow record; RTT samples only for
+        // flows the accumulator actually measured.
+        assert_eq!(passes.retransmissions_per_flow.len(), n);
+        let with_rtt = rows.iter().filter(|r| r.rtt_samples > 0).count();
+        assert_eq!(passes.measured_rtt_ms.len(), with_rtt);
+        assert!(passes.measured_rtt_ms.quantile(0.5).unwrap() >= 1.0);
+        // A plain 2.1 archive of the same trace: telemetry CDFs stay
+        // empty while the complexity score still comes out of the flow
+        // records themselves.
+        let plain = ct.to_bytes_v2();
+        let p = analyze_archive(&plain).unwrap();
+        assert!(!p.has_telemetry);
+        assert!(p.measured_rtt_ms.is_empty());
+        assert!(p.retransmissions_per_flow.is_empty());
+        assert!(p.complexity.score > 0.0 && p.complexity.score <= 100.0);
+        assert_eq!(p.complexity.score, passes.complexity.score);
     }
 
     #[test]

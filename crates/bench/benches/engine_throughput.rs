@@ -141,6 +141,51 @@ fn main() {
         overhead_frac * 100.0
     );
 
+    // Telemetry-overhead family: the same parallel/2 configuration with
+    // the per-flow TCP-dynamics derivation off vs. on. The on-run's
+    // archive also yields the trace-complexity score recorded below, so
+    // the JSON says *what kind* of traffic these numbers were measured
+    // on.
+    let time_telemetry = |telemetry: bool| {
+        let engine = StreamingEngine::builder()
+            .routing(Routing::Parallel)
+            .routers(overhead_threads)
+            .shards(overhead_threads)
+            .batch_size(4096)
+            .idle_timeout(Some(Duration::from_secs(120)))
+            .telemetry(telemetry)
+            .build();
+        let mut best = f64::INFINITY;
+        let mut bytes = Vec::new();
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let (out, report) = engine
+                .compress_stream_to_bytes(trace.iter().cloned().map(Ok))
+                .expect("in-memory run");
+            best = best.min(t0.elapsed().as_secs_f64());
+            black_box(&report);
+            bytes = out;
+        }
+        (best, bytes)
+    };
+    let (t_secs_off, _) = time_telemetry(false);
+    let (t_secs_on, telemetry_bytes) = time_telemetry(true);
+    let (t_pps_off, t_pps_on) = (packets as f64 / t_secs_off, packets as f64 / t_secs_on);
+    let telemetry_frac = 1.0 - t_pps_on / t_pps_off;
+    println!(
+        "engine_throughput/telemetry-off best {t_secs_off:>8.3}s  {t_pps_off:>12.0} packets/s\n\
+         engine_throughput/telemetry-on  best {t_secs_on:>8.3}s  {t_pps_on:>12.0} packets/s  \
+         (overhead {:+.1}%)",
+        telemetry_frac * 100.0
+    );
+    let complexity = flowzip_analysis::analyze_archive(&telemetry_bytes)
+        .expect("rev 2.2 archive")
+        .complexity;
+    println!(
+        "engine_throughput/complexity   score {:.1}/100 (size entropy {:.2}, burstiness {:.2})",
+        complexity.score, complexity.flow_size_entropy, complexity.arrival_burstiness
+    );
+
     // speedup_vs_1 is within-family: parallel/4 against parallel/1, so
     // the scaling figure isolates topology scaling from the (small)
     // constant-factor difference between the two routers at one thread.
@@ -169,7 +214,10 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"metrics_overhead\": {{\"threads\": {overhead_threads}, \"off_packets_per_sec\": {pps_off:.0}, \"on_packets_per_sec\": {pps_on:.0}, \"overhead_frac\": {overhead_frac:.4}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"seed\": {SEED},\n  \"packets\": {packets},\n  \"flows\": {flows},\n  \"runs_per_point\": {runs},\n  \"host_parallelism\": {cpus},\n  \"metrics_overhead\": {{\"threads\": {overhead_threads}, \"off_packets_per_sec\": {pps_off:.0}, \"on_packets_per_sec\": {pps_on:.0}, \"overhead_frac\": {overhead_frac:.4}}},\n  \"telemetry_overhead\": {{\"threads\": {overhead_threads}, \"off_packets_per_sec\": {t_pps_off:.0}, \"on_packets_per_sec\": {t_pps_on:.0}, \"overhead_frac\": {telemetry_frac:.4}}},\n  \"complexity\": {{\"score\": {:.1}, \"flow_size_entropy\": {:.3}, \"arrival_burstiness\": {:.3}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        complexity.score,
+        complexity.flow_size_entropy,
+        complexity.arrival_burstiness,
         results.join(",\n")
     );
 

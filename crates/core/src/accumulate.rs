@@ -21,11 +21,18 @@
 //! accumulator as soon as they close instead of piling up.
 
 use crate::characterize::{size_class, Dependence};
+use crate::telemetry::FlowTelemetry;
 use crate::Params;
 use flowzip_trace::prelude::*;
 use flowzip_trace::FlowKey;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// Inter-packet gaps at or above this many microseconds count as *idle*
+/// time in a flow's telemetry; shorter gaps count as *active* transfer
+/// time (1 s — safely past any plausible in-transfer ack gap, well
+/// under typical keep-alive intervals).
+pub const IDLE_THRESHOLD_US: u64 = 1_000_000;
 
 /// A fully characterized, completed flow ready for clustering.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +49,9 @@ pub struct FinishedFlow {
     /// Inter-packet gaps (`vector.len()` entries; the first is zero) —
     /// stored verbatim for long flows only.
     pub ipts: Vec<Duration>,
+    /// TCP-dynamics telemetry, when the accumulator ran with
+    /// [`FlowAccumulator::with_telemetry`]; `None` otherwise.
+    pub telemetry: Option<FlowTelemetry>,
 }
 
 impl FinishedFlow {
@@ -62,6 +72,161 @@ impl FinishedFlow {
     }
 }
 
+/// One direction's TCP bookkeeping for telemetry derivation.
+#[derive(Debug, Default)]
+struct DirState {
+    /// Highest end-of-data sequence number sent by this direction
+    /// (`seq + payload_len`, wrapping); data below it is a retransmit.
+    next_seq: Option<u32>,
+    /// Last acknowledgement number this direction sent.
+    last_ack: Option<u32>,
+    /// Consecutive *duplicate* pure ACKs this direction has sent — the
+    /// triple-dup-ACK evidence that classifies the peer's next
+    /// retransmission as a fast retransmit.
+    dup_acks: u32,
+    /// `(end_seq, send time)` of this direction's newest in-order data,
+    /// awaiting the peer's covering ACK for an ack-clock RTT sample.
+    /// Cleared on retransmission (Karn's rule: an ambiguous sample is
+    /// worse than none).
+    pending: Option<(u32, Timestamp)>,
+}
+
+/// Per-flow TCP-dynamics derivation, updated inline during
+/// [`FlowAccumulator::push`] — the "zero extra passes" half of the
+/// telemetry contract. Boxed inside [`ActiveFlow`] so disabled runs pay
+/// one null pointer per flow, nothing more.
+#[derive(Debug, Default)]
+struct TelemetryState {
+    /// Initiator SYN timestamp (handshake RTT leg 1).
+    syn_ts: Option<Timestamp>,
+    /// Responder SYN-ACK timestamp (handshake RTT leg 2).
+    synack_ts: Option<Timestamp>,
+    /// Whether the post-SYN-ACK sample was already taken.
+    handshake_done: bool,
+    rtt_sum_us: u64,
+    rtt_samples: u64,
+    retrans_fast: u64,
+    retrans_timeout: u64,
+    active_us: u64,
+    idle_us: u64,
+    bytes: u64,
+    /// `[FromInitiator, FromResponder]` bookkeeping.
+    dirs: [DirState; 2],
+}
+
+impl TelemetryState {
+    fn sample_rtt(&mut self, d: Duration) {
+        self.rtt_sum_us += d.as_micros();
+        self.rtt_samples += 1;
+    }
+
+    /// Folds one packet in. `gap` is the time since the flow's previous
+    /// packet (zero for the first). Sequence/ACK inspection only makes
+    /// sense for TCP; other protocols contribute time and byte totals.
+    fn observe(&mut self, p: &PacketRecord, dir: FlowDirection, gap: Duration) {
+        if gap.as_micros() >= IDLE_THRESHOLD_US {
+            self.idle_us += gap.as_micros();
+        } else {
+            self.active_us += gap.as_micros();
+        }
+        self.bytes += p.payload_len() as u64;
+        if !p.tuple().protocol.is_tcp() {
+            return;
+        }
+
+        let flags = p.flags();
+        let ts = p.timestamp();
+        // Handshake RTT: SYN → SYN-ACK times the server leg, SYN-ACK →
+        // first initiator ACK times the client leg. Each fires once.
+        match dir {
+            FlowDirection::FromInitiator => {
+                if flags.is_syn_only() && self.syn_ts.is_none() {
+                    self.syn_ts = Some(ts);
+                } else if flags.contains(TcpFlags::ACK) && !self.handshake_done {
+                    if let Some(t0) = self.synack_ts {
+                        self.sample_rtt(ts.saturating_since(t0));
+                        self.handshake_done = true;
+                    }
+                }
+            }
+            FlowDirection::FromResponder => {
+                if flags.is_syn_ack() && self.synack_ts.is_none() {
+                    if let Some(t0) = self.syn_ts {
+                        self.sample_rtt(ts.saturating_since(t0));
+                    }
+                    self.synack_ts = Some(ts);
+                }
+            }
+        }
+
+        let (me, peer) = match dir {
+            FlowDirection::FromInitiator => (0, 1),
+            FlowDirection::FromResponder => (1, 0),
+        };
+
+        // Retransmission detection: data whose sequence number sits
+        // below this direction's highest end-of-data is a resend. With
+        // ≥3 duplicate ACKs outstanding from the peer it is a fast
+        // retransmit; otherwise the sender's timer fired.
+        if p.has_payload() {
+            let end = p.seq().wrapping_add(p.payload_len() as u32);
+            match self.dirs[me].next_seq {
+                Some(next) if (p.seq().wrapping_sub(next) as i32) < 0 => {
+                    if self.dirs[peer].dup_acks >= 3 {
+                        self.retrans_fast += 1;
+                    } else {
+                        self.retrans_timeout += 1;
+                    }
+                    self.dirs[peer].dup_acks = 0;
+                    // Karn: the covering ACK can no longer be attributed
+                    // to one transmission.
+                    self.dirs[me].pending = None;
+                    if (end.wrapping_sub(next) as i32) > 0 {
+                        self.dirs[me].next_seq = Some(end);
+                    }
+                }
+                _ => {
+                    self.dirs[me].next_seq = Some(end);
+                    self.dirs[me].pending = Some((end, ts));
+                }
+            }
+        }
+
+        if flags.contains(TcpFlags::ACK) {
+            // Duplicate-ACK counting: a pure ACK repeating the previous
+            // ACK number is loss evidence; any advance resets the run.
+            let pure_ack = !p.has_payload()
+                && !flags.intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST);
+            match self.dirs[me].last_ack {
+                Some(prev) if prev == p.ack() && pure_ack => self.dirs[me].dup_acks += 1,
+                Some(prev) if prev == p.ack() => {}
+                _ => self.dirs[me].dup_acks = 0,
+            }
+            self.dirs[me].last_ack = Some(p.ack());
+
+            // Ack-clock RTT: this ACK may cover the peer's pending data.
+            if let Some((end, t0)) = self.dirs[peer].pending {
+                if (p.ack().wrapping_sub(end) as i32) >= 0 {
+                    self.sample_rtt(ts.saturating_since(t0));
+                    self.dirs[peer].pending = None;
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> FlowTelemetry {
+        FlowTelemetry {
+            rtt_us: self.rtt_sum_us.checked_div(self.rtt_samples).unwrap_or(0),
+            rtt_samples: self.rtt_samples,
+            retrans_fast: self.retrans_fast,
+            retrans_timeout: self.retrans_timeout,
+            active_us: self.active_us,
+            idle_us: self.idle_us,
+            bytes: self.bytes,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct ActiveFlow {
     /// First-seen sequence number; pairs with the `order` log so stale
@@ -76,6 +241,7 @@ struct ActiveFlow {
     fin_from_responder: bool,
     vector: Vec<u16>,
     ipts: Vec<Duration>,
+    telem: Option<Box<TelemetryState>>,
 }
 
 impl ActiveFlow {
@@ -86,6 +252,7 @@ impl ActiveFlow {
             rtt: self.rtt.unwrap_or(Duration::ZERO),
             vector: self.vector,
             ipts: self.ipts,
+            telemetry: self.telem.map(|t| t.finish()),
         }
     }
 }
@@ -96,6 +263,8 @@ impl ActiveFlow {
 #[derive(Debug)]
 pub struct FlowAccumulator {
     params: Params,
+    /// Derive per-flow TCP telemetry inline during [`Self::push`].
+    telemetry: bool,
     active: HashMap<FlowKey, ActiveFlow>,
     /// Append-only log of `(key, seq)` in first-seen order, so
     /// `finish()` and `evict_idle()` drain deterministically. Entries
@@ -117,8 +286,18 @@ pub struct FlowAccumulator {
 impl FlowAccumulator {
     /// Creates an accumulator with the given parameters.
     pub fn new(params: Params) -> FlowAccumulator {
+        FlowAccumulator::with_telemetry(params, false)
+    }
+
+    /// Creates an accumulator that additionally derives per-flow TCP
+    /// telemetry ([`FlowTelemetry`]) inline during the accumulate pass
+    /// when `telemetry` is `true` — every [`FinishedFlow`] then carries
+    /// `Some` telemetry. The derivation never changes which flows form,
+    /// their vectors, timing, or completion order.
+    pub fn with_telemetry(params: Params, telemetry: bool) -> FlowAccumulator {
         FlowAccumulator {
             params,
+            telemetry,
             active: HashMap::new(),
             order: Vec::new(),
             tombstones: 0,
@@ -149,6 +328,7 @@ impl FlowAccumulator {
     /// packet completes it.
     pub fn push(&mut self, p: &PacketRecord) {
         let key = FlowKey::canonical(p.tuple());
+        let telemetry = self.telemetry;
         let flow = self.active.entry(key).or_insert_with(|| {
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -167,6 +347,7 @@ impl FlowAccumulator {
                 fin_from_responder: false,
                 vector: Vec::new(),
                 ipts: Vec::new(),
+                telem: telemetry.then(Box::default),
             }
         });
 
@@ -177,6 +358,9 @@ impl FlowAccumulator {
         };
         if flow.rtt.is_none() && dir == FlowDirection::FromResponder {
             flow.rtt = Some(p.timestamp().saturating_since(flow.first_ts));
+        }
+        if let Some(telem) = flow.telem.as_mut() {
+            telem.observe(p, dir, p.timestamp().saturating_since(flow.last_ts));
         }
         let dep = Dependence::infer(flow.last_dir, dir);
         let f1 = self.params.classifier.classify(p.flags());
@@ -508,5 +692,163 @@ mod tests {
         acc.push(&pkt(t, 0, TcpFlags::SYN, 0));
         let flows = acc.finish();
         assert_eq!(flows[0].rtt, Duration::ZERO);
+    }
+
+    fn seq_pkt(
+        t: FiveTuple,
+        us: u64,
+        flags: TcpFlags,
+        len: u16,
+        seq: u32,
+        ack: u32,
+    ) -> PacketRecord {
+        PacketRecord::builder()
+            .tuple(t)
+            .timestamp(Timestamp::from_micros(us))
+            .flags(flags)
+            .payload_len(len)
+            .seq(seq)
+            .ack(ack)
+            .build()
+    }
+
+    #[test]
+    fn telemetry_none_unless_enabled_and_output_identical() {
+        let run = |telemetry: bool| {
+            let mut acc = FlowAccumulator::with_telemetry(Params::paper(), telemetry);
+            push_conversation(&mut acc, tuple(8100), 0);
+            push_conversation(&mut acc, tuple(8101), 500);
+            acc.finish()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(off.iter().all(|f| f.telemetry.is_none()));
+        assert!(on.iter().all(|f| f.telemetry.is_some()));
+        // The derivation never perturbs the compression-relevant fields.
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!(a.first_ts, b.first_ts);
+            assert_eq!(a.dst_ip, b.dst_ip);
+            assert_eq!(a.rtt, b.rtt);
+            assert_eq!(a.vector, b.vector);
+            assert_eq!(a.ipts, b.ipts);
+        }
+    }
+
+    #[test]
+    fn telemetry_handshake_and_ack_clock_rtt() {
+        let mut acc = FlowAccumulator::with_telemetry(Params::paper(), true);
+        let t = tuple(8200);
+        let s = t.reversed();
+        // SYN at 0, SYN-ACK at 300 (server-leg sample: 300), client ACK
+        // at 400 (client-leg sample: 100).
+        acc.push(&seq_pkt(t, 0, TcpFlags::SYN, 0, 100, 0));
+        acc.push(&seq_pkt(s, 300, TcpFlags::SYN | TcpFlags::ACK, 0, 900, 101));
+        acc.push(&seq_pkt(t, 400, TcpFlags::ACK, 0, 101, 901));
+        // Client data [101, 401) at 500, covered by the server's ACK at
+        // 750 (ack-clock sample: 250).
+        acc.push(&seq_pkt(
+            t,
+            500,
+            TcpFlags::PSH | TcpFlags::ACK,
+            300,
+            101,
+            901,
+        ));
+        acc.push(&seq_pkt(s, 750, TcpFlags::ACK, 0, 901, 401));
+        let f = acc.finish().remove(0).telemetry.unwrap();
+        assert_eq!(f.rtt_samples, 3);
+        assert_eq!(f.rtt_us, (300 + 100 + 250) / 3);
+        assert_eq!(f.retransmissions(), 0);
+        assert_eq!(f.bytes, 300);
+    }
+
+    #[test]
+    fn telemetry_classifies_fast_vs_timeout_retransmit() {
+        let params = Params::paper();
+        // Timeout-shaped: data resent with no duplicate ACKs in between.
+        let mut acc = FlowAccumulator::with_telemetry(params.clone(), true);
+        let t = tuple(8300);
+        acc.push(&seq_pkt(t, 0, TcpFlags::ACK, 500, 1000, 1));
+        acc.push(&seq_pkt(t, 900_000, TcpFlags::ACK, 500, 1000, 1));
+        let f = acc.finish().remove(0).telemetry.unwrap();
+        assert_eq!((f.retrans_fast, f.retrans_timeout), (0, 1));
+
+        // Fast: three duplicate ACKs from the receiver, then the resend.
+        let mut acc = FlowAccumulator::with_telemetry(params, true);
+        let t = tuple(8301);
+        let s = t.reversed();
+        acc.push(&seq_pkt(t, 0, TcpFlags::ACK, 500, 1000, 1));
+        acc.push(&seq_pkt(s, 100, TcpFlags::ACK, 0, 1, 1000));
+        acc.push(&seq_pkt(s, 200, TcpFlags::ACK, 0, 1, 1000));
+        acc.push(&seq_pkt(s, 300, TcpFlags::ACK, 0, 1, 1000));
+        acc.push(&seq_pkt(s, 400, TcpFlags::ACK, 0, 1, 1000));
+        acc.push(&seq_pkt(t, 500, TcpFlags::ACK, 500, 1000, 1));
+        let f = acc.finish().remove(0).telemetry.unwrap();
+        assert_eq!((f.retrans_fast, f.retrans_timeout), (1, 0));
+    }
+
+    #[test]
+    fn telemetry_udp_flow_gets_time_and_bytes_only() {
+        let mut acc = FlowAccumulator::with_telemetry(Params::paper(), true);
+        let u = FiveTuple::new(
+            Ipv4Addr::new(10, 0, 0, 9),
+            5353,
+            Ipv4Addr::new(192, 168, 1, 9),
+            53,
+            flowzip_trace::Protocol::UDP,
+        );
+        acc.push(&pkt(u, 0, TcpFlags::EMPTY, 80));
+        acc.push(&pkt(u, 400, TcpFlags::EMPTY, 120));
+        acc.push(&pkt(u, 2_000_400, TcpFlags::EMPTY, 60));
+        let f = acc.finish().remove(0).telemetry.unwrap();
+        assert_eq!(f.rtt_samples, 0);
+        assert_eq!(f.rtt_us, 0);
+        assert_eq!(f.retransmissions(), 0);
+        assert_eq!(f.bytes, 260);
+        assert_eq!(f.active_us, 400);
+        assert_eq!(f.idle_us, 2_000_000);
+    }
+
+    #[test]
+    fn telemetry_survives_mid_stream_flow_without_handshake() {
+        // A flow whose SYN was evicted (or predates the capture): no
+        // handshake samples, but the ack clock still works and nothing
+        // panics.
+        let mut acc = FlowAccumulator::with_telemetry(Params::paper(), true);
+        let t = tuple(8400);
+        let s = t.reversed();
+        acc.push(&seq_pkt(t, 0, TcpFlags::ACK, 1000, 7_000, 3_000));
+        acc.push(&seq_pkt(s, 600, TcpFlags::ACK, 0, 3_000, 8_000));
+        acc.push(&seq_pkt(
+            t,
+            700,
+            TcpFlags::FIN | TcpFlags::ACK,
+            0,
+            8_000,
+            3_000,
+        ));
+        let f = acc.finish().remove(0).telemetry.unwrap();
+        assert_eq!(f.rtt_samples, 1);
+        assert_eq!(f.rtt_us, 600);
+        assert_eq!(f.bytes, 1000);
+    }
+
+    #[test]
+    fn telemetry_sequence_wraparound_not_misread_as_retransmit() {
+        let mut acc = FlowAccumulator::with_telemetry(Params::paper(), true);
+        let t = tuple(8500);
+        // Data straddling the 2^32 wrap: the second segment continues
+        // in order and must not count as a resend.
+        acc.push(&seq_pkt(t, 0, TcpFlags::ACK, 500, u32::MAX - 100, 1));
+        acc.push(&seq_pkt(
+            t,
+            100,
+            TcpFlags::ACK,
+            500,
+            (u32::MAX - 100).wrapping_add(500),
+            1,
+        ));
+        let f = acc.finish().remove(0).telemetry.unwrap();
+        assert_eq!(f.retransmissions(), 0);
     }
 }

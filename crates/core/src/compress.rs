@@ -4,6 +4,7 @@ use crate::accumulate::{FinishedFlow, FlowAccumulator};
 use crate::cluster::TemplateStore;
 use crate::container::ShardSection;
 use crate::datasets::{CompressedTrace, DatasetSizes, FlowRecord, LongTemplate};
+use crate::telemetry::FlowTelemetry;
 use crate::Params;
 use flowzip_trace::Trace;
 use std::collections::HashMap;
@@ -126,6 +127,8 @@ struct PendingFlow {
     /// Index into the owning assembler's template list (short) or its
     /// long-template list (long).
     template_idx: u32,
+    /// TCP dynamics the accumulator derived, when telemetry was on.
+    telemetry: Option<FlowTelemetry>,
 }
 
 /// The per-flow half of dataset assembly: finished flows go in, a local
@@ -145,11 +148,20 @@ pub struct FlowAssembler {
     packets: u64,
     short_flows: u64,
     long_flows: u64,
+    telemetry: bool,
 }
 
 impl FlowAssembler {
     /// Creates an empty assembler clustering under `params`.
     pub fn new(params: Params) -> FlowAssembler {
+        FlowAssembler::with_telemetry(params, false)
+    }
+
+    /// [`FlowAssembler::new`] with the telemetry column made explicit:
+    /// when on, [`FlowAssembler::into_section`] emits one telemetry row
+    /// per flow record (every consumed flow must then carry one — feed
+    /// it from a [`FlowAccumulator`] running with the same knob).
+    pub fn with_telemetry(params: Params, telemetry: bool) -> FlowAssembler {
         FlowAssembler {
             short_max: params.short_max,
             store: TemplateStore::new(params),
@@ -158,6 +170,7 @@ impl FlowAssembler {
             packets: 0,
             short_flows: 0,
             long_flows: 0,
+            telemetry,
         }
     }
 
@@ -174,6 +187,7 @@ impl FlowAssembler {
                 rtt: flow.rtt,
                 is_long: false,
                 template_idx: outcome.index(),
+                telemetry: flow.telemetry,
             });
         } else {
             self.long_flows += 1;
@@ -193,6 +207,7 @@ impl FlowAssembler {
                 rtt: flowzip_trace::Duration::ZERO,
                 is_long: true,
                 template_idx: idx,
+                telemetry: flow.telemetry,
             });
         }
     }
@@ -213,7 +228,9 @@ impl FlowAssembler {
     pub fn into_section(self) -> ShardSection {
         let mut addr_index: HashMap<Ipv4Addr, u32> = HashMap::new();
         let mut addresses: Vec<Ipv4Addr> = Vec::new();
-        let mut records: Vec<FlowRecord> = self
+        // Telemetry rows ride along through the stable time sort so row
+        // *i* of the section's FZT1 block describes record *i*.
+        let mut rows: Vec<(FlowRecord, Option<FlowTelemetry>)> = self
             .pending
             .into_iter()
             .map(|rec| {
@@ -221,16 +238,25 @@ impl FlowAssembler {
                     addresses.push(rec.dst_ip);
                     (addresses.len() - 1) as u32
                 });
-                FlowRecord {
-                    first_ts: rec.first_ts,
-                    is_long: rec.is_long,
-                    template_idx: rec.template_idx,
-                    addr_idx,
-                    rtt: rec.rtt,
-                }
+                (
+                    FlowRecord {
+                        first_ts: rec.first_ts,
+                        is_long: rec.is_long,
+                        template_idx: rec.template_idx,
+                        addr_idx,
+                        rtt: rec.rtt,
+                    },
+                    rec.telemetry,
+                )
             })
             .collect();
-        records.sort_by_key(|r| r.first_ts);
+        rows.sort_by_key(|(r, _)| r.first_ts);
+        let telemetry = self.telemetry.then(|| {
+            rows.iter()
+                .map(|(_, t)| t.expect("telemetry on: every consumed flow carries a row"))
+                .collect::<Vec<FlowTelemetry>>()
+        });
+        let records: Vec<FlowRecord> = rows.into_iter().map(|(r, _)| r).collect();
 
         let mut payload = Vec::new();
         for t in &self.long_templates {
@@ -268,6 +294,7 @@ impl FlowAssembler {
             long_template_bytes,
             time_seq_bytes,
             meta,
+            telemetry,
         }
     }
 }

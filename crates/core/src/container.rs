@@ -55,6 +55,7 @@ use crate::datasets::{
 };
 use crate::decompress::DEFAULT_SEED;
 use crate::meta::{ArchiveMeta, SectionMeta};
+use crate::telemetry::{ArchiveTelemetry, FlowTelemetry, SectionTelemetry};
 use crate::Params;
 use flowzip_trace::{Duration, Timestamp};
 use std::collections::HashMap;
@@ -149,6 +150,10 @@ pub struct ShardSection {
     /// Bloom filter), computed on the shard's thread alongside the
     /// payload encode.
     pub meta: SectionMeta,
+    /// Per-flow telemetry rows in the payload's record order, when the
+    /// engine ran with telemetry on. The writer emits the rev 2.2
+    /// `FZT1` block only when *every* section carries rows.
+    pub telemetry: Option<Vec<FlowTelemetry>>,
 }
 
 /// Appends one long template in the shared record encoding (identical to
@@ -289,11 +294,13 @@ pub fn write_sections(
     let mut long_template_bytes = 0u64;
     let mut time_seq_bytes = 0u64;
     let mut metas = Vec::with_capacity(sections.len());
+    let mut telems = Vec::with_capacity(sections.len());
     for section in sections {
         out.extend_from_slice(&section.payload);
         long_template_bytes += section.long_template_bytes;
         time_seq_bytes += section.time_seq_bytes;
         metas.push(section.meta);
+        telems.push(section.telemetry);
     }
 
     // Rev 2.1: the trailing metadata block. The Bloom keys inside were
@@ -307,6 +314,22 @@ pub fn write_sections(
     .encode(&mut out);
     let metadata_bytes = (out.len() - mark) as u64;
 
+    // Rev 2.2: the trailing telemetry block, only when every shard ran
+    // with telemetry on — a partial block would misdescribe the archive.
+    let mark = out.len();
+    let telemetry_bytes = if !telems.is_empty() && telems.iter().all(Option::is_some) {
+        ArchiveTelemetry {
+            sections: telems
+                .into_iter()
+                .map(|t| SectionTelemetry { flows: t.unwrap() })
+                .collect(),
+        }
+        .encode(&mut out);
+        (out.len() - mark) as u64
+    } else {
+        0
+    };
+
     let sizes = DatasetSizes {
         header: preamble + index_bytes,
         short_templates,
@@ -314,6 +337,7 @@ pub fn write_sections(
         addresses: addr_bytes,
         time_seq: time_seq_bytes,
         metadata: metadata_bytes,
+        telemetry: telemetry_bytes,
     };
     debug_assert_eq!(sizes.total(), out.len() as u64);
     let stats = SectionMergeStats {
@@ -420,6 +444,8 @@ pub(crate) struct ParsedV2<'a> {
     pub(crate) payloads: Vec<&'a [u8]>,
     /// The validated v2.1 metadata block, `None` for plain v2 files.
     pub(crate) meta: Option<ArchiveMeta>,
+    /// The validated v2.2 telemetry block, `None` below rev 2.2.
+    pub(crate) telemetry: Option<ArchiveTelemetry>,
 }
 
 /// Parses a v2 archive's preamble, global datasets, section index,
@@ -503,9 +529,6 @@ pub(crate) fn parse_v2(data: &[u8]) -> Result<ParsedV2<'_>, CodecError> {
         None // plain v2: no metadata block
     } else {
         let block = ArchiveMeta::decode(data, &mut pos, n_sections)?;
-        if pos != data.len() {
-            return Err(CodecError::SectionLength(n_sections));
-        }
         // The block must agree with the index it summarizes.
         for (m, entry) in block.sections.iter().zip(&entries) {
             if m.flows != entry.flow_count as u64 {
@@ -513,6 +536,23 @@ pub(crate) fn parse_v2(data: &[u8]) -> Result<ParsedV2<'_>, CodecError> {
             }
             if m.long_template_bytes + m.time_seq_bytes != entry.payload_len as u64 {
                 return Err(CodecError::Metadata("byte split disagrees with index"));
+            }
+        }
+        Some(block)
+    };
+    // Rev 2.2: where a v2.1 reader would report trailing garbage, this
+    // one parses the optional telemetry block — which, like FZM1, must
+    // then end the file exactly and agree with the section index.
+    let telemetry = if pos == data.len() {
+        None
+    } else {
+        let block = ArchiveTelemetry::decode(data, &mut pos, n_sections)?;
+        if pos != data.len() {
+            return Err(CodecError::SectionLength(n_sections));
+        }
+        for (t, entry) in block.sections.iter().zip(&entries) {
+            if t.flows.len() != entry.flow_count {
+                return Err(CodecError::Telemetry("flow count disagrees with index"));
             }
         }
         Some(block)
@@ -525,6 +565,7 @@ pub(crate) fn parse_v2(data: &[u8]) -> Result<ParsedV2<'_>, CodecError> {
         entries,
         payloads,
         meta,
+        telemetry,
     })
 }
 
@@ -547,6 +588,7 @@ pub fn read_v2(data: &[u8]) -> Result<CompressedTrace, CodecError> {
         entries,
         payloads,
         meta: _,
+        telemetry: _,
     } = parse_v2(data)?;
     let n_short = short_templates.len();
     let n_addr = addresses.len();
@@ -717,6 +759,13 @@ pub fn v2_sizes(data: &[u8]) -> Result<DatasetSizes, CodecError> {
     } else {
         let mark = pos;
         ArchiveMeta::decode(data, &mut pos, n_sections)?;
+        (pos - mark) as u64
+    };
+    let telemetry = if pos == data.len() {
+        0
+    } else {
+        let mark = pos;
+        ArchiveTelemetry::decode(data, &mut pos, n_sections)?;
         if pos != data.len() {
             return Err(CodecError::SectionLength(n_sections));
         }
@@ -730,6 +779,7 @@ pub fn v2_sizes(data: &[u8]) -> Result<DatasetSizes, CodecError> {
         addresses: addr_bytes,
         time_seq: time_seq_bytes,
         metadata,
+        telemetry,
     })
 }
 
@@ -745,6 +795,18 @@ pub fn v2_sizes(data: &[u8]) -> Result<DatasetSizes, CodecError> {
 /// block is corrupt.
 pub fn v2_metadata(data: &[u8]) -> Result<Option<ArchiveMeta>, CodecError> {
     Ok(parse_v2(data)?.meta)
+}
+
+/// Reads the v2.2 trailing telemetry block of a v2 archive, if present:
+/// `Ok(None)` below rev 2.2, the parsed and validated block for a
+/// rev 2.2 file. Payload bytes are never decoded.
+///
+/// # Errors
+///
+/// [`CodecError`] when `data` is not a well-formed v2 archive or the
+/// block is corrupt.
+pub fn v2_telemetry(data: &[u8]) -> Result<Option<ArchiveTelemetry>, CodecError> {
+    Ok(parse_v2(data)?.telemetry)
 }
 
 impl CompressedTrace {
@@ -769,6 +831,31 @@ impl CompressedTrace {
     /// strict pre-2.1 readers — and for the compat tests that pin the
     /// two layouts decoding identically.
     pub fn encode_v2_opts(&self, with_metadata: bool) -> (Vec<u8>, DatasetSizes) {
+        self.encode_v2_inner(with_metadata, None)
+    }
+
+    /// Serializes a single-section rev 2.2 container: metadata block
+    /// plus an `FZT1` telemetry block whose rows must be in `time_seq`
+    /// record order (one per [`FlowRecord`], index-joined).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `telemetry.len() != self.time_seq.len()` — a
+    /// mismatched block would misdescribe every flow after the gap.
+    pub fn encode_v2_with_telemetry(&self, telemetry: &[FlowTelemetry]) -> (Vec<u8>, DatasetSizes) {
+        assert_eq!(
+            telemetry.len(),
+            self.time_seq.len(),
+            "one telemetry row per flow record"
+        );
+        self.encode_v2_inner(true, Some(telemetry))
+    }
+
+    fn encode_v2_inner(
+        &self,
+        with_metadata: bool,
+        telemetry: Option<&[FlowTelemetry]>,
+    ) -> (Vec<u8>, DatasetSizes) {
         let mut payload = Vec::new();
         for t in &self.long_templates {
             put_long_template(t, &mut payload);
@@ -840,6 +927,19 @@ impl CompressedTrace {
             0
         };
 
+        let telemetry_bytes = if let Some(rows) = telemetry {
+            let mark = out.len();
+            ArchiveTelemetry {
+                sections: vec![SectionTelemetry {
+                    flows: rows.to_vec(),
+                }],
+            }
+            .encode(&mut out);
+            (out.len() - mark) as u64
+        } else {
+            0
+        };
+
         let sizes = DatasetSizes {
             header: preamble + index_bytes,
             short_templates,
@@ -847,6 +947,7 @@ impl CompressedTrace {
             addresses: addr_bytes,
             time_seq: time_seq_bytes,
             metadata: metadata_bytes,
+            telemetry: telemetry_bytes,
         };
         debug_assert_eq!(sizes.total(), out.len() as u64);
         (out, sizes)
@@ -1020,12 +1121,94 @@ mod tests {
 
     #[test]
     fn v2_trailing_garbage_rejected() {
+        // After the metadata block, trailing bytes must parse as a valid
+        // FZT1 telemetry block — one garbage byte is a truncated magic.
         let mut bytes = web_archive(60, 6).to_bytes_v2();
         bytes.push(0);
+        assert!(CompressedTrace::from_bytes(&bytes).is_err());
+        // And garbage after a *valid* telemetry block is still rejected.
+        let ct = web_archive(60, 6);
+        let telem = vec![FlowTelemetry::default(); ct.time_seq.len()];
+        let mut full = ct.encode_v2_with_telemetry(&telem).0;
+        full.push(0);
         assert!(matches!(
-            CompressedTrace::from_bytes(&bytes),
+            CompressedTrace::from_bytes(&full),
             Err(CodecError::SectionLength(_))
         ));
+    }
+
+    #[test]
+    fn v22_telemetry_roundtrips_and_strips_cleanly() {
+        let ct = web_archive(80, 11);
+        let telem: Vec<FlowTelemetry> = (0..ct.time_seq.len() as u64)
+            .map(|i| FlowTelemetry {
+                rtt_us: 10_000 + i,
+                rtt_samples: 2,
+                retrans_fast: i % 2,
+                retrans_timeout: i % 3,
+                active_us: 1_000 * i,
+                idle_us: 0,
+                bytes: 512 * i,
+            })
+            .collect();
+        let (full, sizes) = ct.encode_v2_with_telemetry(&telem);
+        assert_eq!(sizes.total(), full.len() as u64);
+        assert!(sizes.telemetry > 0);
+        assert_eq!(v2_sizes(&full).unwrap(), sizes);
+
+        // The block is a pure suffix of the v2.1 file: stripping it
+        // yields the byte-identical rev-2.1 archive a pre-2.2 reader
+        // would have written, and both decode to the same trace.
+        let v21 = ct.to_bytes_v2();
+        assert_eq!(full[..v21.len()], v21[..], "FZT1 is a pure suffix");
+        assert_eq!(
+            CompressedTrace::from_bytes(&full).unwrap(),
+            CompressedTrace::from_bytes(&v21).unwrap(),
+        );
+
+        // The block reads back exactly, without decoding payloads.
+        let block = v2_telemetry(&full).unwrap().unwrap();
+        assert_eq!(block.sections.len(), 1);
+        assert_eq!(block.sections[0].flows, telem);
+        assert!(v2_telemetry(&v21).unwrap().is_none());
+    }
+
+    #[test]
+    fn v22_telemetry_flow_count_must_match_index() {
+        let ct = web_archive(40, 12);
+        let telem = vec![FlowTelemetry::default(); ct.time_seq.len()];
+        let mut forged = ct.to_bytes_v2();
+        ArchiveTelemetry {
+            sections: vec![SectionTelemetry {
+                flows: telem[..telem.len() - 1].to_vec(),
+            }],
+        }
+        .encode(&mut forged);
+        assert_eq!(
+            CompressedTrace::from_bytes(&forged),
+            Err(CodecError::Telemetry("flow count disagrees with index"))
+        );
+    }
+
+    #[test]
+    fn v22_truncation_rejected_except_at_block_boundaries() {
+        // A rev-2.2 file has exactly two legal proper prefixes: the cut
+        // at the metadata block (plain v2) and the cut at the telemetry
+        // block (rev 2.1).
+        let ct = web_archive(30, 13);
+        let telem = vec![FlowTelemetry::default(); ct.time_seq.len()];
+        let full = ct.encode_v2_with_telemetry(&telem).0;
+        let plain_len = ct.encode_v2_opts(false).0.len();
+        let v21_len = ct.to_bytes_v2().len();
+        let want = CompressedTrace::from_bytes(&full).unwrap();
+        for cut in 5..full.len() {
+            let r = CompressedTrace::from_bytes(&full[..cut]);
+            if cut == plain_len || cut == v21_len {
+                assert_eq!(r.unwrap(), want, "block boundary cut {cut}");
+            } else {
+                assert!(r.is_err(), "cut {cut}");
+            }
+        }
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub struct DatasetSizes {
     pub time_seq: u64,
     /// v2.1 trailing metadata-block bytes (zero for v1 and plain v2).
     pub metadata: u64,
+    /// v2.2 trailing telemetry-block bytes (zero below rev 2.2).
+    pub telemetry: u64,
 }
 
 impl DatasetSizes {
@@ -88,6 +90,7 @@ impl DatasetSizes {
             + self.addresses
             + self.time_seq
             + self.metadata
+            + self.telemetry
     }
 }
 
@@ -95,14 +98,18 @@ impl fmt::Display for DatasetSizes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "total {} B (short-tmpl {} B, long-tmpl {} B, addr {} B, time-seq {} B, meta {} B)",
+            "total {} B (short-tmpl {} B, long-tmpl {} B, addr {} B, time-seq {} B, meta {} B",
             self.total(),
             self.short_templates,
             self.long_templates,
             self.addresses,
             self.time_seq,
             self.metadata
-        )
+        )?;
+        if self.telemetry > 0 {
+            write!(f, ", telemetry {} B", self.telemetry)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -123,6 +130,8 @@ pub enum CodecError {
     SectionLength(usize),
     /// The v2.1 trailing metadata block is structurally invalid.
     Metadata(&'static str),
+    /// The v2.2 trailing telemetry block is structurally invalid.
+    Telemetry(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -138,6 +147,7 @@ impl fmt::Display for CodecError {
                 write!(f, "section {s} payload length disagrees with index")
             }
             CodecError::Metadata(why) => write!(f, "bad section metadata block: {why}"),
+            CodecError::Telemetry(why) => write!(f, "bad telemetry block: {why}"),
         }
     }
 }
@@ -261,6 +271,7 @@ impl CompressedTrace {
                 addresses,
                 time_seq,
                 metadata: 0,
+                telemetry: 0,
             },
         )
     }
@@ -551,6 +562,7 @@ mod tests {
                 + sizes.addresses
                 + sizes.time_seq
                 + sizes.metadata
+                + sizes.telemetry
         );
     }
 }

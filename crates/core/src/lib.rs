@@ -58,6 +58,7 @@ pub mod meta;
 pub mod model;
 pub mod query;
 pub mod synth;
+pub mod telemetry;
 
 pub use accumulate::{FinishedFlow, FlowAccumulator};
 pub use characterize::{Dependence, DistanceMetric, FlagClass, FlagClassifier, Weights};
@@ -65,12 +66,15 @@ pub use cluster::{SearchIndex, TemplateStore};
 pub use compress::{
     assemble_sections, assemble_shards, CompressionReport, Compressor, FlowAssembler,
 };
-pub use container::{read_v2, v2_metadata, ArchiveFormat, SectionMergeStats, ShardSection};
+pub use container::{
+    read_v2, v2_metadata, v2_telemetry, ArchiveFormat, SectionMergeStats, ShardSection,
+};
 pub use datasets::{CompressedTrace, DatasetSizes, FlowRecord};
 pub use decompress::{synth_client, synth_tuple, DecompressParams, Decompressor, DEFAULT_SEED};
 pub use meta::{ArchiveMeta, FlowKeyBloom, SectionMeta};
 pub use query::{query_bytes, FlowQuery, QueryOutcome, QueryStats, SectionStream};
 pub use synth::{synthesize, ArchiveModel, SynthConfig, SynthGenerator};
+pub use telemetry::{ArchiveTelemetry, FlowTelemetry, SectionTelemetry};
 
 /// All knobs of the compression pipeline, with the paper's values as
 /// [`Params::paper`] (also the `Default`).

@@ -33,6 +33,7 @@ use crate::container::{decode_section, merge_time_seq, parse_v2, ArchiveFormat, 
 use crate::datasets::{CodecError, CompressedTrace, FlowRecord, LongTemplate};
 use crate::decompress::{synth_tuple, DecompressParams, Decompressor};
 use crate::meta::{ArchiveMeta, SectionMeta};
+use crate::telemetry::{ArchiveTelemetry, FlowTelemetry};
 use flowzip_trace::{FiveTuple, Timestamp, Trace};
 use std::net::Ipv4Addr;
 
@@ -268,6 +269,9 @@ pub struct DecodedSection {
     /// The section's flow records, time-sorted, with global short
     /// template and address indices.
     pub records: Vec<FlowRecord>,
+    /// The section's v2.2 telemetry rows (index-joined to `records`),
+    /// when the archive carries an `FZT1` block.
+    pub telemetry: Option<Vec<FlowTelemetry>>,
 }
 
 /// Streaming, section-at-a-time access to a v2 archive — what the
@@ -317,6 +321,11 @@ impl<'a> SectionStream<'a> {
         self.parsed.meta.as_ref()
     }
 
+    /// The archive's v2.2 telemetry block, when present.
+    pub fn telemetry(&self) -> Option<&ArchiveTelemetry> {
+        self.parsed.telemetry.as_ref()
+    }
+
     /// Decodes the next section, or `None` after the last.
     ///
     /// # Errors
@@ -336,6 +345,11 @@ impl<'a> SectionStream<'a> {
                     long_templates,
                     long_base: entry.long_base,
                     records,
+                    telemetry: self
+                        .parsed
+                        .telemetry
+                        .as_ref()
+                        .map(|t| t.sections[i].flows.clone()),
                 },
             ),
         )

@@ -1,0 +1,298 @@
+//! The **v2.2 per-flow telemetry side-section**: TCP dynamics the
+//! accumulator already holds in hand — RTT estimates, retransmission
+//! counts split by detection mechanism, idle/active time and byte
+//! totals — persisted per flow, per section, after the v2.1 metadata
+//! block of a v2 container.
+//!
+//! Like `FZM1`, the block is *optional and additive*: a pre-2.2 reader
+//! never reaches it (the v2 section index tiles the payloads, and a
+//! v2.1 reader stops after the metadata block only when nothing
+//! follows — a 2.2 file is decoded by parsing `FZT1` where a v2.1
+//! reader would have reported trailing garbage, so older *library*
+//! revisions reject it while older *formats* remain fully readable by
+//! this one). Stripping the block yields a byte-identical v2.1 file.
+//! The wire layout (byte-level spec in `docs/FORMAT.md`):
+//!
+//! ```text
+//! "FZT1" magic
+//! varint telemetry-version (1)
+//! varint section count (must equal the preamble's)
+//! per section:
+//!   varint flow count (must equal the section index entry's)
+//!   per flow, in the section's record order:
+//!     varint rtt_us          varint rtt_samples
+//!     varint retrans_fast    varint retrans_timeout
+//!     varint active_us       varint idle_us
+//!     varint bytes
+//! ```
+//!
+//! Telemetry rows are stored in the same stable `first_ts` order as the
+//! section's flow records, so row *i* describes record *i* — a reader
+//! joins them by index, no flow key needed.
+
+use crate::datasets::{get_varint, put_varint, CodecError};
+
+/// Telemetry-block magic: "FZT1".
+pub const TELEMETRY_MAGIC: [u8; 4] = *b"FZT1";
+/// Telemetry-block version this reader writes and accepts.
+pub const TELEMETRY_VERSION: u64 = 1;
+
+/// One flow's TCP dynamics, derived during the accumulate pass.
+///
+/// All fields are plain totals; a flow the accumulator could not
+/// measure (pure UDP, no handshake observed) carries zeros in the
+/// fields it could not fill — `rtt_samples == 0` means "no RTT
+/// estimate", not "zero RTT".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowTelemetry {
+    /// Mean round-trip estimate in microseconds (0 when no sample).
+    pub rtt_us: u64,
+    /// RTT samples taken (handshake + ack-clock).
+    pub rtt_samples: u64,
+    /// Retransmissions detected via triple duplicate ACKs (fast
+    /// retransmit).
+    pub retrans_fast: u64,
+    /// Retransmissions with no duplicate-ACK evidence (timeout-shaped).
+    pub retrans_timeout: u64,
+    /// Microseconds of active time: inter-packet gaps below the idle
+    /// threshold, summed.
+    pub active_us: u64,
+    /// Microseconds of idle time: inter-packet gaps at or above the
+    /// idle threshold, summed.
+    pub idle_us: u64,
+    /// Payload bytes carried by the flow (both directions).
+    pub bytes: u64,
+}
+
+impl FlowTelemetry {
+    /// Total retransmissions, both mechanisms.
+    pub fn retransmissions(&self) -> u64 {
+        self.retrans_fast + self.retrans_timeout
+    }
+
+    /// Mean throughput over the flow's *active* time, in bytes per
+    /// second (0 when the flow was never active).
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.active_us == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / (self.active_us as f64 / 1e6)
+        }
+    }
+}
+
+/// One archive section's telemetry rows, in the section's stable
+/// record order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SectionTelemetry {
+    /// One row per flow record, index-joined to the section payload.
+    pub flows: Vec<FlowTelemetry>,
+}
+
+/// The whole trailing telemetry block: one [`SectionTelemetry`] per
+/// archive section, in section order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveTelemetry {
+    /// Per-section telemetry, in section order.
+    pub sections: Vec<SectionTelemetry>,
+}
+
+impl ArchiveTelemetry {
+    /// Total flows across every section.
+    pub fn flow_count(&self) -> u64 {
+        self.sections.iter().map(|s| s.flows.len() as u64).sum()
+    }
+
+    /// Serializes the block (appended after the v2.1 metadata block).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&TELEMETRY_MAGIC);
+        put_varint(TELEMETRY_VERSION, out);
+        put_varint(self.sections.len() as u64, out);
+        for s in &self.sections {
+            put_varint(s.flows.len() as u64, out);
+            for f in &s.flows {
+                put_varint(f.rtt_us, out);
+                put_varint(f.rtt_samples, out);
+                put_varint(f.retrans_fast, out);
+                put_varint(f.retrans_timeout, out);
+                put_varint(f.active_us, out);
+                put_varint(f.idle_us, out);
+                put_varint(f.bytes, out);
+            }
+        }
+    }
+
+    /// Parses and validates a block at `*pos`, which must describe
+    /// exactly `expect_sections` sections (the preamble's count —
+    /// disagreement means the file is corrupt, not merely old or new).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Telemetry`] on structural violations,
+    /// [`CodecError::Truncated`] when the block ends early.
+    pub fn decode(
+        data: &[u8],
+        pos: &mut usize,
+        expect_sections: usize,
+    ) -> Result<ArchiveTelemetry, CodecError> {
+        let end = pos
+            .checked_add(4)
+            .filter(|&e| e <= data.len())
+            .ok_or(CodecError::Truncated)?;
+        if data[*pos..end] != TELEMETRY_MAGIC {
+            return Err(CodecError::Telemetry("bad telemetry magic"));
+        }
+        *pos = end;
+        if get_varint(data, pos)? != TELEMETRY_VERSION {
+            return Err(CodecError::Telemetry("unsupported telemetry version"));
+        }
+        let n = get_varint(data, pos)? as usize;
+        if n != expect_sections {
+            return Err(CodecError::Telemetry("section count mismatch"));
+        }
+        let mut sections = Vec::with_capacity(n.min(data.len() - *pos));
+        for _ in 0..n {
+            let flows_n = get_varint(data, pos)? as usize;
+            // Each row is at least 7 varint bytes; an implausible count
+            // is caught before the allocation, not by OOM.
+            if flows_n > (data.len() - *pos) / 7 + 1 {
+                return Err(CodecError::Telemetry("implausible flow count"));
+            }
+            let mut flows = Vec::with_capacity(flows_n);
+            for _ in 0..flows_n {
+                let f = FlowTelemetry {
+                    rtt_us: get_varint(data, pos)?,
+                    rtt_samples: get_varint(data, pos)?,
+                    retrans_fast: get_varint(data, pos)?,
+                    retrans_timeout: get_varint(data, pos)?,
+                    active_us: get_varint(data, pos)?,
+                    idle_us: get_varint(data, pos)?,
+                    bytes: get_varint(data, pos)?,
+                };
+                if f.rtt_samples == 0 && f.rtt_us != 0 {
+                    return Err(CodecError::Telemetry("rtt estimate without samples"));
+                }
+                flows.push(f);
+            }
+            sections.push(SectionTelemetry { flows });
+        }
+        Ok(ArchiveTelemetry { sections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArchiveTelemetry {
+        let flow = |i: u64| FlowTelemetry {
+            rtt_us: 12_000 + i * 137,
+            rtt_samples: 3 + i % 4,
+            retrans_fast: i % 3,
+            retrans_timeout: i % 2,
+            active_us: 800_000 + i * 10_000,
+            idle_us: i * 1_000_000,
+            bytes: 40_000 + i * 512,
+        };
+        ArchiveTelemetry {
+            sections: vec![
+                SectionTelemetry {
+                    flows: (0..17).map(flow).collect(),
+                },
+                SectionTelemetry { flows: Vec::new() },
+                SectionTelemetry {
+                    flows: (17..23).map(flow).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn telemetry_block_roundtrips() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        t.encode(&mut bytes);
+        let mut pos = 0;
+        let back = ArchiveTelemetry::decode(&bytes, &mut pos, 3).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, t);
+        assert_eq!(back.flow_count(), 23);
+    }
+
+    #[test]
+    fn telemetry_truncation_rejected_at_every_cut() {
+        let mut bytes = Vec::new();
+        sample().encode(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(
+                ArchiveTelemetry::decode(&bytes[..cut], &mut pos, 3).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_corruption_rejected() {
+        let mut bytes = Vec::new();
+        sample().encode(&mut bytes);
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        let mut pos = 0;
+        assert_eq!(
+            ArchiveTelemetry::decode(&bad, &mut pos, 3),
+            Err(CodecError::Telemetry("bad telemetry magic"))
+        );
+        // Wrong section count.
+        let mut pos = 0;
+        assert_eq!(
+            ArchiveTelemetry::decode(&bytes, &mut pos, 2),
+            Err(CodecError::Telemetry("section count mismatch"))
+        );
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        let mut pos = 0;
+        assert_eq!(
+            ArchiveTelemetry::decode(&bad, &mut pos, 3),
+            Err(CodecError::Telemetry("unsupported telemetry version"))
+        );
+    }
+
+    #[test]
+    fn rtt_without_samples_rejected() {
+        let t = ArchiveTelemetry {
+            sections: vec![SectionTelemetry {
+                flows: vec![FlowTelemetry {
+                    rtt_us: 500,
+                    rtt_samples: 0,
+                    ..FlowTelemetry::default()
+                }],
+            }],
+        };
+        let mut bytes = Vec::new();
+        t.encode(&mut bytes);
+        let mut pos = 0;
+        assert_eq!(
+            ArchiveTelemetry::decode(&bytes, &mut pos, 1),
+            Err(CodecError::Telemetry("rtt estimate without samples"))
+        );
+    }
+
+    #[test]
+    fn helpers_compute_totals_and_rates() {
+        let f = FlowTelemetry {
+            rtt_us: 20_000,
+            rtt_samples: 4,
+            retrans_fast: 2,
+            retrans_timeout: 1,
+            active_us: 2_000_000,
+            idle_us: 5_000_000,
+            bytes: 1_000_000,
+        };
+        assert_eq!(f.retransmissions(), 3);
+        assert!((f.bytes_per_sec() - 500_000.0).abs() < 1e-9);
+        assert_eq!(FlowTelemetry::default().bytes_per_sec(), 0.0);
+    }
+}

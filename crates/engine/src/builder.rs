@@ -42,6 +42,12 @@ pub struct EngineConfig {
     /// count — each worker drains whole decoded batches and hashes them
     /// itself.
     pub routers: usize,
+    /// Derive per-flow TCP telemetry (RTT, retransmissions, idle/active
+    /// time) inline during accumulation and, with the v2 container,
+    /// append the rev 2.2 `FZT1` side-section. Off by default; turning
+    /// it on never changes the archive's non-telemetry bytes (the block
+    /// is a pure suffix).
+    pub telemetry: bool,
     /// Metrics registry every run reports into
     /// ([`Metrics::disabled`] by default — instrument handles are then
     /// enum-dispatch no-ops and the hot paths never read a clock).
@@ -147,6 +153,7 @@ impl EngineBuilder {
                 idle_timeout: None,
                 routing: Routing::Parallel,
                 routers: cpus.min(4),
+                telemetry: false,
                 metrics: Metrics::disabled(),
                 profiler: Profiler::disabled(),
             },
@@ -216,6 +223,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Per-flow TCP telemetry derivation (default: off). With the v2
+    /// container the per-section rows persist as the rev 2.2 `FZT1`
+    /// side-section (and feed the `telemetry.*` counters); the v1
+    /// single-blob format has nowhere to carry the rows, so the knob is
+    /// only meaningful together with [`ArchiveFormat::V2`].
+    pub fn telemetry(mut self, telemetry: bool) -> EngineBuilder {
+        self.config.telemetry = telemetry;
+        self
+    }
+
     /// Metrics registry runs report into (default:
     /// [`Metrics::disabled`], which makes every instrument a no-op).
     /// Pass [`Metrics::enabled`] and snapshot it after (or during — it
@@ -274,6 +291,7 @@ mod tests {
         assert_eq!(c.params, Params::paper());
         assert_eq!(c.format, ArchiveFormat::V2);
         assert_eq!(c.routing, Routing::Parallel);
+        assert!(!c.telemetry);
     }
 
     #[test]
@@ -343,8 +361,10 @@ mod tests {
             .format(ArchiveFormat::V1)
             .routing(Routing::Serial)
             .routers(5)
+            .telemetry(true)
             .build();
         assert_eq!(e.config().format, ArchiveFormat::V1);
+        assert!(e.config().telemetry);
         assert_eq!(e.config().shards, 3);
         assert_eq!(e.config().batch_size, 77);
         assert_eq!(e.config().channel_capacity, 2);

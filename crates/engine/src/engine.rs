@@ -31,7 +31,7 @@ use crate::route::{shard_of, BatchPackets, IterBatches, Rechunker, RouteFabric, 
 use flowzip_core::datasets::CompressedTrace;
 use flowzip_core::{
     assemble_sections, assemble_shards, ArchiveFormat, CompressionReport, FlowAccumulator,
-    FlowAssembler, Params, ShardSection,
+    FlowAssembler, FlowTelemetry, Params, ShardSection,
 };
 use flowzip_io::{BatchRead, InputSource, WorkerPool};
 use flowzip_trace::prelude::*;
@@ -89,10 +89,15 @@ struct ShardWorker {
 }
 
 impl ShardWorker {
-    fn new(params: Params, idle_timeout: Option<Duration>, obs: ShardObs) -> ShardWorker {
+    fn new(
+        params: Params,
+        idle_timeout: Option<Duration>,
+        telemetry: bool,
+        obs: ShardObs,
+    ) -> ShardWorker {
         ShardWorker {
-            acc: FlowAccumulator::new(params.clone()),
-            asm: FlowAssembler::new(params),
+            acc: FlowAccumulator::with_telemetry(params.clone(), telemetry),
+            asm: FlowAssembler::with_telemetry(params, telemetry),
             idle_timeout,
             scan_interval: idle_timeout.map(|t| Duration::from_micros((t.as_micros() / 4).max(1))),
             next_scan: None,
@@ -148,7 +153,20 @@ impl ShardWorker {
             self.asm.consume(&flow);
         }
         let result = if encode {
-            ShardResult::Section(self.asm.into_section())
+            let section = self.asm.into_section();
+            if let Some(rows) = section.telemetry.as_deref() {
+                self.obs.telemetry_flows.add(rows.len() as u64);
+                self.obs
+                    .telemetry_retrans
+                    .add(rows.iter().map(FlowTelemetry::retransmissions).sum());
+                self.obs
+                    .telemetry_rtt_samples
+                    .add(rows.iter().map(|t| t.rtt_samples).sum());
+                for t in rows.iter().filter(|t| t.rtt_samples > 0) {
+                    self.obs.telemetry_rtt_us.record(t.rtt_us);
+                }
+            }
+            ShardResult::Section(section)
         } else {
             ShardResult::State(self.asm)
         };
@@ -176,10 +194,11 @@ fn run_shard(
     rx: mpsc::Receiver<Vec<PacketRecord>>,
     params: Params,
     idle_timeout: Option<Duration>,
+    telemetry: bool,
     encode: bool,
     obs: ShardObs,
 ) -> ShardOutput {
-    let mut worker = ShardWorker::new(params, idle_timeout, obs);
+    let mut worker = ShardWorker::new(params, idle_timeout, telemetry, obs);
     while let Ok(batch) = rx.recv() {
         worker.obs.queue_depth.dec();
         worker.process_batch(&batch);
@@ -196,11 +215,12 @@ fn run_shard_rechunked(
     rx: mpsc::Receiver<Vec<PacketRecord>>,
     params: Params,
     idle_timeout: Option<Duration>,
+    telemetry: bool,
     encode: bool,
     batch_size: usize,
     obs: ShardObs,
 ) -> ShardOutput {
-    let mut worker = ShardWorker::new(params, idle_timeout, obs);
+    let mut worker = ShardWorker::new(params, idle_timeout, telemetry, obs);
     let mut rechunk = Rechunker::new(batch_size);
     while let Ok(arrival) = rx.recv() {
         worker.obs.queue_depth.dec();
@@ -479,6 +499,7 @@ impl StreamingEngine {
             let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
             let params = config.params.clone();
             let idle_timeout = config.idle_timeout;
+            let telemetry = config.telemetry;
             let batch_size = config.batch_size;
             senders.push(tx);
             tasks.push(Box::new(move || {
@@ -486,6 +507,7 @@ impl StreamingEngine {
                     rx,
                     params,
                     idle_timeout,
+                    telemetry,
                     encode,
                     batch_size,
                     shard_obs,
@@ -534,6 +556,7 @@ impl StreamingEngine {
             let mut worker = ShardWorker::new(
                 config.params.clone(),
                 config.idle_timeout,
+                config.telemetry,
                 obs.shards[0].clone(),
             );
             let mut buf: Vec<PacketRecord> = Vec::with_capacity(config.batch_size);
@@ -561,8 +584,9 @@ impl StreamingEngine {
             let (tx, rx) = mpsc::sync_channel::<Vec<PacketRecord>>(config.channel_capacity);
             let params = config.params.clone();
             let idle_timeout = config.idle_timeout;
+            let telemetry = config.telemetry;
             senders.push(tx);
-            tasks.push(move || run_shard(rx, params, idle_timeout, encode, shard_obs));
+            tasks.push(move || run_shard(rx, params, idle_timeout, telemetry, encode, shard_obs));
         }
 
         let queue_depth = obs.route.queue_depth.clone();
@@ -978,6 +1002,83 @@ mod tests {
         let engine = StreamingEngine::builder().shards(1).build();
         let (bytes, _) = engine.compress_trace_to_bytes(&trace).unwrap();
         assert_eq!(bytes, batch_archive.to_bytes_v2());
+    }
+
+    #[test]
+    fn telemetry_is_a_pure_suffix_and_counts_into_metrics() {
+        // Flows with a full handshake and one data exchange, so the
+        // derivation has RTT samples to harvest.
+        let mut trace = Trace::new();
+        for (i, port) in (6000u16..6024).enumerate() {
+            let base = i as u64 * 5_000;
+            let dir = |c2s: bool, us: u64, flags: TcpFlags, len: u16, seq: u32, ack: u32| {
+                let b = PacketRecord::builder()
+                    .timestamp(Timestamp::from_micros(base + us))
+                    .flags(flags)
+                    .payload_len(len)
+                    .seq(seq)
+                    .ack(ack);
+                if c2s {
+                    b.src(Ipv4Addr::new(10, 0, 0, 1), port)
+                        .dst(Ipv4Addr::new(192, 0, 2, 9), 80)
+                        .build()
+                } else {
+                    b.src(Ipv4Addr::new(192, 0, 2, 9), 80)
+                        .dst(Ipv4Addr::new(10, 0, 0, 1), port)
+                        .build()
+                }
+            };
+            trace.push(dir(true, 0, TcpFlags::SYN, 0, 100, 0));
+            trace.push(dir(false, 200, TcpFlags::SYN | TcpFlags::ACK, 0, 900, 101));
+            trace.push(dir(true, 300, TcpFlags::ACK, 0, 101, 901));
+            trace.push(dir(true, 320, TcpFlags::ACK, 50, 101, 901));
+            trace.push(dir(false, 350, TcpFlags::ACK, 0, 901, 151));
+            trace.push(dir(true, 400, TcpFlags::RST, 0, 151, 901));
+        }
+        for shards in [1usize, 3] {
+            let off = StreamingEngine::builder()
+                .shards(shards)
+                .batch_size(8)
+                .format(ArchiveFormat::V2)
+                .build();
+            let metrics = flowzip_obs::Metrics::enabled();
+            let on = StreamingEngine::builder()
+                .shards(shards)
+                .batch_size(8)
+                .format(ArchiveFormat::V2)
+                .telemetry(true)
+                .metrics(metrics.clone())
+                .build();
+            let (off_bytes, _) = off.compress_trace_to_bytes(&trace).unwrap();
+            let (on_bytes, _) = on.compress_trace_to_bytes(&trace).unwrap();
+
+            // The FZT1 block is a pure suffix: stripping it reproduces
+            // the telemetry-off archive byte for byte.
+            assert!(on_bytes.len() > off_bytes.len(), "{shards} shards");
+            assert_eq!(&on_bytes[..off_bytes.len()], &off_bytes[..]);
+            let telem = flowzip_core::v2_telemetry(&on_bytes).unwrap().unwrap();
+            assert_eq!(telem.flow_count(), 24);
+            assert!(flowzip_core::v2_telemetry(&off_bytes).unwrap().is_none());
+            assert!(telem
+                .sections
+                .iter()
+                .flat_map(|s| &s.flows)
+                .all(|t| t.rtt_samples >= 2 && t.bytes == 50));
+
+            use flowzip_obs::names;
+            assert_eq!(metrics.counter(names::TELEMETRY_FLOWS).value(), 24);
+            assert!(metrics.counter(names::TELEMETRY_RTT_SAMPLES).value() >= 48);
+            assert_eq!(metrics.counter(names::TELEMETRY_RETRANSMISSIONS).value(), 0);
+            // Every flow had a measurable RTT, so each contributed one
+            // observation to the RTT histogram.
+            let rtt_hist = metrics
+                .snapshot()
+                .histogram(names::TELEMETRY_RTT_US)
+                .cloned()
+                .expect("telemetry runs register the RTT histogram");
+            assert_eq!(rtt_hist.count, 24);
+            assert!(rtt_hist.quantile(0.95).is_some());
+        }
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub(crate) struct ShardObs {
     pub(crate) batches: Counter,
     /// Global `engine.evicted_flows`.
     pub(crate) evicted: Counter,
+    /// Global `telemetry.flows` (recorded at shard finish).
+    pub(crate) telemetry_flows: Counter,
+    /// Global `telemetry.retransmissions`.
+    pub(crate) telemetry_retrans: Counter,
+    /// Global `telemetry.rtt_samples`.
+    pub(crate) telemetry_rtt_samples: Counter,
+    /// Global `telemetry.rtt_us` histogram — one record per finished
+    /// flow with a measured RTT, feeding the p95 in the stats one-liner.
+    pub(crate) telemetry_rtt_us: Histogram,
     /// This shard's profiler timeline row.
     pub(crate) track: Track,
 }
@@ -62,6 +71,11 @@ impl EngineObs {
         let packets = metrics.counter(names::ENGINE_PACKETS);
         let batches = metrics.counter(names::ENGINE_BATCHES);
         let evicted = metrics.counter(names::ENGINE_EVICTED_FLOWS);
+        let telemetry_flows = metrics.counter(names::TELEMETRY_FLOWS);
+        let telemetry_retrans = metrics.counter(names::TELEMETRY_RETRANSMISSIONS);
+        let telemetry_rtt_samples = metrics.counter(names::TELEMETRY_RTT_SAMPLES);
+        let telemetry_rtt_us =
+            metrics.histogram(names::TELEMETRY_RTT_US, flowzip_obs::RTT_US_BOUNDS);
         let shard_obs = (0..shards)
             .map(|i| ShardObs {
                 queue_depth: metrics.gauge(&names::shard_queue_depth(i)),
@@ -74,6 +88,10 @@ impl EngineObs {
                 packets: packets.clone(),
                 batches: batches.clone(),
                 evicted: evicted.clone(),
+                telemetry_flows: telemetry_flows.clone(),
+                telemetry_retrans: telemetry_retrans.clone(),
+                telemetry_rtt_samples: telemetry_rtt_samples.clone(),
+                telemetry_rtt_us: telemetry_rtt_us.clone(),
                 track: profiler.track(&format!("shard-{i}")),
             })
             .collect::<Vec<_>>();

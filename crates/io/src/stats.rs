@@ -14,7 +14,7 @@
 //! Either way, `read_wait` answers the ROADMAP question directly: how
 //! much wall-clock the compute pipeline lost to input.
 
-use flowzip_obs::{names, Counter, Gauge, Metrics};
+use flowzip_obs::{names, Counter, Gauge, Histogram, Metrics, DURATION_NS_BOUNDS};
 use flowzip_trace::Duration;
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,6 +27,10 @@ use std::time::Instant;
 struct Mirror {
     bytes: Counter,
     wait_ns: Counter,
+    /// Per-stall distribution behind the counter total; only stalls
+    /// after attachment land here (the pre-attach total cannot be
+    /// redistributed into events).
+    wait_hist: Histogram,
     batches: Counter,
     prefetch_occupancy: Gauge,
 }
@@ -65,6 +69,7 @@ impl IoStats {
         let mirror = Mirror {
             bytes: metrics.counter(names::IO_READER_BYTES),
             wait_ns: metrics.counter(names::IO_READ_WAIT_NS),
+            wait_hist: metrics.histogram(names::IO_READ_WAIT_HIST_NS, DURATION_NS_BOUNDS),
             batches: metrics.counter(names::IO_READER_BATCHES),
             prefetch_occupancy: metrics.gauge(names::IO_PREFETCH_OCCUPANCY),
         };
@@ -84,6 +89,7 @@ impl IoStats {
         self.inner.read_wait_nanos.fetch_add(ns, Ordering::Relaxed);
         if let Some(m) = self.inner.mirror.get() {
             m.wait_ns.add(ns);
+            m.wait_hist.record(ns);
         }
     }
 
@@ -240,6 +246,10 @@ mod tests {
         assert_eq!(snap.counter(names::IO_READER_BYTES), Some(125));
         assert_eq!(snap.counter(names::IO_READER_BATCHES), Some(2));
         assert!(snap.counter(names::IO_READ_WAIT_NS).unwrap() >= 3_000);
+        // The per-stall histogram saw exactly the one post-attach wait.
+        let hist = snap.histogram(names::IO_READ_WAIT_HIST_NS).unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.quantile(0.95).unwrap() >= 3_000);
         assert_eq!(snap.gauge(names::IO_PREFETCH_OCCUPANCY), Some(1));
         assert_eq!(stats.bytes_read(), 125);
         assert_eq!(stats.batches(), 2);

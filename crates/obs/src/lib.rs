@@ -29,6 +29,8 @@
 //! Instrument names are dotted paths; the conventional ones the
 //! pipeline registers live in [`names`].
 
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -36,7 +38,7 @@ pub mod names;
 pub mod profile;
 pub mod snapshot;
 
-pub use metrics::{Counter, Gauge, Histogram, Metrics, DURATION_NS_BOUNDS};
+pub use metrics::{Counter, Gauge, Histogram, Metrics, DURATION_NS_BOUNDS, RTT_US_BOUNDS};
 pub use profile::{Profiler, Span, Track};
 pub use snapshot::{
     HistogramSnapshot, MetricValue, Sampler, SnapshotFormat, StatsSink, StatsSnapshot,

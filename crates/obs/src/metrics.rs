@@ -27,6 +27,13 @@ pub const DURATION_NS_BOUNDS: &[u64] = &[
     1_000_000_000,
 ];
 
+/// Bucket upper bounds (inclusive, in microseconds) for RTT histograms:
+/// a 1–3–10 ladder from 1 ms to 3 s. Values above the last bound land
+/// in the overflow bucket.
+pub const RTT_US_BOUNDS: &[u64] = &[
+    1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000,
+];
+
 #[derive(Debug, Default)]
 struct CounterCell {
     value: AtomicU64,
@@ -270,6 +277,21 @@ impl Histogram {
         self.cell
             .as_ref()
             .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile estimate from the fixed buckets (`0.5` = p50,
+    /// `0.95` = p95): the inclusive upper bound of the bucket holding
+    /// the target rank. `None` when disabled or empty; ranks in the
+    /// overflow bucket report the largest bound — a lower bound on the
+    /// true quantile, since values past it are unbounded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let cell = self.cell.as_ref()?;
+        let buckets: Vec<u64> = cell
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        crate::snapshot::quantile_from_buckets(&cell.bounds, &buckets, q)
     }
 }
 

@@ -26,6 +26,23 @@ pub const IO_READER_BATCHES: &str = "io.reader.batches";
 pub const IO_READ_WAIT_NS: &str = "io.read_wait_ns";
 /// Chunks sitting in the prefetch hand-off buffer right now (gauge).
 pub const IO_PREFETCH_OCCUPANCY: &str = "io.prefetch.occupancy";
+/// Per-event read-wait stalls, nanoseconds each (histogram; feeds the
+/// p95 read-wait figure in the human stats one-liner).
+pub const IO_READ_WAIT_HIST_NS: &str = "io.read_wait.hist_ns";
+
+/// Flows that finished with a derived telemetry row (counter;
+/// `--telemetry` runs only).
+pub const TELEMETRY_FLOWS: &str = "telemetry.flows";
+/// Retransmitted segments detected across finished flows, fast and
+/// timeout classes combined (counter; `--telemetry` runs only).
+pub const TELEMETRY_RETRANSMISSIONS: &str = "telemetry.retransmissions";
+/// RTT samples harvested from handshakes and the ack clock (counter;
+/// `--telemetry` runs only).
+pub const TELEMETRY_RTT_SAMPLES: &str = "telemetry.rtt_samples";
+/// Measured per-flow RTT estimates, microseconds (histogram;
+/// `--telemetry` runs only — feeds the p95 RTT figure in the human
+/// stats one-liner).
+pub const TELEMETRY_RTT_US: &str = "telemetry.rtt_us";
 
 /// Sections in the archive a query planned over (counter).
 pub const QUERY_SECTIONS_TOTAL: &str = "query.sections_total";

@@ -48,6 +48,36 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile estimate from the fixed buckets (`0.5` = p50,
+    /// `0.95` = p95): the inclusive upper bound of the bucket holding
+    /// the target rank. `None` with no observations; ranks landing in
+    /// the overflow bucket report the largest bound — a lower bound on
+    /// the true quantile.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.bounds, &self.buckets, q)
+    }
+}
+
+/// Nearest-rank bucket quantile shared by the live
+/// [`Histogram`](crate::Histogram) handle and [`HistogramSnapshot`]:
+/// walk the cumulative counts to the bucket holding rank
+/// `ceil(q · count)` and report its upper bound (overflow ranks report
+/// the last bound).
+pub(crate) fn quantile_from_buckets(bounds: &[u64], buckets: &[u64], q: f64) -> Option<u64> {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 || bounds.is_empty() {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(bounds[i.min(bounds.len() - 1)]);
+        }
+    }
+    Some(bounds[bounds.len() - 1])
 }
 
 /// One instrument's value at snapshot time.
@@ -195,16 +225,30 @@ impl StatsSnapshot {
     }
 
     /// The human one-liner variant of [`StatsSnapshot::to_json_line`].
+    /// Ends with the p95 read-wait stall and p95 measured RTT (`-` until
+    /// the respective histogram has observations).
     pub fn to_human_line(&self, prev: Option<&StatsSnapshot>) -> String {
         let depths: Vec<String> = self.queue_depths().iter().map(i64::to_string).collect();
+        // Both histograms may be absent (no reader stalls yet, telemetry
+        // off) — the field still prints so columns line up across lines.
+        let p95_ms = |name: &str, per_ms: f64| {
+            self.histogram(name)
+                .and_then(|h| h.quantile(0.95))
+                .map_or_else(
+                    || "-".to_string(),
+                    |v| format!("{:.1}ms", v as f64 / per_ms),
+                )
+        };
         format!(
-            "[stats {:6.1}s] {:>10.0} pkt/s | packets {} | active {} | evicted {} | queues [{}]",
+            "[stats {:6.1}s] {:>10.0} pkt/s | packets {} | active {} | evicted {} | queues [{}] | p95 read-wait {} rtt {}",
             self.elapsed_secs,
             self.packets_per_sec(prev),
             self.counter(names::ENGINE_PACKETS).unwrap_or(0),
             self.active_flows(),
             self.counter(names::ENGINE_EVICTED_FLOWS).unwrap_or(0),
             depths.join(","),
+            p95_ms(names::IO_READ_WAIT_HIST_NS, 1e6),
+            p95_ms(names::TELEMETRY_RTT_US, 1e3),
         )
     }
 
@@ -514,6 +558,64 @@ mod tests {
         assert!(line.contains("active 42"));
         assert!(line.contains("evicted 7"));
         assert!(line.contains("queues [2,0]"));
+        // Neither p95 histogram is populated here, so both show the
+        // placeholder.
+        assert!(line.contains("p95 read-wait - rtt -"), "{line}");
+    }
+
+    #[test]
+    fn human_line_reports_p95_read_wait_and_rtt() {
+        let m = populated_metrics();
+        let wait = m.histogram(names::IO_READ_WAIT_HIST_NS, crate::DURATION_NS_BOUNDS);
+        for _ in 0..99 {
+            wait.record(500_000); // ≤ 1 ms
+        }
+        wait.record(80_000_000); // one 80 ms stall: the p99, not the p95
+        let rtt = m.histogram(names::TELEMETRY_RTT_US, crate::metrics::RTT_US_BOUNDS);
+        for _ in 0..20 {
+            rtt.record(70_000); // ≤ 100 ms bucket
+        }
+        let line = m.snapshot().to_human_line(None);
+        assert!(line.contains("p95 read-wait 1.0ms rtt 100.0ms"), "{line}");
+    }
+
+    #[test]
+    fn bucket_quantiles_walk_the_cumulative_counts() {
+        let h = HistogramSnapshot {
+            bounds: vec![10, 100, 1_000],
+            buckets: vec![50, 40, 9, 1], // 100 observations + 1 overflow slot
+            sum: 0,
+            count: 100,
+        };
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.9), Some(100));
+        assert_eq!(h.quantile(0.95), Some(1_000));
+        // Overflow ranks clamp to the last bound.
+        assert_eq!(h.quantile(1.0), Some(1_000));
+        let empty = HistogramSnapshot {
+            bounds: vec![10],
+            buckets: vec![0, 0],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn live_handle_quantile_matches_snapshot() {
+        let m = Metrics::enabled();
+        let h = m.histogram("q", &[100, 1_000]);
+        for v in [50, 60, 70, 500, 2_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(0.95), Some(1_000));
+        assert_eq!(
+            m.snapshot().histogram("q").unwrap().quantile(0.5),
+            Some(100)
+        );
+        assert_eq!(crate::Histogram::disabled().quantile(0.5), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::error::PipelineError;
 use crate::input::{Input, InputKind};
-use crate::report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
+use crate::report::{ArchiveSummary, EngineSummary, Mode, Report, TelemetrySummary, Timing};
 use crate::sink::Sink;
 use crate::Pipeline;
 use flowzip_core::{ArchiveFormat, Compressor, Params};
@@ -55,6 +55,7 @@ pub struct CompressBuilder<'a> {
     prefetch_mb: Option<u64>,
     readers: Option<usize>,
     routing: Option<Routing>,
+    telemetry: Option<bool>,
     metrics: Option<Metrics>,
     profiler: Option<Profiler>,
     stats_interval: Option<std::time::Duration>,
@@ -79,6 +80,7 @@ impl Pipeline {
             prefetch_mb: None,
             readers: None,
             routing: None,
+            telemetry: None,
             metrics: None,
             profiler: None,
             stats_interval: None,
@@ -176,6 +178,16 @@ impl<'a> CompressBuilder<'a> {
         self
     }
 
+    /// Derives per-flow TCP telemetry (RTT, retransmissions, idle and
+    /// active time) inline during accumulation and appends the rev 2.2
+    /// `FZT1` side-section to the archive (implies streaming; requires
+    /// the v2 container). The non-telemetry bytes are unchanged: a
+    /// pre-2.2 reader decodes the same archive byte-identically.
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Records per-stage metrics into this registry: engine counters and
     /// queue gauges, reader byte/wait counters, container timings. Pass
     /// [`Metrics::enabled`] and snapshot it after the run — or read the
@@ -245,6 +257,7 @@ impl<'a> CompressBuilder<'a> {
             prefetch_mb,
             readers,
             routing,
+            telemetry,
             metrics,
             profiler,
             stats_interval,
@@ -281,6 +294,13 @@ impl<'a> CompressBuilder<'a> {
             return Err(PipelineError::config(
                 "prefetch_mb must be ≥ 1 when prefetch is enabled (got 0; \
                  omit .prefetch_mb() to disable prefetching)",
+            ));
+        }
+        if telemetry == Some(true) && matches!(format, ArchiveFormat::V1) {
+            return Err(PipelineError::config(
+                "telemetry rows ride the v2 container's FZT1 side-section — \
+                 the v1 single-blob format has nowhere to carry them \
+                 (drop --format v1 or --telemetry)",
             ));
         }
         if stats_interval == Some(std::time::Duration::ZERO) {
@@ -335,7 +355,8 @@ impl<'a> CompressBuilder<'a> {
             || idle_timeout.is_some()
             || prefetch_mb.is_some()
             || readers.is_some()
-            || routing.is_some();
+            || routing.is_some()
+            || telemetry.is_some();
         let multi_file = matches!(&kind, InputKind::Files(p) if p.len() > 1);
         let use_streaming = match streaming {
             Some(s) => s,
@@ -353,8 +374,8 @@ impl<'a> CompressBuilder<'a> {
         }
         if !use_streaming && engine_knobs {
             return Err(PipelineError::config(
-                "threads/batch_size/channel_capacity/idle_timeout/readers/prefetch_mb/routing \
-                 tune the streaming engine — drop .streaming(false) to use them",
+                "threads/batch_size/channel_capacity/idle_timeout/readers/prefetch_mb/routing/\
+                 telemetry tune the streaming engine — drop .streaming(false) to use them",
             ));
         }
 
@@ -394,6 +415,7 @@ impl<'a> CompressBuilder<'a> {
                 prefetch_mb,
                 readers,
                 routing,
+                telemetry.unwrap_or(false),
                 &metrics,
                 &profiler,
             )?
@@ -428,6 +450,7 @@ fn run_streaming(
     prefetch_mb: Option<u64>,
     readers: Option<usize>,
     routing: Option<Routing>,
+    telemetry: bool,
     metrics: &Metrics,
     profiler: &Profiler,
 ) -> Result<(Vec<u8>, Report), PipelineError> {
@@ -435,6 +458,7 @@ fn run_streaming(
         .params(params)
         .format(format)
         .idle_timeout(idle_timeout)
+        .telemetry(telemetry)
         .metrics(metrics.clone())
         .profiler(profiler.clone());
     if let Some(t) = threads {
@@ -520,7 +544,18 @@ fn run_streaming(
         }
     };
 
-    let report = streaming_report(engine_report, format, stats.as_ref());
+    let mut report = streaming_report(engine_report, format, stats.as_ref());
+    if telemetry {
+        // Summarize the FZT1 rows straight off the archive just written
+        // — the same decode path `info` uses, so the two cannot drift.
+        let summary = flowzip_core::container::v2_telemetry(&bytes)
+            .map_err(|e| PipelineError::decode(context.to_string(), e))?
+            .as_ref()
+            .map(TelemetrySummary::from_telemetry);
+        if let Some(a) = report.archive.as_mut() {
+            a.telemetry = summary;
+        }
+    }
     Ok((bytes, report))
 }
 
@@ -546,6 +581,7 @@ fn streaming_report(er: EngineReport, format: ArchiveFormat, stats: Option<&IoSt
         addresses: er.report.addresses,
         sizes: Some(er.report.sizes),
         has_metadata: matches!(format, ArchiveFormat::V2),
+        telemetry: None,
     });
     // Raw-iterator runs carry no stats handle; their read-wait stays at
     // the engine's zero.
@@ -661,6 +697,7 @@ fn run_batch(
         addresses: comp.addresses,
         sizes: Some(comp.sizes),
         has_metadata: matches!(format, ArchiveFormat::V2),
+        telemetry: None,
     });
     let mut timing = Timing::new(
         started.elapsed().as_secs_f64(),

@@ -88,7 +88,7 @@ pub use query::{parse_flow_spec, QueryBuilder};
 // `flowzip-obs` dependency.
 pub use flowzip_obs::{Metrics, Profiler, Sampler, SnapshotFormat, StatsSink, StatsSnapshot};
 pub use input::Input;
-pub use report::{ArchiveSummary, EngineSummary, Mode, Report, Timing};
+pub use report::{ArchiveSummary, EngineSummary, Mode, Report, TelemetrySummary, Timing};
 pub use sink::Sink;
 
 /// The session entry point: [`Pipeline::compress`] and

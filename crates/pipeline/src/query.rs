@@ -258,6 +258,14 @@ impl crate::report::ArchiveSummary {
             ArchiveFormat::V1 => (0, 0, 0, 1),
             ArchiveFormat::V2 => flowzip_core::container::v2_counts(bytes)?,
         };
+        // FZT1 rows decode from the trailing side-section alone — still
+        // no payload decode, so pruning's savings survive the summary.
+        let telemetry = match format {
+            ArchiveFormat::V1 => None,
+            ArchiveFormat::V2 => flowzip_core::container::v2_telemetry(bytes)?
+                .as_ref()
+                .map(crate::report::TelemetrySummary::from_telemetry),
+        };
         Ok(crate::report::ArchiveSummary {
             format,
             sections,
@@ -267,6 +275,7 @@ impl crate::report::ArchiveSummary {
             addresses,
             sizes: None,
             has_metadata,
+            telemetry,
         })
     }
 }

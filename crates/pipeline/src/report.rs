@@ -12,7 +12,9 @@
 //! same schema.
 
 use flowzip_core::datasets::CodecError;
-use flowzip_core::{container, ArchiveFormat, CompressedTrace, CompressionReport, DatasetSizes};
+use flowzip_core::{
+    container, ArchiveFormat, ArchiveTelemetry, CompressedTrace, CompressionReport, DatasetSizes,
+};
 use flowzip_obs::json::JsonObject;
 use flowzip_obs::StatsSnapshot;
 use std::fmt;
@@ -69,6 +71,68 @@ pub struct ArchiveSummary {
     /// Whether the archive carries the rev 2.1 per-section metadata
     /// block (always `false` for v1).
     pub has_metadata: bool,
+    /// Aggregated rev 2.2 per-flow telemetry, when the archive carries
+    /// an `FZT1` side-section (always `None` for v1 and plain v2).
+    pub telemetry: Option<TelemetrySummary>,
+}
+
+/// Aggregate view of the rev 2.2 `FZT1` per-flow telemetry rows — the
+/// RTT and retransmission headline figures `info` and `query` print
+/// without handing the caller every row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Telemetry rows (one per stored flow).
+    pub flows: u64,
+    /// Flows that produced at least one RTT sample.
+    pub rtt_flows: u64,
+    /// RTT samples across all flows (handshake + ack-clock).
+    pub rtt_samples: u64,
+    /// Mean of the per-flow smoothed RTT estimates, microseconds
+    /// (over [`TelemetrySummary::rtt_flows`]; 0 when no flow sampled).
+    pub mean_rtt_us: u64,
+    /// 95th percentile of the per-flow RTT estimates, microseconds.
+    pub p95_rtt_us: u64,
+    /// Retransmissions detected via triple duplicate ACKs.
+    pub retrans_fast: u64,
+    /// Retransmissions attributed to timeout (no dup-ACK evidence).
+    pub retrans_timeout: u64,
+}
+
+impl TelemetrySummary {
+    /// Folds decoded `FZT1` rows into the headline aggregate.
+    pub fn from_telemetry(t: &ArchiveTelemetry) -> TelemetrySummary {
+        let mut s = TelemetrySummary {
+            flows: t.flow_count(),
+            rtt_flows: 0,
+            rtt_samples: 0,
+            mean_rtt_us: 0,
+            p95_rtt_us: 0,
+            retrans_fast: 0,
+            retrans_timeout: 0,
+        };
+        let mut rtts: Vec<u64> = Vec::new();
+        for f in t.sections.iter().flat_map(|sec| &sec.flows) {
+            s.rtt_samples += f.rtt_samples;
+            s.retrans_fast += f.retrans_fast;
+            s.retrans_timeout += f.retrans_timeout;
+            if f.rtt_samples > 0 {
+                rtts.push(f.rtt_us);
+            }
+        }
+        if !rtts.is_empty() {
+            rtts.sort_unstable();
+            s.rtt_flows = rtts.len() as u64;
+            s.mean_rtt_us = rtts.iter().sum::<u64>() / s.rtt_flows;
+            // Nearest-rank p95: the smallest value ≥ 95% of the sample.
+            s.p95_rtt_us = rtts[(rtts.len() * 95).div_ceil(100).max(1) - 1];
+        }
+        s
+    }
+
+    /// Fast + timeout retransmissions combined.
+    pub fn retransmissions(&self) -> u64 {
+        self.retrans_fast + self.retrans_timeout
+    }
 }
 
 impl ArchiveSummary {
@@ -115,6 +179,12 @@ impl ArchiveSummary {
                 None => container::v2_metadata(bytes)?.is_some(),
             },
         };
+        let telemetry = match format {
+            ArchiveFormat::V1 => None,
+            ArchiveFormat::V2 => container::v2_telemetry(bytes)?
+                .as_ref()
+                .map(TelemetrySummary::from_telemetry),
+        };
         let summary = ArchiveSummary {
             format,
             sections,
@@ -124,6 +194,7 @@ impl ArchiveSummary {
             addresses: archive.addresses.len() as u64,
             sizes,
             has_metadata,
+            telemetry,
         };
         Ok((archive, summary))
     }
@@ -299,6 +370,31 @@ impl Report {
             if self.compression.is_none() {
                 j.num("addresses", a.addresses);
             }
+            if let Some(t) = &a.telemetry {
+                j.raw(
+                    "telemetry",
+                    &format!(
+                        concat!(
+                            "{{\n",
+                            "    \"flows\": {},\n",
+                            "    \"rtt_flows\": {},\n",
+                            "    \"rtt_samples\": {},\n",
+                            "    \"mean_rtt_us\": {},\n",
+                            "    \"p95_rtt_us\": {},\n",
+                            "    \"retrans_fast\": {},\n",
+                            "    \"retrans_timeout\": {}\n",
+                            "  }}"
+                        ),
+                        t.flows,
+                        t.rtt_flows,
+                        t.rtt_samples,
+                        t.mean_rtt_us,
+                        t.p95_rtt_us,
+                        t.retrans_fast,
+                        t.retrans_timeout,
+                    ),
+                );
+            }
         }
         if let Some(q) = &self.query {
             j.num("sections_total", q.sections_total);
@@ -333,7 +429,8 @@ impl Report {
                         "    \"long_templates\": {},\n",
                         "    \"addresses\": {},\n",
                         "    \"time_seq\": {},\n",
-                        "    \"metadata\": {}\n",
+                        "    \"metadata\": {},\n",
+                        "    \"telemetry\": {}\n",
                         "  }}"
                     ),
                     sizes.header,
@@ -342,6 +439,7 @@ impl Report {
                     sizes.addresses,
                     sizes.time_seq,
                     sizes.metadata,
+                    sizes.telemetry,
                 ),
             );
         }

@@ -32,6 +32,13 @@ pub struct P2pTrafficConfig {
     /// Probability a given data burst flows from the session responder
     /// (uploads both ways).
     pub reverse_burst_prob: f64,
+    /// Probability a data burst loses its final segment and recovers by
+    /// timeout: the sender goes silent for an RTO, then resends the same
+    /// sequence number (no duplicate ACKs — P2P segments all carry
+    /// payload, so there is no pure-ACK stream to count). `0.0` (the
+    /// default) draws nothing from the RNG, keeping loss-free traces
+    /// byte-identical under the same seed.
+    pub loss_prob: f64,
 }
 
 impl Default for P2pTrafficConfig {
@@ -44,6 +51,7 @@ impl Default for P2pTrafficConfig {
             transfer_alpha: 0.9,
             transfer_max: 900,
             reverse_burst_prob: 0.4,
+            loss_prob: 0.0,
         }
     }
 }
@@ -152,6 +160,7 @@ impl P2pTrafficGenerator {
             let burst = self.rng.gen_range(4..=32).min(segments - sent);
             let dir_rev = burst_from_rev;
             now += rtt; // request/unchoke round trip before a burst
+            let mut last_seq = 0u32;
             for _ in 0..burst {
                 now += jitter;
                 let (t, seq) = if dir_rev {
@@ -159,6 +168,7 @@ impl P2pTrafficGenerator {
                 } else {
                     (fwd, &mut seq_a)
                 };
+                last_seq = *seq;
                 push(
                     now,
                     t,
@@ -166,6 +176,16 @@ impl P2pTrafficGenerator {
                     1_380, // typical P2P payload under MTU
                     seq,
                 );
+            }
+            // Loss episode: the burst's final segment dies in flight and
+            // its retransmission timer fires — an RTO of silence, then
+            // the same sequence number again (`loss_prob == 0.0` never
+            // touches the RNG).
+            if self.config.loss_prob > 0.0 && self.rng.gen_bool(self.config.loss_prob) {
+                now += Duration::from_micros(rtt.as_micros().saturating_mul(4));
+                let t = if dir_rev { rev } else { fwd };
+                let mut retrans_seq = last_seq;
+                push(now, t, TcpFlags::ACK, 1_380, &mut retrans_seq);
             }
             sent += burst;
             burst_from_rev = self.rng.gen_bool(self.config.reverse_burst_prob);
@@ -267,6 +287,49 @@ mod tests {
             assert!(p.tuple().src_port >= 6881);
             assert!(p.tuple().dst_port >= 6881);
         }
+    }
+
+    #[test]
+    fn loss_episodes_inject_timeout_retransmits() {
+        let t = P2pTrafficGenerator::new(
+            P2pTrafficConfig {
+                flows: 60,
+                loss_prob: 0.3,
+                ..P2pTrafficConfig::default()
+            },
+            6,
+        )
+        .generate();
+        assert!(t.is_time_ordered());
+        t.validate().unwrap();
+        let table = FlowTable::from_trace(&t);
+        let mut retrans = 0;
+        for flow in table.flows() {
+            let mut seen = std::collections::HashSet::new();
+            for (p, d) in flow.packets() {
+                let fwd = *d == flowzip_trace::FlowDirection::FromInitiator;
+                if p.has_payload() && !seen.insert((fwd, p.seq())) {
+                    retrans += 1;
+                }
+            }
+        }
+        // Long sessions run many bursts, so ~30% per burst lands well
+        // above one episode per session on average.
+        assert!(
+            retrans > 60,
+            "expected plenty of timeout resends, got {retrans}"
+        );
+        // Determinism under the knob.
+        let again = P2pTrafficGenerator::new(
+            P2pTrafficConfig {
+                flows: 60,
+                loss_prob: 0.3,
+                ..P2pTrafficConfig::default()
+            },
+            6,
+        )
+        .generate();
+        assert_eq!(t, again);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct WebTrafficConfig {
     pub jitter_mean_us: f64,
     /// Fraction of flows aborted by RST instead of FIN teardown.
     pub rst_prob: f64,
+    /// Probability a flow suffers one loss episode in the server's
+    /// response stream: the client emits a triple duplicate ACK and the
+    /// server fast-retransmits the lost segment. `0.0` (the default)
+    /// draws nothing from the RNG, so loss-free traces stay
+    /// byte-identical to pre-loss-model generators under the same seed.
+    pub loss_prob: f64,
 }
 
 impl Default for WebTrafficConfig {
@@ -62,6 +68,7 @@ impl Default for WebTrafficConfig {
             mss: 1460,
             jitter_mean_us: 300.0,
             rst_prob: 0.02,
+            loss_prob: 0.0,
         }
     }
 }
@@ -216,6 +223,16 @@ impl WebTrafficGenerator {
         let response_total: u64 = self
             .rng
             .gen_range(cfg.mss as u64 / 2..cfg.mss as u64 * data_segments as u64 + 1);
+        // One loss episode per hit flow, decided up front so the draw
+        // count is independent of which segment is hit. `loss_prob ==
+        // 0.0` short-circuits before the RNG: loss-free traces make
+        // exactly the draws they always did.
+        let lost_segment = if cfg.loss_prob > 0.0 && self.rng.gen_bool(cfg.loss_prob) {
+            Some(self.rng.gen_range(0..data_segments))
+        } else {
+            None
+        };
+        let mut lost: Option<(u32, u16)> = None;
         for i in 0..data_segments {
             now += if i == 0 { rtt } else { jitter(&mut self.rng) };
             let remaining = response_total.saturating_sub(i as u64 * cfg.mss as u64);
@@ -226,12 +243,51 @@ impl WebTrafficGenerator {
             } else {
                 TcpFlags::ACK
             };
+            if lost_segment == Some(i) {
+                lost = Some((server_seq, len));
+            }
             push(
                 now,
                 s2c,
                 flags,
                 len,
                 &mut server_seq,
+                client_seq,
+                &mut server_id,
+                server_ttl,
+                out,
+            );
+        }
+
+        // The loss episode: the capture point sits upstream of the drop,
+        // so the original flight already appears above. The client spots
+        // the hole and streams duplicate ACKs for it (the first moves
+        // its ack cursor, the next three are the counted triple), then
+        // the server fast-retransmits the segment without advancing its
+        // send sequence.
+        if let Some((seq, len)) = lost {
+            for _ in 0..4 {
+                now += jitter(&mut self.rng);
+                push(
+                    now,
+                    c2s,
+                    TcpFlags::ACK,
+                    0,
+                    &mut client_seq,
+                    seq,
+                    &mut client_id,
+                    client_ttl,
+                    out,
+                );
+            }
+            now += jitter(&mut self.rng);
+            let mut retrans_seq = seq;
+            push(
+                now,
+                s2c,
+                TcpFlags::PSH | TcpFlags::ACK,
+                len,
+                &mut retrans_seq,
                 client_seq,
                 &mut server_id,
                 server_ttl,
@@ -407,6 +463,65 @@ mod tests {
             .filter(|f| f.packets().iter().any(|(p, _)| p.flags().is_rst()))
             .count();
         assert!(rsts > 50, "expected ~20% RST flows, got {rsts}/500");
+    }
+
+    #[test]
+    fn loss_episodes_inject_detectable_fast_retransmits() {
+        let t = WebTrafficGenerator::new(
+            WebTrafficConfig {
+                flows: 300,
+                loss_prob: 0.5,
+                ..WebTrafficConfig::default()
+            },
+            11,
+        )
+        .generate();
+        assert!(t.is_time_ordered());
+        t.validate().unwrap();
+        let table = FlowTable::from_trace(&t);
+        let mut hit = 0;
+        for flow in table.flows() {
+            // The retransmission signature: a data packet repeating an
+            // earlier (direction, seq) pair, preceded by a triple
+            // duplicate ACK from the other side.
+            let mut seen = std::collections::HashSet::new();
+            let mut dup_acks = 0;
+            let mut retrans = false;
+            for (p, d) in flow.packets() {
+                let fwd = *d == flowzip_trace::FlowDirection::FromInitiator;
+                if p.has_payload() && !seen.insert((fwd, p.seq())) {
+                    retrans = true;
+                }
+                if !p.has_payload() && p.flags() == TcpFlags::ACK {
+                    dup_acks += 1;
+                }
+            }
+            if retrans {
+                hit += 1;
+                assert!(dup_acks >= 4, "retransmit must follow a dup-ACK train");
+            }
+        }
+        assert!(
+            (100..=220).contains(&hit),
+            "≈50% of 300 flows hit, got {hit}"
+        );
+    }
+
+    #[test]
+    fn loss_model_is_deterministic_per_seed() {
+        let cfg = || WebTrafficConfig {
+            flows: 80,
+            loss_prob: 0.4,
+            ..WebTrafficConfig::default()
+        };
+        assert_eq!(
+            WebTrafficGenerator::new(cfg(), 13).generate(),
+            WebTrafficGenerator::new(cfg(), 13).generate()
+        );
+        assert_ne!(
+            WebTrafficGenerator::new(cfg(), 13).generate(),
+            WebTrafficGenerator::new(cfg(), 14).generate()
+        );
     }
 
     #[test]

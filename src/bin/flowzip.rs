@@ -76,6 +76,9 @@ const USAGE: &str = "usage:
                      [--readers N] [--prefetch-mb N] [--routing serial|parallel] [--json]
                      (any engine/reader flag implies --streaming;
                       multiple inputs always stream)
+                     [--telemetry] (derive per-flow TCP dynamics — RTT, retransmissions,
+                      idle/active time — into a rev 2.2 FZT1 side-section; v2 only,
+                      implies --streaming; older readers ignore it byte-identically)
                      [--metrics] (embed the per-stage metrics dump in the report)
                      [--stats-interval SECS] [--stats-format json|human]
                      (live stats snapshots to stderr while compressing)
@@ -92,7 +95,14 @@ global: [-q|--quiet] [-v|--verbose] and the FLOWZIP_LOG env var
         (quiet|normal|verbose) set how much lands on stderr";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["streaming", "json", "metrics", "quiet", "verbose"];
+const BOOL_FLAGS: &[&str] = &[
+    "streaming",
+    "json",
+    "metrics",
+    "telemetry",
+    "quiet",
+    "verbose",
+];
 
 struct Opts {
     positional: Vec<String>,
@@ -287,6 +297,9 @@ fn compress(opts: &Opts) -> Result<(), String> {
     if let Some(name) = opts.get("routing") {
         session = session.routing(Routing::parse(name)?);
     }
+    if opts.get_bool("telemetry") {
+        session = session.telemetry(true);
+    }
     // 0 historically means "off" for these two — but the flag's
     // *presence* still selects the streaming route, as it always did: a
     // 50 GB capture compressed with `--idle-timeout 0` must not silently
@@ -379,6 +392,10 @@ fn info(opts: &Opts) -> Result<(), String> {
         (ArchiveFormat::V2, false) => {
             println!("  format           : v2 ({} sections)", archive.sections);
         }
+        (ArchiveFormat::V2, true) if archive.telemetry.is_some() => println!(
+            "  format           : v2.2 ({} sections, per-section metadata + telemetry)",
+            archive.sections
+        ),
         (ArchiveFormat::V2, true) => println!(
             "  format           : v2.1 ({} sections, per-section metadata)",
             archive.sections
@@ -391,6 +408,36 @@ fn info(opts: &Opts) -> Result<(), String> {
     println!("  unique addresses : {}", archive.addresses);
     println!("  file bytes       : {}", archive.file_bytes);
     println!("  bytes            : {}", archive.sizes.unwrap_or_default());
+    if let Some(t) = &archive.telemetry {
+        println!(
+            "  telemetry        : {} flows, {} with RTT ({} samples)",
+            t.flows, t.rtt_flows, t.rtt_samples
+        );
+        if t.rtt_flows > 0 {
+            println!(
+                "  rtt              : mean {:.1} ms, p95 {:.1} ms",
+                t.mean_rtt_us as f64 / 1_000.0,
+                t.p95_rtt_us as f64 / 1_000.0
+            );
+        }
+        println!(
+            "  retransmissions  : {} ({} fast, {} timeout)",
+            t.retransmissions(),
+            t.retrans_fast,
+            t.retrans_timeout
+        );
+    }
+    // The trace-complexity score folds straight off the flow records, so
+    // any v2 archive (telemetry or not) gets one.
+    if archive.format == ArchiveFormat::V2 {
+        if let Ok(passes) = flowzip::analysis::analyze_archive(&bytes) {
+            let c = passes.complexity;
+            println!(
+                "  complexity       : {:.1}/100 (size entropy {:.2}, burstiness {:.2})",
+                c.score, c.flow_size_entropy, c.arrival_burstiness
+            );
+        }
+    }
     Ok(())
 }
 
