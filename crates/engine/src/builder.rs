@@ -6,6 +6,58 @@ use crate::route::Routing;
 use flowzip_core::{ArchiveFormat, Params};
 use flowzip_obs::{Metrics, Profiler};
 use flowzip_trace::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation for an in-flight run: when the shared flag
+/// flips, the engine stops pulling input at the next pull point and runs
+/// its normal end-of-input drain — every flow routed so far is finalized
+/// and the run returns a **valid partial archive**, exactly as if the
+/// stream had ended there. This is the mechanism behind graceful SIGINT
+/// (one-shot CLI runs finalize instead of truncating) and `flowzip
+/// serve`'s clean-shutdown final flush.
+///
+/// The default ([`CancelFlag::none`]) never cancels and costs the pull
+/// path one predictable branch. Two flags compare equal when both are
+/// empty or both share the same underlying atomic.
+#[derive(Clone, Default)]
+pub struct CancelFlag(Option<Arc<AtomicBool>>);
+
+impl CancelFlag {
+    /// The inert flag: the run only ends when its input does.
+    pub fn none() -> CancelFlag {
+        CancelFlag(None)
+    }
+
+    /// Wraps a shared stop flag (e.g. one a signal handler sets).
+    pub fn new(flag: Arc<AtomicBool>) -> CancelFlag {
+        CancelFlag(Some(flag))
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+impl PartialEq for CancelFlag {
+    fn eq(&self, other: &CancelFlag) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("CancelFlag::none"),
+            Some(flag) => write!(f, "CancelFlag({})", flag.load(Ordering::Relaxed)),
+        }
+    }
+}
 
 /// Resolved engine configuration (what [`EngineBuilder::build`] produces).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +107,10 @@ pub struct EngineConfig {
     /// Span-timing recorder for chrome://tracing dumps
     /// ([`Profiler::disabled`] by default).
     pub profiler: Profiler,
+    /// Cooperative cancellation: when the flag flips, the run stops
+    /// pulling input and drains what it has into a valid partial archive
+    /// ([`CancelFlag::none`] by default — runs end with their input).
+    pub cancel: CancelFlag,
 }
 
 impl EngineConfig {
@@ -156,6 +212,7 @@ impl EngineBuilder {
                 telemetry: false,
                 metrics: Metrics::disabled(),
                 profiler: Profiler::disabled(),
+                cancel: CancelFlag::none(),
             },
         }
     }
@@ -247,6 +304,17 @@ impl EngineBuilder {
     /// own timeline track.
     pub fn profiler(mut self, profiler: Profiler) -> EngineBuilder {
         self.config.profiler = profiler;
+        self
+    }
+
+    /// Cooperative cancellation flag (default: none). When `flag` flips
+    /// to `true` mid-run, the engine stops pulling input at the next
+    /// pull point and drains everything routed so far through the normal
+    /// end-of-stream path — the run returns a **valid partial archive**
+    /// rather than erroring out. Signal handlers and `flowzip serve`'s
+    /// shutdown path share one flag across ingest and engine.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> EngineBuilder {
+        self.config.cancel = CancelFlag::new(flag);
         self
     }
 

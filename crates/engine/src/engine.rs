@@ -24,7 +24,7 @@
 //! with [`TemplateStore::merge`](flowzip_core::TemplateStore::merge) and
 //! re-sorts the flow records into one valid time-seq dataset.
 
-use crate::builder::{EngineBuilder, EngineConfig};
+use crate::builder::{CancelFlag, EngineBuilder, EngineConfig};
 use crate::obs::{EngineObs, ShardObs};
 use crate::report::EngineReport;
 use crate::route::{shard_of, BatchPackets, IterBatches, Rechunker, RouteFabric, Routing};
@@ -65,6 +65,40 @@ struct ShardOutput {
     /// encoding — measured only when metrics are enabled (0 otherwise),
     /// and the basis of the report's `stage_busy_secs`.
     busy_ns: u64,
+}
+
+/// Input adapter for cooperative cancellation: once the run's
+/// [`CancelFlag`] flips, the wrapped input reports clean end-of-stream
+/// at the next pull point, so the normal drain finalizes everything
+/// routed so far into a valid partial archive. Packets already pulled
+/// are never lost; packets never pulled are simply not in the archive —
+/// exactly the cut semantics `flowzip serve`'s rotation relies on.
+struct Cancellable<T> {
+    inner: T,
+    cancel: CancelFlag,
+}
+
+impl<I> Iterator for Cancellable<I>
+where
+    I: Iterator<Item = Result<PacketRecord, TraceError>>,
+{
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cancel.is_cancelled() {
+            return None;
+        }
+        self.inner.next()
+    }
+}
+
+impl<B: BatchRead> BatchRead for Cancellable<B> {
+    fn next_batch(&mut self) -> Option<Result<Vec<PacketRecord>, TraceError>> {
+        if self.cancel.is_cancelled() {
+            return None;
+        }
+        self.inner.next_batch()
+    }
 }
 
 /// One shard's state machine: accumulate → finalize online → cluster,
@@ -441,6 +475,10 @@ impl StreamingEngine {
     where
         I: Iterator<Item = Result<PacketRecord, TraceError>> + Send,
     {
+        let input = Cancellable {
+            inner: input,
+            cancel: self.config.cancel.clone(),
+        };
         match self.config.routing {
             Routing::Serial => self.run_pipeline(input, encode),
             Routing::Parallel => {
@@ -456,6 +494,10 @@ impl StreamingEngine {
     where
         B: BatchRead + Send,
     {
+        let source = Cancellable {
+            inner: source,
+            cancel: self.config.cancel.clone(),
+        };
         match self.config.routing {
             Routing::Serial => self.run_pipeline(BatchPackets::new(source), encode),
             Routing::Parallel => self.run_pipeline_parallel(source, encode),
@@ -904,6 +946,42 @@ mod tests {
             err,
             TraceError::TruncatedRecord { got: 3, need: 44 }
         ));
+    }
+
+    #[test]
+    fn cancel_flag_drains_to_a_valid_partial_archive() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // 200 single-packet flows; the flag flips after packet 50, so the
+        // run must end early yet still produce a decodable archive whose
+        // packet count covers at least everything pulled before the flip.
+        for routing in [Routing::Serial, Routing::Parallel] {
+            let flag = Arc::new(AtomicBool::new(false));
+            let engine = StreamingEngine::builder()
+                .shards(2)
+                .batch_size(8)
+                .routing(routing)
+                .cancel_flag(flag.clone())
+                .build();
+            let tripwire = flag.clone();
+            let mut yielded = 0u64;
+            let input = (0..200u64).map(move |i| {
+                yielded += 1;
+                if yielded == 50 {
+                    tripwire.store(true, Ordering::SeqCst);
+                }
+                Ok(pkt(4000 + (i % 500) as u16, i * 1_000, TcpFlags::SYN))
+            });
+            let (bytes, report) = engine.compress_stream_to_bytes(input).unwrap();
+            assert!(
+                report.report.packets >= 50 && report.report.packets < 200,
+                "routing={routing:?}: expected a partial run, got {} packets",
+                report.report.packets
+            );
+            let decoded = CompressedTrace::from_bytes(&bytes).unwrap();
+            assert!(decoded.validate().is_ok());
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ mod obs;
 pub mod report;
 pub mod route;
 
-pub use builder::{ConfigError, EngineBuilder, EngineConfig};
+pub use builder::{CancelFlag, ConfigError, EngineBuilder, EngineConfig};
 pub use engine::StreamingEngine;
 pub use report::EngineReport;
 pub use route::Routing;

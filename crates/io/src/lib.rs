@@ -59,5 +59,5 @@ pub use batch::BatchRead;
 pub use multifile::{MultiFileConfig, MultiFileIter, MultiFileSource};
 pub use pool::{DetachedTasks, WorkerPool};
 pub use prefetch::{PrefetchConfig, PrefetchReader};
-pub use source::{FileSource, InputSource};
+pub use source::{FileSource, InputSource, ReaderSource};
 pub use stats::{CountingRead, IoStats, TimedRead};

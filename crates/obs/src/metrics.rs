@@ -410,6 +410,22 @@ impl Metrics {
             return StatsSnapshot::empty();
         };
         let seq = reg.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        Metrics::dump(reg, seq)
+    }
+
+    /// [`Metrics::snapshot`] without advancing the snapshot sequence —
+    /// for internal baselines (the [`Sampler`](crate::Sampler) takes one
+    /// at start so its first emitted rate is window-relative) that must
+    /// not perturb the `seq` numbering consumers see.
+    pub fn peek(&self) -> StatsSnapshot {
+        let Some(reg) = &self.registry else {
+            return StatsSnapshot::empty();
+        };
+        let seq = reg.snapshot_seq.load(Ordering::Relaxed);
+        Metrics::dump(reg, seq)
+    }
+
+    fn dump(reg: &Registry, seq: u64) -> StatsSnapshot {
         let elapsed_secs = reg.started.elapsed().as_secs_f64();
         let map = reg.instruments.lock().unwrap_or_else(|e| e.into_inner());
         let entries = map

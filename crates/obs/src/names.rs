@@ -44,6 +44,19 @@ pub const TELEMETRY_RTT_SAMPLES: &str = "telemetry.rtt_samples";
 /// stats one-liner).
 pub const TELEMETRY_RTT_US: &str = "telemetry.rtt_us";
 
+/// Packets a serve session dropped under overload — the ingest queue
+/// was full and the drop-and-count policy discarded the batch (counter;
+/// `flowzip serve` runs only).
+pub const SERVE_DROPPED_PACKETS: &str = "serve.dropped_packets";
+/// Archive windows a serve session has rotated out (counter).
+pub const SERVE_WINDOWS: &str = "serve.windows";
+/// Wall-clock age of the window currently being filled, seconds
+/// (gauge; resets to 0 at each rotation).
+pub const SERVE_WINDOW_AGE_SECS: &str = "serve.window_age_secs";
+/// Batches queued between the serve ingest thread and the engine right
+/// now (gauge).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+
 /// Sections in the archive a query planned over (counter).
 pub const QUERY_SECTIONS_TOTAL: &str = "query.sections_total";
 /// Sections a query actually decoded (counter).

@@ -16,8 +16,10 @@
 //! The derived top-level fields (`packets`, `packets_per_sec`,
 //! `active_flows`, `evicted_flows`, `queue_depth`) are convenience
 //! views over the full dumps that follow them; `packets_per_sec` is the
-//! rate since the previous snapshot (since registry creation for the
-//! first).
+//! rate since the previous snapshot. The [`Sampler`] baselines its first
+//! interval at the moment it starts, so every emitted rate is strictly
+//! window-relative — a registry that sat idle for an hour before
+//! sampling began does not smear that hour into the first line.
 
 use crate::json::JsonObject;
 use crate::names;
@@ -403,7 +405,12 @@ impl Sampler {
         let metrics = metrics.clone();
         let flag = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
-            let mut prev: Option<StatsSnapshot> = None;
+            // Baseline the first interval at sampler start (seq-neutral
+            // via `peek`), so the first emitted `packets_per_sec` covers
+            // exactly the first sampling window — not everything since
+            // the registry was created. A long-lived daemon registry can
+            // be hours old before sampling starts.
+            let mut prev: Option<StatsSnapshot> = Some(metrics.peek());
             let emit = |out: &mut StatsSink, snap: &StatsSnapshot, prev: Option<&StatsSnapshot>| {
                 let line = match format {
                     SnapshotFormat::JsonLines => snap.to_json_line(prev),
@@ -650,6 +657,45 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 1, "exactly the final snapshot: {out}");
         assert!(is_valid_json(lines[0]), "{out}");
+    }
+
+    #[test]
+    fn first_sampler_line_rates_against_sampler_start_not_registry_creation() {
+        // A registry that did heavy work *before* sampling started: the
+        // first emitted line must not smear those packets over the
+        // pre-sampler elapsed time.
+        let m = Metrics::enabled();
+        m.counter(names::ENGINE_PACKETS).add(1_000_000);
+        std::thread::sleep(Duration::from_millis(20));
+        let buf = SharedBuf::default();
+        let sampler = Sampler::start(
+            &m,
+            Duration::from_secs(3600),
+            SnapshotFormat::JsonLines,
+            StatsSink::new(Box::new(buf.clone())),
+        );
+        sampler.stop();
+        let out = buf.contents();
+        let line = out.lines().next().unwrap();
+        // No packets arrived inside the sampling window, so the
+        // window-relative rate is exactly 0 (the old since-creation rate
+        // would have been tens of millions per second).
+        assert!(line.contains(r#""packets_per_sec":0,"#), "{line}");
+        // The baseline peek is sequence-neutral: the first *emitted*
+        // snapshot still carries seq 1, pinning the JSON-lines schema.
+        assert!(line.contains(r#""seq":1,"#), "{line}");
+    }
+
+    #[test]
+    fn peek_reads_without_advancing_the_snapshot_sequence() {
+        let m = populated_metrics();
+        let peeked = m.peek();
+        assert_eq!(peeked.seq, 0, "no snapshot taken yet");
+        assert_eq!(peeked.counter(names::ENGINE_PACKETS), Some(5_000));
+        assert_eq!(m.snapshot().seq, 1, "peek did not consume seq 1");
+        assert_eq!(m.peek().seq, 1, "peek reports the latest seq");
+        assert_eq!(m.snapshot().seq, 2);
+        assert!(Metrics::disabled().peek().is_empty());
     }
 
     #[test]

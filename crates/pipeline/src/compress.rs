@@ -3,17 +3,19 @@
 
 use crate::error::PipelineError;
 use crate::input::{Input, InputKind};
-use crate::report::{ArchiveSummary, EngineSummary, Mode, Report, TelemetrySummary, Timing};
+use crate::report::{ArchiveSummary, Mode, Report, TelemetrySummary, Timing};
 use crate::sink::Sink;
 use crate::Pipeline;
 use flowzip_core::{ArchiveFormat, Compressor, Params};
-use flowzip_engine::{EngineReport, Routing, StreamingEngine};
+use flowzip_engine::{CancelFlag, Routing, StreamingEngine};
 use flowzip_io::{
     glob, FileSource, InputSource, IoStats, MultiFileConfig, MultiFileSource, PrefetchConfig,
 };
 use flowzip_obs::{Metrics, Profiler, Sampler, SnapshotFormat, StatsSink};
 use flowzip_trace::packet::HEADER_BYTES;
 use flowzip_trace::{Duration, Trace};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a finished session hands back: the unified [`Report`], plus the
@@ -61,6 +63,7 @@ pub struct CompressBuilder<'a> {
     stats_interval: Option<std::time::Duration>,
     stats_format: Option<SnapshotFormat>,
     stats_writer: Option<StatsSink>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Pipeline {
@@ -86,6 +89,7 @@ impl Pipeline {
             stats_interval: None,
             stats_format: None,
             stats_writer: None,
+            cancel: None,
         }
     }
 }
@@ -233,6 +237,18 @@ impl<'a> CompressBuilder<'a> {
         self
     }
 
+    /// Cooperative cancellation: when `flag` flips to `true` mid-run,
+    /// the session stops pulling input at the next pull point and
+    /// finalizes everything read so far into a **valid partial archive**
+    /// (both routes: the engine drains its shards, the batch compressor
+    /// compresses the collected prefix). This is what graceful SIGINT
+    /// rides on — the delivered file is complete and decodable, just cut
+    /// at the interruption point.
+    pub fn cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
     /// Runs the session: resolve the input, route to the batch
     /// compressor or the streaming engine, serialize in the configured
     /// container format, deliver to the sink, and report.
@@ -263,6 +279,7 @@ impl<'a> CompressBuilder<'a> {
             stats_interval,
             stats_format,
             stats_writer,
+            cancel,
         } = self;
         let input = input.ok_or_else(|| {
             PipelineError::config("compress session has no input — call .input(Input::…)")
@@ -418,9 +435,10 @@ impl<'a> CompressBuilder<'a> {
                 telemetry.unwrap_or(false),
                 &metrics,
                 &profiler,
+                cancel,
             )?
         } else {
-            run_batch(kind, &context, params, format, &metrics)?
+            run_batch(kind, &context, params, format, &metrics, cancel)?
         };
         drop(sampler);
         if metrics.is_enabled() {
@@ -453,6 +471,7 @@ fn run_streaming(
     telemetry: bool,
     metrics: &Metrics,
     profiler: &Profiler,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> Result<(Vec<u8>, Report), PipelineError> {
     let mut builder = StreamingEngine::builder()
         .params(params)
@@ -461,6 +480,9 @@ fn run_streaming(
         .telemetry(telemetry)
         .metrics(metrics.clone())
         .profiler(profiler.clone());
+    if let Some(flag) = cancel {
+        builder = builder.cancel_flag(flag);
+    }
     if let Some(t) = threads {
         builder = builder.shards(t);
     }
@@ -544,7 +566,7 @@ fn run_streaming(
         }
     };
 
-    let mut report = streaming_report(engine_report, format, stats.as_ref());
+    let mut report = Report::from_engine(engine_report, format, stats.as_ref());
     if telemetry {
         // Summarize the FZT1 rows straight off the archive just written
         // — the same decode path `info` uses, so the two cannot drift.
@@ -559,53 +581,6 @@ fn run_streaming(
     Ok((bytes, report))
 }
 
-/// Folds an [`EngineReport`] into the unified [`Report`], charging the
-/// drained source's [`IoStats`] (when the input had one) to the
-/// read-wait/compute split — the same [`Timing::new`] clamp the batch
-/// and decompress routes use, so the three report pipelines cannot
-/// drift.
-fn streaming_report(er: EngineReport, format: ArchiveFormat, stats: Option<&IoStats>) -> Report {
-    let mut report = Report::new(Mode::Compress);
-    report.packets = er.report.packets;
-    report.flows = er.report.flows;
-    report.engine = Some(EngineSummary {
-        shards: er.shards,
-        evicted_flows: er.evicted_flows,
-    });
-    report.archive = Some(ArchiveSummary {
-        format,
-        sections: er.sections as u64,
-        file_bytes: er.archive_bytes,
-        short_templates: er.report.clusters,
-        long_templates: er.report.long_flows,
-        addresses: er.report.addresses,
-        sizes: Some(er.report.sizes),
-        has_metadata: matches!(format, ArchiveFormat::V2),
-        telemetry: None,
-    });
-    // Raw-iterator runs carry no stats handle; their read-wait stays at
-    // the engine's zero.
-    let read_wait = stats.map_or(er.read_wait_secs, |s| s.read_wait_secs());
-    let mut timing = Timing::new(
-        er.elapsed_secs,
-        read_wait,
-        er.report.packets,
-        er.report.tsh_bytes,
-    );
-    timing.serialize_secs = er.serialize_secs;
-    timing.stage_busy_secs = er.stage_busy_secs;
-    if er.stage_busy_secs > 0.0 {
-        // Recompute the residual against *this* read-wait figure — the
-        // source's IoStats may differ from the engine-side number the
-        // EngineReport reconciled against.
-        timing.unattributed_secs =
-            (timing.elapsed_secs - timing.read_wait_secs - er.stage_busy_secs).max(0.0);
-    }
-    report.timing = Some(timing);
-    report.compression = Some(er.report);
-    report
-}
-
 /// The batch route: collect the input into one in-memory [`Trace`], run
 /// the classic [`Compressor`], and encode in the configured container.
 fn run_batch(
@@ -614,9 +589,11 @@ fn run_batch(
     params: Params,
     format: ArchiveFormat,
     metrics: &Metrics,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> Result<(Vec<u8>, Report), PipelineError> {
     let started = Instant::now();
     let read_err = |e| PipelineError::read(context.to_string(), e);
+    let cancel = cancel.map(CancelFlag::new).unwrap_or_default();
     let mut stats = IoStats::new();
     let owned: Trace;
     let trace: &Trace = match kind {
@@ -630,6 +607,12 @@ fn run_batch(
             stats.attach_metrics(metrics);
             let mut t = Trace::new();
             for p in source.into_packets() {
+                // Cancellation cuts the collection; the compressor then
+                // runs over the prefix read so far — a valid partial
+                // archive, mirroring the streaming drain.
+                if cancel.is_cancelled() {
+                    break;
+                }
                 t.push(p.map_err(read_err)?);
             }
             owned = t;
@@ -654,6 +637,9 @@ fn run_batch(
             stats.attach_metrics(metrics);
             let mut t = Trace::new();
             for p in packets {
+                if cancel.is_cancelled() {
+                    break;
+                }
                 t.push(p.map_err(read_err)?);
             }
             owned = t;

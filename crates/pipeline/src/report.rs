@@ -15,6 +15,8 @@ use flowzip_core::datasets::CodecError;
 use flowzip_core::{
     container, ArchiveFormat, ArchiveTelemetry, CompressedTrace, CompressionReport, DatasetSizes,
 };
+use flowzip_engine::EngineReport;
+use flowzip_io::IoStats;
 use flowzip_obs::json::JsonObject;
 use flowzip_obs::StatsSnapshot;
 use std::fmt;
@@ -321,6 +323,55 @@ impl Report {
         report.flows = archive.flow_count() as u64;
         report.archive = Some(summary);
         Ok(report)
+    }
+
+    /// Folds an [`EngineReport`] into the unified [`Report`], charging
+    /// the drained source's [`IoStats`] (when the input had one) to the
+    /// read-wait/compute split — the same [`Timing`] clamp the batch and
+    /// decompress routes use, so the report pipelines cannot drift. This
+    /// is how compress sessions summarize streaming runs, and how
+    /// embedders that drive the engine directly (e.g. `flowzip serve`'s
+    /// per-window reports) produce the same stable schema.
+    pub fn from_engine(er: EngineReport, format: ArchiveFormat, stats: Option<&IoStats>) -> Report {
+        let mut report = Report::new(Mode::Compress);
+        report.packets = er.report.packets;
+        report.flows = er.report.flows;
+        report.engine = Some(EngineSummary {
+            shards: er.shards,
+            evicted_flows: er.evicted_flows,
+        });
+        report.archive = Some(ArchiveSummary {
+            format,
+            sections: er.sections as u64,
+            file_bytes: er.archive_bytes,
+            short_templates: er.report.clusters,
+            long_templates: er.report.long_flows,
+            addresses: er.report.addresses,
+            sizes: Some(er.report.sizes),
+            has_metadata: matches!(format, ArchiveFormat::V2),
+            telemetry: None,
+        });
+        // Raw-iterator runs carry no stats handle; their read-wait stays
+        // at the engine's zero.
+        let read_wait = stats.map_or(er.read_wait_secs, |s| s.read_wait_secs());
+        let mut timing = Timing::new(
+            er.elapsed_secs,
+            read_wait,
+            er.report.packets,
+            er.report.tsh_bytes,
+        );
+        timing.serialize_secs = er.serialize_secs;
+        timing.stage_busy_secs = er.stage_busy_secs;
+        if er.stage_busy_secs > 0.0 {
+            // Recompute the residual against *this* read-wait figure —
+            // the source's IoStats may differ from the engine-side number
+            // the EngineReport reconciled against.
+            timing.unattributed_secs =
+                (timing.elapsed_secs - timing.read_wait_secs - er.stage_busy_secs).max(0.0);
+        }
+        report.timing = Some(timing);
+        report.compression = Some(er.report);
+        report
     }
 
     /// Open-flow high-water mark, when the run tracked one.

@@ -50,13 +50,32 @@ impl<'a> Sink<'a> {
         }
     }
 
+    /// The scratch path a file sink writes before the atomic rename —
+    /// `<path>.part` in the same directory. Signal handlers register
+    /// this path so an interrupted run unlinks its half-written scratch
+    /// file instead of leaving a truncated archive behind; readers
+    /// watching `path` never observe a partial write at all.
+    pub fn partial_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".part");
+        path.with_file_name(name)
+    }
+
     /// Delivers `bytes` to the sink. Returns the buffer back for
-    /// [`SinkKind::Bytes`], `None` otherwise.
+    /// [`SinkKind::Bytes`], `None` otherwise. File delivery is atomic:
+    /// bytes land in [`Sink::partial_path`] first and are renamed into
+    /// place only once fully written, so `path` either holds the old
+    /// content or the complete new archive — never a truncation.
     pub(crate) fn deliver(self, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, PipelineError> {
         match self.kind {
             SinkKind::File(path) => {
-                std::fs::write(&path, &bytes)
-                    .map_err(|e| PipelineError::write(format!("write {}", path.display()), e))?;
+                let part = Sink::partial_path(&path);
+                std::fs::write(&part, &bytes)
+                    .map_err(|e| PipelineError::write(format!("write {}", part.display()), e))?;
+                std::fs::rename(&part, &path).map_err(|e| {
+                    std::fs::remove_file(&part).ok();
+                    PipelineError::write(format!("rename into {}", path.display()), e)
+                })?;
                 Ok(None)
             }
             SinkKind::Bytes => Ok(Some(bytes)),

@@ -48,9 +48,10 @@ use flowzip::obs::log::{self, Level};
 use flowzip::obs::{Metrics, Profiler, SnapshotFormat};
 use flowzip::pipeline::{Input, Pipeline, Report, Routing, Sink};
 use flowzip::prelude::*;
+use flowzip::serve::{signal, OverloadPolicy, PipelineServe, ServeSource};
 use flowzip::trace::reader::CaptureFormat;
 use flowzip::trace::tsh;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -83,12 +84,28 @@ const USAGE: &str = "usage:
                      [--stats-interval SECS] [--stats-format json|human]
                      (live stats snapshots to stderr while compressing)
                      [--profile TRACE.json] (chrome://tracing span timeline)
+  flowzip serve      -o OUT_DIR  (continuous ingest: read an unbounded capture
+                      stream and rotate complete .fzc archives into OUT_DIR,
+                      indexed by an append-only manifest.jsonl)
+                     [--listen ADDR | --unix PATH | --watch DIR] (default: stdin)
+                     [--rotate-secs S] [--rotate-packets N] (rotation boundaries;
+                      whichever trips first; neither = one archive at EOF/signal)
+                     [--queue-batches N] [--overload drop|block] (bounded ingest
+                      queue; drop sheds load and counts serve.dropped_packets)
+                     [--threads N] [--batch-size N] [--idle-timeout SECS]
+                     [--routing serial|parallel] [--telemetry] [--json]
+                     [--stats-interval SECS] [--stats-format json|human]
+                     (SIGINT/SIGTERM: finish the window, flush a final valid
+                      archive, exit 128+signo; a second signal exits at once)
   flowzip info       IN.fzc [--json]
   flowzip decompress IN.fzc  -o OUT.tsh [--seed K] [--json] [--out-format tsh|pcap]
   flowzip query      IN.fzc  [--flow SRC_IP:PORT->DST_IP:PORT] [--from SECS] [--to SECS]
                      [-o OUT.tsh [--out-format tsh|pcap]] [--seed K] [--json] [--metrics]
                      (decodes only archive sections the v2.1 per-section
                       metadata cannot rule out; without -o, reports only)
+                     (IN may be a serve rotation directory: every archive in
+                      its manifest.jsonl is queried and the results merged;
+                      -o concatenation is TSH-only)
   flowzip synth      IN.fzc  [--flows N] [--seed K] -o OUT.tsh
 
 global: [-q|--quiet] [-v|--verbose] and the FLOWZIP_LOG env var
@@ -204,11 +221,23 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&opts),
         "stats" => stats(&opts),
         "compress" => compress(&opts),
+        "serve" => serve(&opts),
         "info" => info(&opts),
         "decompress" => decompress(&opts),
         "query" => query(&opts),
         "synth" => synth(&opts),
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// After a graceful signal-driven finish, exit with the conventional
+/// `128 + signo` so callers can tell an interrupt from a clean EOF.
+fn exit_if_signalled() {
+    if let Some(sig) = signal::received() {
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        std::io::stderr().flush().ok();
+        std::process::exit(128 + sig);
     }
 }
 
@@ -233,6 +262,9 @@ fn generate(opts: &Opts) -> Result<(), String> {
     let secs = opts.get_u64("secs", 60)? as f64;
     let seed = opts.get_u64("seed", 42)?;
     let out = opts.out()?;
+    // The trace is written in place; an interrupt removes the stub.
+    signal::install_oneshot();
+    let _guard = signal::guard_partial(&out);
     let trace = WebTrafficGenerator::new(
         WebTrafficConfig {
             flows,
@@ -341,6 +373,12 @@ fn compress(opts: &Opts) -> Result<(), String> {
         session = session.profiler(p.clone());
     }
 
+    // Graceful interrupt: the first SIGINT/SIGTERM flips the engine's
+    // cancel flag, which drains open flows into a *valid* partial
+    // archive; a second signal unlinks the `.part` scratch and exits.
+    session = session.cancel(signal::install_graceful());
+    let _guard = signal::guard_partial(&Sink::partial_path(&out));
+
     let result = session.run().map_err(|e| e.to_string())?;
     if let (Some(path), Some(p)) = (&profile_path, &profiler) {
         p.write_to(path)
@@ -373,6 +411,142 @@ fn compress(opts: &Opts) -> Result<(), String> {
     } else {
         println!("{notice}");
     }
+    if signal::received().is_some() {
+        log::info("interrupted: open flows were drained into a valid partial archive");
+    }
+    exit_if_signalled();
+    Ok(())
+}
+
+fn serve(opts: &Opts) -> Result<(), String> {
+    let out_dir = opts.out().map_err(|_| "missing -o OUT_DIR".to_string())?;
+    let json = opts.get_bool("json");
+
+    let picked = ["listen", "unix", "watch"]
+        .iter()
+        .filter(|k| opts.get(k).is_some())
+        .count();
+    if picked > 1 {
+        return Err("pick at most one of --listen / --unix / --watch (default: stdin)".into());
+    }
+    let source = if let Some(addr) = opts.get("listen") {
+        ServeSource::listen(addr).map_err(|e| format!("bind {addr}: {e}"))?
+    } else if let Some(path) = opts.get("unix") {
+        #[cfg(unix)]
+        {
+            ServeSource::unix(path).map_err(|e| format!("bind {path}: {e}"))?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(format!("--unix {path} needs a Unix platform"));
+        }
+    } else if let Some(dir) = opts.get("watch") {
+        ServeSource::watch_dir(dir)
+    } else {
+        ServeSource::stdin()
+    };
+    let described = source.describe();
+
+    let mut session = Pipeline::serve().source(source).out_dir(&out_dir);
+    let rotate_secs = opts.get_u64("rotate-secs", 0)?;
+    if opts.get("rotate-secs").is_some() && rotate_secs == 0 {
+        return Err("--rotate-secs wants a positive number of seconds".into());
+    }
+    if rotate_secs > 0 {
+        session = session.rotate_every(std::time::Duration::from_secs(rotate_secs));
+    }
+    let rotate_packets = opts.get_u64("rotate-packets", 0)?;
+    if opts.get("rotate-packets").is_some() && rotate_packets == 0 {
+        return Err("--rotate-packets wants a positive packet count".into());
+    }
+    if rotate_packets > 0 {
+        session = session.rotate_packets(rotate_packets);
+    }
+    if opts.get("threads").is_some() {
+        session = session.threads(opts.get_u64("threads", 0)? as usize);
+    }
+    if opts.get("batch-size").is_some() {
+        session = session.batch_size(opts.get_u64("batch-size", 0)? as usize);
+    }
+    if opts.get("queue-batches").is_some() {
+        session = session.queue_batches(opts.get_u64("queue-batches", 0)? as usize);
+    }
+    if let Some(name) = opts.get("overload") {
+        session = session.overload(OverloadPolicy::parse(name)?);
+    }
+    if let Some(name) = opts.get("routing") {
+        session = session.routing(Routing::parse(name)?);
+    }
+    if opts.get_bool("telemetry") {
+        session = session.telemetry(true);
+    }
+    let idle_secs = opts.get_u64("idle-timeout", 0)?;
+    if idle_secs > 0 {
+        session = session.idle_timeout(Duration::from_secs(idle_secs));
+    }
+    if opts.get("stats-interval").is_some() {
+        let secs = opts.get_u64("stats-interval", 0)?;
+        if secs == 0 {
+            return Err("--stats-interval wants a whole number of seconds ≥ 1".into());
+        }
+        session = session.stats_interval(std::time::Duration::from_secs(secs));
+        if let Some(name) = opts.get("stats-format") {
+            session = session.stats_format(SnapshotFormat::parse(name)?);
+        }
+    } else if opts.get("stats-format").is_some() {
+        return Err("--stats-format needs --stats-interval SECS".into());
+    }
+
+    // First signal: finish the window and flush a final valid archive.
+    // Second signal: unlink the in-flight `.part` and die immediately.
+    session = session.stop_flag(signal::install_graceful());
+    session = session.on_window(|w| {
+        log::info(&match &w.archive {
+            Some(path) => format!(
+                "window {}: {} packets, {} flows → {} ({} bytes, {})",
+                w.index,
+                w.packets,
+                w.flows,
+                path.file_name().unwrap_or_default().to_string_lossy(),
+                w.bytes,
+                w.reason.as_str()
+            ),
+            None => format!("window {}: empty ({})", w.index, w.reason.as_str()),
+        });
+    });
+
+    log::info(&format!(
+        "serving {described} into {} (rotate: {})",
+        out_dir.display(),
+        match (rotate_secs, rotate_packets) {
+            (0, 0) => "at end of stream".to_string(),
+            (s, 0) => format!("every {s}s"),
+            (0, p) => format!("every {p} packets"),
+            (s, p) => format!("every {s}s or {p} packets"),
+        }
+    ));
+    let handle = session.start().map_err(|e| e.to_string())?;
+    let report = handle.wait().map_err(|e| e.to_string())?;
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        let stored = report.windows.iter().filter(|w| w.packets > 0).count();
+        println!(
+            "served {} windows ({} stored), {} packets in, {} archived, {} dropped ({:.1}s)",
+            report.windows.len(),
+            stored,
+            report.produced_packets,
+            report.compressed_packets,
+            report.dropped_packets,
+            report.elapsed_secs
+        );
+        println!("manifest: {}", report.manifest.display());
+    }
+    if let Some(e) = &report.source_error {
+        return Err(format!("source failed: {e}"));
+    }
+    exit_if_signalled();
     Ok(())
 }
 
@@ -450,6 +624,10 @@ fn decompress(opts: &Opts) -> Result<(), String> {
         Some("pcap") => CaptureFormat::Pcap,
         Some(other) => return Err(format!("unknown --out-format `{other}` (want tsh or pcap)")),
     };
+    // Nothing to finalize mid-decode: an interrupt just removes the
+    // half-written `.part` scratch and exits.
+    signal::install_oneshot();
+    let _guard = signal::guard_partial(&Sink::partial_path(&out));
     let result = Pipeline::decompress()
         .input(Input::file(input))
         .sink(Sink::file(&out))
@@ -482,6 +660,13 @@ fn query(opts: &Opts) -> Result<(), String> {
         Some("pcap") => CaptureFormat::Pcap,
         Some(other) => return Err(format!("unknown --out-format `{other}` (want tsh or pcap)")),
     };
+    signal::install_oneshot();
+    let _guard = out
+        .as_ref()
+        .and_then(|o| signal::guard_partial(&Sink::partial_path(o)));
+    if Path::new(input).is_dir() {
+        return query_rotation_dir(opts, input, json, out.as_deref(), out_format);
+    }
     let mut session = Pipeline::query()
         .input(Input::file(input))
         .seed(opts.get_u64("seed", 0x5EED)?)
@@ -524,9 +709,84 @@ fn query(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `flowzip query <rotation-dir>`: run the identical query over every
+/// archive the directory's `manifest.jsonl` lists and merge the counts.
+/// With `-o`, the decoded windows are concatenated into one capture —
+/// TSH only, because TSH records are headerless and concatenation of
+/// time-ordered windows is itself a valid trace.
+fn query_rotation_dir(
+    opts: &Opts,
+    dir: &str,
+    json: bool,
+    out: Option<&Path>,
+    out_format: CaptureFormat,
+) -> Result<(), String> {
+    if out.is_some() && out_format == CaptureFormat::Pcap {
+        return Err(
+            "rotation-directory -o concatenation is TSH-only (pcap puts a header per file)".into(),
+        );
+    }
+    let entries = flowzip::serve::read_manifest(Path::new(dir)).map_err(|e| e.to_string())?;
+    let mut windows = 0u64;
+    let mut packets = 0u64;
+    let mut concat: Vec<u8> = Vec::new();
+    for e in &entries {
+        let Some(name) = &e.archive else { continue };
+        let path = Path::new(dir).join(name);
+        let mut session = Pipeline::query()
+            .input(Input::file(&path))
+            .seed(opts.get_u64("seed", 0x5EED)?)
+            .output_format(out_format);
+        if let Some(spec) = opts.get("flow") {
+            session = session.flow_spec(spec).map_err(|e| e.to_string())?;
+        }
+        if let Some(secs) = opts.get_f64("from")? {
+            session = session.from_secs(secs);
+        }
+        if let Some(secs) = opts.get_f64("to")? {
+            session = session.to_secs(secs);
+        }
+        if out.is_some() {
+            session = session.sink(Sink::bytes());
+        }
+        let result = session
+            .run()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        windows += 1;
+        packets += result.report.packets;
+        if out.is_some() {
+            concat.extend(result.into_bytes().unwrap_or_default());
+        }
+    }
+    let written = match out {
+        Some(path) => {
+            // Same atomic discipline as every other file delivery.
+            let part = Sink::partial_path(path);
+            std::fs::write(&part, &concat).map_err(|e| format!("write {}: {e}", part.display()))?;
+            std::fs::rename(&part, path)
+                .map_err(|e| format!("rename into {}: {e}", path.display()))?;
+            concat.len() as u64
+        }
+        None => 0,
+    };
+    if json {
+        println!(
+            "{{\"type\":\"flowzip.query_dir\",\"windows\":{windows},\"packets\":{packets},\"output_bytes\":{written}}}"
+        );
+    } else {
+        println!("queried {windows} rotated archives: {packets} packets matched");
+        if let Some(path) = out {
+            println!("wrote {}: {} bytes", path.display(), written);
+        }
+    }
+    Ok(())
+}
+
 fn synth(opts: &Opts) -> Result<(), String> {
     let input = opts.input()?;
     let out = opts.out()?;
+    signal::install_oneshot();
+    let _guard = signal::guard_partial(&out);
     let flows = opts.get_u64("flows", 10_000)? as usize;
     let seed = opts.get_u64("seed", 0x517E)?;
     let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;

@@ -16,6 +16,7 @@
 //! | [`traffic`] | `flowzip-traffic` | synthetic Web/random/fractal traces |
 //! | [`core`] | `flowzip-core` | the flow-clustering compressor (§2–§4) |
 //! | [`engine`] | `flowzip-engine` | sharded, bounded-memory streaming engine |
+//! | [`serve`] | `flowzip-serve` | continuous-ingest daemon: rotated archives + manifest |
 //! | [`io`] | `flowzip-io` | overlapped-I/O input: prefetch, multi-file readers, worker pool |
 //! | [`obs`] | `flowzip-obs` | metrics, live stats snapshots, span profiling, leveled logging |
 //! | [`deflate`] | `flowzip-deflate` | from-scratch DEFLATE/gzip baseline |
@@ -94,6 +95,7 @@ pub use flowzip_obs as obs;
 pub use flowzip_peuhkuri as peuhkuri;
 pub use flowzip_pipeline as pipeline;
 pub use flowzip_radix as radix;
+pub use flowzip_serve as serve;
 pub use flowzip_trace as trace;
 pub use flowzip_traffic as traffic;
 pub use flowzip_vj as vj;
@@ -115,6 +117,9 @@ pub mod prelude {
     pub use flowzip_obs::{Metrics, Profiler, SnapshotFormat, StatsSink, StatsSnapshot};
     pub use flowzip_pipeline::{Input, Pipeline, PipelineError, Report, RunResult, Sink};
     pub use flowzip_radix::{RadixTable, TableGen};
+    pub use flowzip_serve::{
+        OverloadPolicy, PipelineServe, ServeHandle, ServeReport, ServeSource, WindowSummary,
+    };
     pub use flowzip_trace::prelude::*;
     pub use flowzip_traffic::web::{WebTrafficConfig, WebTrafficGenerator};
     pub use flowzip_traffic::{fractal_trace, randomize_destinations, FractalTraceConfig};
@@ -134,5 +139,6 @@ mod tests {
         let _ = crate::trace::TcpFlags::SYN;
         let _ = crate::netbench::BenchKind::Route;
         let _ = crate::deflate::Level::Default;
+        let _ = crate::serve::ServeSource::stdin;
     }
 }
